@@ -1,0 +1,223 @@
+//! Push-style residual pagerank — the data-driven formulation
+//! Gluon-Async uses for asynchronous execution (an extension beyond the
+//! paper's pull implementation; the `abl_pr_push_pull` benchmark compares
+//! the two, complementing the §V-B2 discussion).
+//!
+//! Mass moves in *generations*. A master that absorbs new mass folds it
+//! into its rank and into the pending generation `gen`; every proxy of the
+//! vertex that holds out-edges pushes `gen × α / outdeg` along each of its
+//! local out-edges exactly once (the generation is broadcast to mirrors
+//! and consumed by `begin_push`). Work per round follows the *active*
+//! vertices' out-degrees, so the huge max in-degrees that break TWC under
+//! the pull formulation are irrelevant here.
+
+use dirgl_core::{InitCtx, Style, VertexProgram};
+use dirgl_graph::csr::VertexId;
+
+/// Per-proxy state for push pagerank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrPushState {
+    /// Accumulated rank (meaningful on masters).
+    pub rank: f32,
+    /// Residual generation not yet pushed by this proxy.
+    pub gen: f32,
+    /// Portion of the generation not yet broadcast to mirrors
+    /// (asynchronous engines ship and reset this ledger).
+    pub unsent: f32,
+    /// Per-out-edge share of the generation being pushed this round.
+    pub share: f32,
+    /// Incoming mass accumulated since the last absorb.
+    pub acc: f32,
+    /// `α / outdeg` (0 for sinks), precomputed from the global out-degree.
+    pub kappa: f32,
+}
+
+/// Push-style residual pagerank.
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankPush {
+    /// Damping factor.
+    pub alpha: f32,
+    /// Residual threshold: generations at or below it stay parked.
+    pub tolerance: f32,
+}
+
+impl Default for PageRankPush {
+    fn default() -> Self {
+        PageRankPush { alpha: 0.85, tolerance: 1e-4 }
+    }
+}
+
+impl PageRankPush {
+    /// Standard configuration (α = 0.85, tolerance 1e-4).
+    pub fn new() -> PageRankPush {
+        Self::default()
+    }
+}
+
+impl VertexProgram for PageRankPush {
+    type State = PrPushState;
+    type Wire = f32;
+
+    fn name(&self) -> &'static str {
+        "pagerank-push"
+    }
+
+    fn style(&self) -> Style {
+        Style::PushDataDriven
+    }
+
+    fn init_state(&self, gv: VertexId, ctx: &InitCtx<'_>) -> PrPushState {
+        let d = ctx.out_degrees[gv as usize];
+        PrPushState {
+            rank: 0.0,
+            // Every proxy starts with the initial generation pre-seeded,
+            // so nothing needs broadcasting (unsent = 0).
+            gen: 1.0 - self.alpha,
+            unsent: 0.0,
+            share: 0.0,
+            acc: 0.0,
+            kappa: if d == 0 { 0.0 } else { self.alpha / d as f32 },
+        }
+    }
+
+    fn initially_active(&self, _gv: VertexId, _ctx: &InitCtx<'_>) -> bool {
+        // The initial (1-α) generation is already folded into every
+        // proxy's `gen`; the initial rank application happens on first
+        // absorb/push. Seed rank here instead: every vertex starts active
+        // and pushes its initial generation.
+        true
+    }
+
+    fn begin_push(&self, state: &mut PrPushState) -> bool {
+        if state.gen > self.tolerance {
+            state.share = state.gen * state.kappa;
+            state.gen = 0.0;
+            true
+        } else {
+            state.share = 0.0;
+            false
+        }
+    }
+
+    fn edge_msg(&self, state: &PrPushState, _weight: u32) -> Option<f32> {
+        (state.share != 0.0).then_some(state.share)
+    }
+
+    fn accumulate(&self, state: &mut PrPushState, msg: f32) -> bool {
+        if msg != 0.0 {
+            state.acc += msg;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn absorb(&self, state: &mut PrPushState) -> bool {
+        if state.acc != 0.0 {
+            // New mass counts into rank exactly once (here, on the
+            // master) and joins the pending generation for propagation.
+            state.rank += state.acc;
+            state.gen += state.acc;
+            state.unsent += state.acc;
+            state.acc = 0.0;
+            state.gen > self.tolerance
+        } else {
+            false
+        }
+    }
+
+    fn take_delta(&self, state: &mut PrPushState) -> f32 {
+        let d = state.acc;
+        state.acc = 0.0;
+        d
+    }
+
+    fn canonical(&self, state: &PrPushState) -> f32 {
+        state.gen
+    }
+
+    fn set_canonical(&self, state: &mut PrPushState, v: f32) -> bool {
+        // Bulk-synchronous: rounds are aligned, the broadcast generation
+        // replaces the mirror's view.
+        if state.gen != v {
+            state.gen = v;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn canonical_async(&self, state: &PrPushState) -> f32 {
+        // Only the not-yet-broadcast mass ships asynchronously; the
+        // engine resets the ledger via `after_broadcast` once every
+        // mirror holder has been served.
+        state.unsent
+    }
+
+    fn after_broadcast(&self, state: &mut PrPushState) {
+        state.unsent = 0.0;
+    }
+
+    fn merge_canonical_async(&self, state: &mut PrPushState, v: f32) -> bool {
+        // Asynchronous: each broadcast carries one generation, delivered
+        // additively and consumed by the mirror's next push.
+        if v != 0.0 {
+            state.gen += v;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn output(&self, state: &PrPushState) -> f64 {
+        // The initial (1-α) generation is applied to rank lazily; account
+        // for it here so outputs match the pull formulation.
+        state.rank as f64 + (1.0 - self.alpha) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_lifecycle() {
+        let pr = PageRankPush::new();
+        let degs = vec![4u32];
+        let ctx = InitCtx::new(1, &degs);
+        let mut s = pr.init_state(0, &ctx);
+        assert!((s.gen - 0.15).abs() < 1e-7);
+        // Push splits the generation by out-degree and consumes it.
+        assert!(pr.begin_push(&mut s));
+        assert!((s.share - 0.15 * 0.85 / 4.0).abs() < 1e-8);
+        assert_eq!(s.gen, 0.0);
+        assert!(!pr.begin_push(&mut s));
+        // Incoming mass raises rank and the next generation exactly once.
+        assert!(pr.accumulate(&mut s, 0.1));
+        assert!(pr.absorb(&mut s));
+        assert!((s.rank - 0.1).abs() < 1e-7);
+        assert!((s.gen - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sinks_swallow_mass() {
+        let pr = PageRankPush::new();
+        let degs = vec![0u32];
+        let ctx = InitCtx::new(1, &degs);
+        let mut s = pr.init_state(0, &ctx);
+        assert!(pr.begin_push(&mut s));
+        assert_eq!(pr.edge_msg(&s, 0), None); // kappa = 0 -> no share
+    }
+
+    #[test]
+    fn async_merge_is_additive() {
+        let pr = PageRankPush::new();
+        let degs = vec![2u32];
+        let ctx = InitCtx::new(1, &degs);
+        let mut s = pr.init_state(0, &ctx);
+        s.gen = 0.0;
+        assert!(pr.merge_canonical_async(&mut s, 0.05));
+        assert!(pr.merge_canonical_async(&mut s, 0.05));
+        assert!((s.gen - 0.1).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,225 @@
+//! Sequential reference implementations.
+//!
+//! Every distributed result in the test suites is checked against these.
+//! Each takes the *raw* (directed) input and applies the same
+//! preprocessing the runtime does (symmetrization for cc/kcore).
+
+use std::collections::BinaryHeap;
+
+use dirgl_graph::csr::{Csr, VertexId};
+
+use crate::UNREACHED;
+
+/// BFS levels from `src`; `UNREACHED` where unreachable.
+pub fn bfs(g: &Csr, src: VertexId) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    let mut dist = vec![UNREACHED; n];
+    dist[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut next = Vec::new();
+    let mut level = 0;
+    while !frontier.is_empty() {
+        level += 1;
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == UNREACHED {
+                    dist[v as usize] = level;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    dist
+}
+
+/// Dijkstra distances from `src` using the graph's weights (floored at 1,
+/// matching the engine); `UNREACHED` where unreachable.
+pub fn sssp(g: &Csr, src: VertexId) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    let mut dist = vec![UNREACHED; n];
+    dist[src as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(std::cmp::Reverse((0u32, src)));
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in g.edges(u) {
+            let nd = d.saturating_add(w.max(1));
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(std::cmp::Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected components: each vertex labelled with the minimum
+/// global id in its component (the label-propagation fixpoint).
+pub fn cc(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices() as usize;
+    // Union-find over the undirected view.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                // Union by id keeps the minimum as the root.
+                let (lo, hi) = (ru.min(rv), ru.max(rv));
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+/// k-core membership (1 = in core) by sequential peeling on the
+/// symmetrized graph.
+pub fn kcore(g: &Csr, k: u32) -> Vec<bool> {
+    let sym = g.symmetrize();
+    let n = sym.num_vertices() as usize;
+    let mut deg: Vec<u32> = (0..n as u32).map(|v| sym.out_degree(v)).collect();
+    let mut alive = vec![true; n];
+    let mut queue: Vec<u32> = (0..n as u32).filter(|&v| deg[v as usize] < k).collect();
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        if !alive[u as usize] {
+            continue;
+        }
+        alive[u as usize] = false;
+        for &v in sym.neighbors(u) {
+            if alive[v as usize] {
+                deg[v as usize] -= 1;
+                if deg[v as usize] == k - 1 {
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    alive
+}
+
+/// Residual pagerank in f64 with the same scheme as the distributed
+/// program, run to `tolerance` (or `max_rounds`).
+pub fn pagerank(g: &Csr, alpha: f64, tolerance: f64, max_rounds: u32) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    let rev = g.transpose();
+    let outdeg: Vec<u32> = (0..n as u32).map(|v| g.out_degree(v)).collect();
+    let mut rank = vec![0.0f64; n];
+    let mut residual = vec![1.0 - alpha; n];
+    for _ in 0..max_rounds {
+        let mut next = vec![0.0f64; n];
+        for v in 0..n as u32 {
+            for &u in rev.neighbors(v) {
+                if outdeg[u as usize] > 0 {
+                    next[v as usize] += alpha * residual[u as usize] / outdeg[u as usize] as f64;
+                }
+            }
+        }
+        let mut any = false;
+        for v in 0..n {
+            rank[v] += residual[v];
+            residual[v] = if next[v] > tolerance {
+                any = true;
+                next[v]
+            } else {
+                0.0
+            };
+        }
+        if !any {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirgl_graph::csr::CsrBuilder;
+
+    fn path(n: u32) -> Csr {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add(i, i + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let d = bfs(&path(5), 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs(&path(5), 2);
+        assert_eq!(d, vec![UNREACHED, UNREACHED, 0, 1, 2]);
+    }
+
+    #[test]
+    fn sssp_prefers_cheap_detour() {
+        // 0->1 (10), 0->2 (1), 2->1 (2)
+        let mut b = CsrBuilder::new(3);
+        b.add_weighted(0, 1, 10);
+        b.add_weighted(0, 2, 1);
+        b.add_weighted(2, 1, 2);
+        let d = sssp(&b.build(), 0);
+        assert_eq!(d, vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn cc_labels_are_min_ids() {
+        // Components: {0,1,2} (via directed edges), {3}, {4,5}
+        let mut b = CsrBuilder::new(6);
+        b.add(1, 0);
+        b.add(1, 2);
+        b.add(5, 4);
+        let labels = cc(&b.build());
+        assert_eq!(labels, vec![0, 0, 0, 3, 4, 4]);
+    }
+
+    #[test]
+    fn kcore_peels_a_tail() {
+        // Triangle 0-1-2 plus a pendant 3 attached to 0: 2-core keeps the
+        // triangle only.
+        let mut b = CsrBuilder::new(4);
+        b.add(0, 1);
+        b.add(1, 2);
+        b.add(2, 0);
+        b.add(0, 3);
+        let alive = kcore(&b.build(), 2);
+        assert_eq!(alive, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_vertex_count_ish() {
+        let g = dirgl_graph::RmatConfig::new(8, 4).seed(2).generate();
+        let r = pagerank(&g, 0.85, 1e-9, 500);
+        let total: f64 = r.iter().sum();
+        // With sink-mass loss the sum lands below n but in its vicinity.
+        let n = g.num_vertices() as f64;
+        assert!(total > 0.3 * n && total <= n + 1.0, "total={total} n={n}");
+        assert!(r.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn pagerank_hub_outranks_leaf() {
+        // star: leaves point at the hub.
+        let mut b = CsrBuilder::new(5);
+        for i in 1..5 {
+            b.add(i, 0);
+        }
+        let r = pagerank(&b.build(), 0.85, 1e-10, 200);
+        assert!(r[0] > r[1] * 2.0);
+    }
+}

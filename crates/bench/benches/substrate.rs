@@ -1,0 +1,81 @@
+//! Criterion microbenchmarks for the substrate hot paths: CSR traversal,
+//! update-bitset operations, the edge-to-thread-block schedulers, and the
+//! streaming partitioner.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dirgl_comm::DenseBitset;
+use dirgl_gpusim::sched::{distribute, Balancer};
+use dirgl_graph::RmatConfig;
+use dirgl_partition::{Partition, Policy};
+
+fn bench_csr(c: &mut Criterion) {
+    let g = RmatConfig::new(14, 16).seed(1).generate();
+    c.bench_function("csr/full_traversal", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for u in 0..g.num_vertices() {
+                for &v in g.neighbors(u) {
+                    acc = acc.wrapping_add(v as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("csr/transpose", |b| b.iter(|| black_box(g.transpose().num_edges())));
+}
+
+fn bench_bitset(c: &mut Criterion) {
+    let n = 1_000_000u32;
+    let mut bs = DenseBitset::new(n);
+    for i in (0..n).step_by(37) {
+        bs.set(i);
+    }
+    c.bench_function("bitset/iter_sparse", |b| {
+        b.iter(|| black_box(bs.iter_set().fold(0u64, |a, x| a + x as u64)))
+    });
+    c.bench_function("bitset/count_ones", |b| b.iter(|| black_box(bs.count_ones())));
+    c.bench_function("bitset/set_clear_cycle", |b| {
+        let mut w = DenseBitset::new(n);
+        b.iter(|| {
+            for i in (0..n).step_by(101) {
+                w.set(i);
+            }
+            w.clear_all();
+        })
+    });
+}
+
+fn bench_sched(c: &mut Criterion) {
+    // Power-law-ish active set: many small, one giant.
+    let mut degs: Vec<u32> = (0..200_000).map(|i| 1 + (i % 64)).collect();
+    degs.push(1_000_000);
+    let mut group = c.benchmark_group("sched");
+    for balancer in [Balancer::Twc, Balancer::Alb, Balancer::Lb, Balancer::Tb] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(balancer.name()),
+            &balancer,
+            |b, &bal| {
+                b.iter(|| black_box(distribute(bal, degs.iter().copied(), 1024, 112)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let g = RmatConfig::new(13, 8).seed(2).generate();
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for policy in [Policy::Oec, Policy::Iec, Policy::Hvc, Policy::Cvc] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &p| b.iter(|| black_box(Partition::build(&g, p, 16, 0).total_edges())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_csr, bench_bitset, bench_sched, bench_partitioner);
+criterion_main!(benches);

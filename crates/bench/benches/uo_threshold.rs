@@ -1,0 +1,72 @@
+//! The §V-B3 microbenchmark the paper recommends: "Sending only the
+//! updated values is key to reducing the communication volume and time,
+//! but there is a threshold below which the overhead of extracting the
+//! updated values outweighs the benefits of volume reduction. This
+//! threshold can be determined using microbenchmarking."
+//!
+//! For a fixed shared-proxy count, sweeps the update density and compares
+//! the modelled end-to-end message cost (extraction + transfer) of AS vs
+//! UO, exposing the crossover.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dirgl_comm::{as_message_bytes, uo_message_bytes, DenseBitset, VAL_BYTES};
+use dirgl_gpusim::{GpuSpec, KernelModel};
+
+/// Modelled cost (seconds) of one synchronization message of `bytes` over
+/// PCIe + Omni-Path, including `pack` seconds of device-side preparation.
+fn message_seconds(bytes: u64, pack: f64) -> f64 {
+    let pcie = 12e-6 + bytes as f64 / 12e9;
+    let net = 40e-6 + bytes as f64 / 12.5e9 + 10e-6;
+    pack + 2.0 * pcie + net
+}
+
+fn uo_vs_as(c: &mut Criterion) {
+    let entries: u64 = 500_000;
+    let kernel = KernelModel::new(GpuSpec::p100());
+    let mut group = c.benchmark_group("uo_threshold");
+    // Also print the modelled crossover once, as harness documentation.
+    println!("update-density sweep for {entries} shared proxies (modelled):");
+    for pct in [0u64, 1, 2, 5, 10, 25, 50, 100] {
+        let updated = entries * pct / 100;
+        let as_cost = message_seconds(as_message_bytes(entries, VAL_BYTES), 0.0);
+        let uo_cost = message_seconds(
+            uo_message_bytes(entries, updated, VAL_BYTES),
+            kernel.scan_time(entries),
+        );
+        println!(
+            "  {pct:>3}% updated: AS {:.1}us vs UO {:.1}us -> {}",
+            as_cost * 1e6,
+            uo_cost * 1e6,
+            if uo_cost < as_cost { "UO wins" } else { "AS wins" }
+        );
+    }
+    // Measured: the actual bitset extraction work UO performs per message.
+    for pct in [1u64, 10, 50] {
+        let mut bs = DenseBitset::new(entries as u32);
+        let step = (100 / pct).max(1) as usize;
+        for i in (0..entries as u32).step_by(step) {
+            bs.set(i);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("extract_updated", format!("{pct}pct")),
+            &bs,
+            |b, bs| {
+                b.iter(|| {
+                    // Extraction = scan the bitset and gather the values.
+                    let vals: Vec<u32> = bs.iter_set().map(|i| i.wrapping_mul(7)).collect();
+                    black_box(vals.len())
+                })
+            },
+        );
+    }
+    group.bench_function("pack_all_shared", |b| {
+        // AS packs positionally: a straight copy of every value.
+        let src: Vec<u32> = (0..entries as u32).collect();
+        b.iter(|| black_box(src.to_vec().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, uo_vs_as);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation (paper §VII): GPUDirect device↔device communication.
+//!
+//! The paper's conclusion: "frameworks should adopt modern GPU architecture
+//! capabilities such as GPUDirect to avoid data transfers through the
+//! host." This ablation reruns the Var4/CVC configuration with the
+//! network model's host-staging hops removed (P2P within a host, RDMA
+//! across hosts) and reports the speedup.
+
+use dirgl_bench::{print_row, Args, BenchId, LoadedDataset, PartitionCache};
+use dirgl_core::{RunConfig, Variant};
+use dirgl_gpusim::Platform;
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+
+fn main() {
+    let args = Args::parse();
+    let platform = Platform::bridges(32);
+    println!("Ablation: GPUDirect (device<->device) vs host-staged transfers");
+    println!("(D-IrGL Var4 + CVC @ 32 GPUs, medium graphs)\n");
+    let widths = [12usize, 10, 11, 11, 9];
+    print_row(
+        &["input".into(), "bench".into(), "staged(s)".into(), "direct(s)".into(), "speedup".into()],
+        &widths,
+    );
+    for id in DatasetId::MEDIUM {
+        let ld = LoadedDataset::load(id, args.extra_scale);
+        let mut cache = PartitionCache::new();
+        for bench in BenchId::ALL {
+            let staged = dirgl_bench::run_dirgl(
+                bench, &ld, &mut cache, &platform, Policy::Cvc, Variant::var4(),
+            );
+            let mut cfg = RunConfig::new(Policy::Cvc, Variant::var4());
+            cfg.gpudirect = true;
+            let direct = dirgl_bench::run_dirgl_cfg(bench, &ld, &mut cache, &platform, cfg);
+            match (staged, direct) {
+                (Ok(s), Ok(d)) => {
+                    let st = s.report.total_time.as_secs_f64();
+                    let dt = d.report.total_time.as_secs_f64();
+                    print_row(
+                        &[
+                            id.name().into(),
+                            bench.name().into(),
+                            format!("{st:.2}"),
+                            format!("{dt:.2}"),
+                            format!("{:.2}x", st / dt),
+                        ],
+                        &widths,
+                    );
+                }
+                _ => print_row(
+                    &[id.name().into(), bench.name().into(), "OOM".into(), "OOM".into(), "-".into()],
+                    &widths,
+                ),
+            }
+        }
+    }
+    println!("\nExpected: consistent speedups, largest where device-host transfer");
+    println!("time dominates (the paper: host-device communication 'should be");
+    println!("optimized to gain performance').");
+}

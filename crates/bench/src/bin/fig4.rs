@@ -1,0 +1,34 @@
+//! Figure 4: breakdown of execution time of the D-IrGL variants (IEC) for
+//! the medium graphs on 32 P100 GPUs of Bridges, with communication-volume
+//! annotations.
+
+use dirgl_bench::{print_breakdown, Args, BenchId, Breakdown, LoadedDataset, PartitionCache};
+use dirgl_core::Variant;
+use dirgl_gpusim::Platform;
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+
+fn main() {
+    let args = Args::parse();
+    let platform = Platform::bridges(32);
+    println!("Figure 4: breakdown of D-IrGL variants (IEC), medium graphs @ 32 GPUs");
+    for id in DatasetId::MEDIUM {
+        let ld = LoadedDataset::load(id, args.extra_scale);
+        let mut cache = PartitionCache::new();
+        for bench in BenchId::ALL {
+            let rows: Vec<Breakdown> = Variant::all()
+                .iter()
+                .enumerate()
+                .map(|(vi, variant)| Breakdown {
+                    label: format!("Var{}", vi + 1),
+                    result: dirgl_bench::run_dirgl(
+                        bench, &ld, &mut cache, &platform, Policy::Iec, *variant,
+                    ),
+                })
+                .collect();
+            print_breakdown(&format!("{} / {} @ 32 GPUs", bench.name(), id.name()), &rows);
+        }
+    }
+    println!("\nPaper shape: Var3 cuts volume sharply vs Var2 (UO); Var2 only helps");
+    println!("compute where max in-degree is huge (pagerank); Var4 shrinks wait.");
+}

@@ -1,0 +1,34 @@
+//! Figure 6: breakdown of execution time of the D-IrGL variants (IEC) for
+//! the large graphs on 64 P100 GPUs of Bridges.
+
+use dirgl_bench::{print_breakdown, Args, BenchId, Breakdown, LoadedDataset, PartitionCache};
+use dirgl_core::Variant;
+use dirgl_gpusim::Platform;
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+
+fn main() {
+    let args = Args::parse();
+    let platform = Platform::bridges(64);
+    println!("Figure 6: breakdown of D-IrGL variants (IEC), large graphs @ 64 GPUs");
+    for id in DatasetId::LARGE {
+        let ld = LoadedDataset::load(id, args.extra_scale);
+        let mut cache = PartitionCache::new();
+        for bench in BenchId::ALL {
+            let rows: Vec<Breakdown> = Variant::all()
+                .iter()
+                .enumerate()
+                .map(|(vi, variant)| Breakdown {
+                    label: format!("Var{}", vi + 1),
+                    result: dirgl_bench::run_dirgl(
+                        bench, &ld, &mut cache, &platform, Policy::Iec, *variant,
+                    ),
+                })
+                .collect();
+            print_breakdown(&format!("{} / {} @ 64 GPUs", bench.name(), id.name()), &rows);
+        }
+    }
+    println!("\nPaper shape: ALB (Var2+) cuts pagerank compute on clueweb12/uk14");
+    println!("(huge max in-degree); UO (Var3) cuts volume; Var4 loses on bfs/uk14");
+    println!("(redundant rounds on the high-diameter tail) but wins on clueweb12.");
+}

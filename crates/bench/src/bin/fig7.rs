@@ -1,0 +1,61 @@
+//! Figure 7: strong scaling of D-IrGL (Var4) under the four partitioning
+//! policies plus Lux, medium graphs on Bridges.
+
+use dirgl_bench::{bridges_gpu_counts, fmt_result, print_row, Args, BenchId, LoadedDataset, PartitionCache};
+use dirgl_core::Variant;
+use dirgl_gpusim::Platform;
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+use lux_sim::LuxRuntime;
+
+fn main() {
+    let args = Args::parse();
+    let counts = bridges_gpu_counts(args.quick);
+    println!("Figure 7: strong scaling (sec), D-IrGL (Var4) by policy + Lux, medium graphs\n");
+    for id in DatasetId::MEDIUM {
+        let ld = LoadedDataset::load(id, args.extra_scale);
+        let mut cache = PartitionCache::new();
+        for bench in BenchId::ALL {
+            println!("--- {} / {} ---", bench.name(), id.name());
+            let widths = [8usize; 7];
+            let mut header = vec!["series".to_string()];
+            header.extend(counts.iter().map(|c| format!("{c} GPUs")));
+            print_row(&header, &widths);
+            for policy in [Policy::Hvc, Policy::Oec, Policy::Iec, Policy::Cvc] {
+                let mut row = vec![policy.name().to_string()];
+                for &n in &counts {
+                    let r = dirgl_bench::run_dirgl(
+                        bench, &ld, &mut cache, &Platform::bridges(n), policy,
+                        Variant::var4(),
+                    );
+                    row.push(fmt_result(&r));
+                }
+                print_row(&row, &widths);
+            }
+            if matches!(bench, BenchId::Cc | BenchId::Pagerank) {
+                let mut row = vec!["Lux".to_string()];
+                for &n in &counts {
+                    let lux = LuxRuntime::new(Platform::bridges(n), ld.ds.divisor);
+                    let r = match bench {
+                        BenchId::Cc => lux.run_cc(&ld.ds.graph),
+                        BenchId::Pagerank => {
+                            let rounds = dirgl_bench::run_dirgl(
+                                BenchId::Pagerank, &ld, &mut cache, &Platform::bridges(n),
+                                Policy::Iec, Variant::var3(),
+                            )
+                            .map(|o| o.report.rounds)
+                            .unwrap_or(50);
+                            lux.run_pagerank(&ld.ds.graph, rounds)
+                        }
+                        _ => unreachable!(),
+                    };
+                    row.push(fmt_result(&r));
+                }
+                print_row(&row, &widths);
+            }
+            println!();
+        }
+    }
+    println!("Paper shape: CVC scales best for all benchmarks and inputs, and");
+    println!("starts outperforming the other policies at 16 or more GPUs.");
+}

@@ -1,0 +1,32 @@
+//! Figure 8: breakdown of execution time of D-IrGL (Var4) under the four
+//! partitioning policies for the medium graphs on 32 P100 GPUs of Bridges.
+
+use dirgl_bench::{print_breakdown, Args, BenchId, Breakdown, LoadedDataset, PartitionCache};
+use dirgl_core::Variant;
+use dirgl_gpusim::Platform;
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+
+fn main() {
+    let args = Args::parse();
+    let platform = Platform::bridges(32);
+    println!("Figure 8: breakdown of D-IrGL (Var4) by policy, medium graphs @ 32 GPUs");
+    for id in DatasetId::MEDIUM {
+        let ld = LoadedDataset::load(id, args.extra_scale);
+        let mut cache = PartitionCache::new();
+        for bench in BenchId::ALL {
+            let rows: Vec<Breakdown> = [Policy::Hvc, Policy::Oec, Policy::Iec, Policy::Cvc]
+                .iter()
+                .map(|&policy| Breakdown {
+                    label: policy.name().into(),
+                    result: dirgl_bench::run_dirgl(
+                        bench, &ld, &mut cache, &platform, policy, Variant::var4(),
+                    ),
+                })
+                .collect();
+            print_breakdown(&format!("{} / {} @ 32 GPUs", bench.name(), id.name()), &rows);
+        }
+    }
+    println!("\nPaper shape: communication dominates; CVC's communication time is");
+    println!("lowest even when it moves more data (fewer partners).");
+}

@@ -1,0 +1,34 @@
+//! Figure 9: breakdown of execution time of D-IrGL (Var4) under the four
+//! partitioning policies for the large graphs on 64 P100 GPUs of Bridges
+//! (with OOM gaps, as in the paper).
+
+use dirgl_bench::{print_breakdown, Args, BenchId, Breakdown, LoadedDataset, PartitionCache};
+use dirgl_core::Variant;
+use dirgl_gpusim::Platform;
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+
+fn main() {
+    let args = Args::parse();
+    let platform = Platform::bridges(64);
+    println!("Figure 9: breakdown of D-IrGL (Var4) by policy, large graphs @ 64 GPUs");
+    for id in DatasetId::LARGE {
+        let ld = LoadedDataset::load(id, args.extra_scale);
+        let mut cache = PartitionCache::new();
+        for bench in BenchId::ALL {
+            let rows: Vec<Breakdown> = [Policy::Hvc, Policy::Oec, Policy::Iec, Policy::Cvc]
+                .iter()
+                .map(|&policy| Breakdown {
+                    label: policy.name().into(),
+                    result: dirgl_bench::run_dirgl(
+                        bench, &ld, &mut cache, &platform, policy, Variant::var4(),
+                    ),
+                })
+                .collect();
+            print_breakdown(&format!("{} / {} @ 64 GPUs", bench.name(), id.name()), &rows);
+        }
+    }
+    println!("\nPaper shape: statically imbalanced policies OOM on the largest");
+    println!("inputs even though total GPU memory would suffice; CVC communicates");
+    println!("fastest despite higher volume.");
+}

@@ -1,0 +1,151 @@
+//! Single-run driver: run any benchmark on any dataset analogue with any
+//! configuration, and print the full execution report — the `lonestar`-app
+//! equivalent for this workspace.
+//!
+//! ```sh
+//! cargo run --release -p dirgl-bench --bin run -- \
+//!     --bench sssp --input uk07 --gpus 32 --policy cvc --variant var4
+//! ```
+
+use dirgl_bench::{BenchId, LoadedDataset, PartitionCache};
+use dirgl_core::{ExecModel, RunConfig, Variant};
+use dirgl_gpusim::{Balancer, Platform};
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+
+struct Opts {
+    bench: BenchId,
+    input: DatasetId,
+    gpus: u32,
+    policy: Policy,
+    variant: Variant,
+    platform: String,
+    extra_scale: u64,
+    gpudirect: bool,
+    throttle_ms: f64,
+}
+
+fn parse() -> Opts {
+    let mut o = Opts {
+        bench: BenchId::Bfs,
+        input: DatasetId::Rmat23,
+        gpus: 4,
+        policy: Policy::Cvc,
+        variant: Variant::var4(),
+        platform: "bridges".into(),
+        extra_scale: 1,
+        gpudirect: false,
+        throttle_ms: 0.0,
+    };
+    let mut it = std::env::args().skip(1);
+    let usage = "usage: run --bench <bfs|cc|kcore|pagerank|sssp> --input <table1 name> \
+                 [--gpus N] [--policy <oec|iec|hvc|cvc|random|metis>] \
+                 [--variant <var1..var4>] [--platform <bridges|tuxedo>] \
+                 [--scale N] [--gpudirect] [--throttle-ms X]";
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{usage}"));
+        match a.as_str() {
+            "--bench" => {
+                let v = val();
+                o.bench = *BenchId::ALL
+                    .iter()
+                    .find(|b| b.name() == v)
+                    .unwrap_or_else(|| panic!("unknown benchmark {v}"));
+            }
+            "--input" => {
+                let v = val();
+                o.input = *DatasetId::ALL
+                    .iter()
+                    .find(|d| d.name() == v)
+                    .unwrap_or_else(|| panic!("unknown input {v}"));
+            }
+            "--gpus" => o.gpus = val().parse().expect("gpus"),
+            "--policy" => {
+                o.policy = match val().to_lowercase().as_str() {
+                    "oec" => Policy::Oec,
+                    "iec" => Policy::Iec,
+                    "hvc" => Policy::Hvc,
+                    "cvc" => Policy::Cvc,
+                    "random" => Policy::Random,
+                    "metis" | "metislike" => Policy::MetisLike,
+                    p => panic!("unknown policy {p}"),
+                }
+            }
+            "--variant" => {
+                o.variant = match val().to_lowercase().as_str() {
+                    "var1" => Variant::var1(),
+                    "var2" => Variant::var2(),
+                    "var3" => Variant::var3(),
+                    "var4" => Variant::var4(),
+                    v => panic!("unknown variant {v}"),
+                }
+            }
+            "--platform" => o.platform = val(),
+            "--scale" => o.extra_scale = val().parse().expect("scale"),
+            "--gpudirect" => o.gpudirect = true,
+            "--throttle-ms" => o.throttle_ms = val().parse().expect("throttle-ms"),
+            "--help" | "-h" => {
+                println!("{usage}");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}\n{usage}"),
+        }
+    }
+    o
+}
+
+fn main() {
+    let o = parse();
+    let platform = match o.platform.as_str() {
+        "bridges" => Platform::bridges(o.gpus),
+        "tuxedo" => Platform::tuxedo_n(o.gpus),
+        p => panic!("unknown platform {p}"),
+    };
+    println!(
+        "loading {} (extra scale {}) ...",
+        o.input.name(),
+        o.extra_scale
+    );
+    let ld = LoadedDataset::load(o.input, o.extra_scale);
+    println!(
+        "analogue: |V|={} |E|={} divisor={}",
+        ld.ds.graph.num_vertices(),
+        ld.ds.graph.num_edges(),
+        ld.ds.divisor
+    );
+    let mut cfg = RunConfig::new(o.policy, o.variant);
+    cfg.gpudirect = o.gpudirect;
+    cfg.basp_round_gap_secs = o.throttle_ms / 1e3;
+    let mut cache = PartitionCache::new();
+    println!(
+        "running {} / {} / {} ({}{}, {} GPUs on {}) ...",
+        o.bench.name(),
+        o.policy.name(),
+        o.variant.label(),
+        format_args!(
+            "{}+{}",
+            if o.variant.balancer == Balancer::Twc { "TWC" } else { "ALB" },
+            o.variant.comm
+        ),
+        if o.variant.model == ExecModel::Sync { "+Sync" } else { "+Async" },
+        o.gpus,
+        o.platform,
+    );
+    match dirgl_bench::run_dirgl_cfg(o.bench, &ld, &mut cache, &platform, cfg) {
+        Ok(out) => {
+            let r = &out.report;
+            println!("\nexecution report (paper-equivalent units):");
+            println!("  total time        : {}", r.total_time);
+            println!("  max compute       : {}", r.max_compute());
+            println!("  min wait          : {}", r.min_wait());
+            println!("  device comm       : {}", r.device_comm());
+            println!("  comm volume       : {:.3} GB ({} messages)", r.comm_gb(), r.messages);
+            println!("  rounds (min..max) : {}..{}", r.rounds, r.max_rounds);
+            println!("  work items        : {:.3e}", r.work_items as f64);
+            println!("  max device memory : {:.3} GB", r.max_memory() as f64 / 1e9);
+            println!("  dynamic balance   : {:.3}", r.dynamic_balance());
+            println!("  memory balance    : {:.3}", r.memory_balance());
+        }
+        Err(e) => println!("run failed: {e}"),
+    }
+}

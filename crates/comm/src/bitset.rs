@@ -1,0 +1,164 @@
+//! Dense bitsets for update tracking.
+//!
+//! D-IrGL "tracks updates to proxies and only synchronizes the updated
+//! values" (§III-D2). On the GPU this is a device-resident bitset that is
+//! prefix-scanned to extract the updated values; here it is a `u64`-word
+//! bitset whose extraction *cost* is charged through
+//! [`dirgl_gpusim::KernelModel::scan_time`].
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-capacity dense bitset.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DenseBitset {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl DenseBitset {
+    /// An all-zero bitset over `len` positions.
+    pub fn new(len: u32) -> DenseBitset {
+        DenseBitset { words: vec![0; (len as usize).div_ceil(64)], len }
+    }
+
+    /// Capacity in bits.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: u32) {
+        debug_assert!(i < self.len);
+        self.words[(i / 64) as usize] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: u32) {
+        debug_assert!(i < self.len);
+        self.words[(i / 64) as usize] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        debug_assert!(i < self.len);
+        self.words[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Zeroes everything.
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Ascending iterator over set bit positions.
+    pub fn iter_set(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let base = wi as u32 * 64;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &DenseBitset) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Size on the wire: the bitset header UO messages carry.
+    pub fn wire_bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = DenseBitset::new(130);
+        assert!(b.is_empty());
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        assert_eq!(b.count_ones(), 4);
+        b.clear(63);
+        assert!(!b.get(63));
+        assert_eq!(b.count_ones(), 3);
+        b.clear_all();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete() {
+        let mut b = DenseBitset::new(200);
+        let set = [0u32, 5, 63, 64, 65, 127, 128, 199];
+        for &i in &set {
+            b.set(i);
+        }
+        let got: Vec<u32> = b.iter_set().collect();
+        assert_eq!(got, set);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = DenseBitset::new(100);
+        let mut b = DenseBitset::new(100);
+        a.set(3);
+        b.set(70);
+        a.union_with(&b);
+        assert!(a.get(3) && a.get(70));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn wire_bytes_rounds_up_to_words() {
+        assert_eq!(DenseBitset::new(1).wire_bytes(), 8);
+        assert_eq!(DenseBitset::new(64).wire_bytes(), 8);
+        assert_eq!(DenseBitset::new(65).wire_bytes(), 16);
+    }
+
+    #[test]
+    fn zero_length_bitset() {
+        let b = DenseBitset::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.iter_set().count(), 0);
+        assert_eq!(b.wire_bytes(), 0);
+    }
+}

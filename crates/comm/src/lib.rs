@@ -1,0 +1,30 @@
+//! Gluon-style communication substrate (§III-D of the paper).
+//!
+//! Responsibilities:
+//!
+//! * [`clock`] — deterministic virtual time ([`SimTime`]);
+//! * [`bitset`] — dense update-tracking bitsets (the UO optimization's
+//!   data structure) with a modelled GPU prefix-scan extraction cost;
+//! * [`message`] — message size accounting for the AS (all-shared) and UO
+//!   (updated-only) modes, including the memoized-order encoding that
+//!   elides global ids (§III-D2);
+//! * [`plan`] — the synchronization planner: which link entries
+//!   participate in the mirror→master *reduce* and master→mirror
+//!   *broadcast*, derived purely from the partition's structure so the
+//!   paper's per-policy elisions (OEC skips broadcast, IEC skips reduce,
+//!   CVC stays inside grid rows/columns) emerge rather than being
+//!   special-cased;
+//! * [`net`] — the virtual-time transport simulator producing the
+//!   Max Compute / Min Wait / Device Comm. decomposition of Figs. 4–6/8–9.
+
+pub mod bitset;
+pub mod clock;
+pub mod message;
+pub mod net;
+pub mod plan;
+
+pub use bitset::DenseBitset;
+pub use clock::SimTime;
+pub use message::{as_message_bytes, uo_message_bytes, CommMode, VAL_BYTES};
+pub use net::{ExchangeOutcome, NetModel, SendDesc};
+pub use plan::SyncPlan;

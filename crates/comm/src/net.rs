@@ -1,0 +1,316 @@
+//! Virtual-time transport.
+//!
+//! Every message between two devices follows the path the paper describes
+//! (§III-D): sender GPU → sender host over PCIe, sender host → receiver
+//! host over the network (hosts "act as a router for the device"), receiver
+//! host → receiver GPU over PCIe. Links serialize: a device's PCIe lane and
+//! a host's NIC process one message at a time, which is what makes partner
+//! count (and therefore CVC's restricted partner sets) matter beyond raw
+//! volume.
+//!
+//! The optional [`NetModel::direct_device`] flag models the paper's
+//! conclusion-section recommendation — NVIDIA GPUDirect — by skipping the
+//! host staging hops; an ablation benchmark quantifies its effect.
+
+use serde::{Deserialize, Serialize};
+
+use dirgl_gpusim::Platform;
+
+use crate::clock::SimTime;
+
+/// One message to be injected into the network.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SendDesc {
+    /// Sending device.
+    pub from: u32,
+    /// Receiving device.
+    pub to: u32,
+    /// Wire size in (paper-equivalent) bytes.
+    pub bytes: u64,
+    /// Virtual time at which the sender device has the payload ready.
+    pub depart: SimTime,
+}
+
+/// Mutable link-occupancy state, persistent across rounds.
+#[derive(Clone, Debug)]
+pub struct NetState {
+    pcie_out_free: Vec<SimTime>,
+    pcie_in_free: Vec<SimTime>,
+    nic_free: Vec<SimTime>,
+}
+
+impl NetState {
+    /// Fresh idle state for `num_devices` devices on `num_hosts` hosts.
+    pub fn new(num_devices: u32, num_hosts: u32) -> NetState {
+        NetState {
+            pcie_out_free: vec![SimTime::ZERO; num_devices as usize],
+            pcie_in_free: vec![SimTime::ZERO; num_devices as usize],
+            nic_free: vec![SimTime::ZERO; num_hosts as usize],
+        }
+    }
+}
+
+/// Result of delivering one message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Delivery {
+    /// When the payload is applied on the receiving device.
+    pub arrival: SimTime,
+    /// When the sending *device* is done with its part (PCIe upload done) —
+    /// the device is free to compute again after this.
+    pub sender_free: SimTime,
+    /// When the sending *host* finished pushing the message into the
+    /// network (NIC occupancy end).
+    pub host_send_done: SimTime,
+}
+
+/// Timing model bound to one platform.
+#[derive(Clone, Debug)]
+pub struct NetModel {
+    platform: Platform,
+    /// Model GPUDirect: device↔device transfers bypass host staging.
+    pub direct_device: bool,
+}
+
+/// Aggregate outcome of a whole exchange phase (BSP use).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ExchangeOutcome {
+    /// Per device: when all its inbound payloads are applied (its own clock
+    /// if it receives nothing).
+    pub device_done: Vec<SimTime>,
+    /// Per host: blocked time between finishing its sends and the last
+    /// inbound arrival.
+    pub host_wait: Vec<SimTime>,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// Number of messages.
+    pub num_messages: u64,
+}
+
+impl NetModel {
+    /// Creates the model (host-staged transfers, as all frameworks in the
+    /// paper do).
+    pub fn new(platform: Platform) -> NetModel {
+        NetModel { platform, direct_device: false }
+    }
+
+    /// The platform this model times.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Fresh link state for this platform.
+    pub fn new_state(&self) -> NetState {
+        NetState::new(self.platform.num_devices(), self.platform.num_hosts())
+    }
+
+    /// Delivers one message, updating link occupancy.
+    pub fn send(&self, st: &mut NetState, msg: SendDesc) -> Delivery {
+        let c = &self.platform.cluster;
+        let pcie = |bytes: u64| SimTime::from_secs_f64(c.pcie_latency + bytes as f64 / c.pcie_bandwidth);
+        let (hf, ht) = (self.platform.host_of(msg.from), self.platform.host_of(msg.to));
+
+        if self.direct_device {
+            // GPUDirect P2P / RDMA: one hop, no host staging.
+            if hf == ht {
+                let arrival = msg.depart + pcie(msg.bytes);
+                return Delivery { arrival, sender_free: arrival, host_send_done: arrival };
+            }
+            let nic = &mut st.nic_free[hf as usize];
+            let start = msg.depart.max(*nic);
+            let done = start
+                + SimTime::from_secs_f64(c.msg_overhead + msg.bytes as f64 / c.net_bandwidth);
+            *nic = done;
+            let arrival = done + SimTime::from_secs_f64(c.net_latency);
+            return Delivery { arrival, sender_free: done, host_send_done: done };
+        }
+
+        // Hop 1: device -> host over the sender's PCIe lane.
+        let out = &mut st.pcie_out_free[msg.from as usize];
+        let up_start = msg.depart.max(*out);
+        let up_done = up_start + pcie(msg.bytes);
+        *out = up_done;
+
+        // Hop 2: host -> host (skipped within a host: staged in pinned
+        // host memory, which hop 1/3 already price).
+        let (at_recv_host, host_send_done) = if hf == ht {
+            (up_done, up_done)
+        } else {
+            let nic = &mut st.nic_free[hf as usize];
+            let start = up_done.max(*nic);
+            let done = start
+                + SimTime::from_secs_f64(c.msg_overhead + msg.bytes as f64 / c.net_bandwidth);
+            *nic = done;
+            (done + SimTime::from_secs_f64(c.net_latency), done)
+        };
+
+        // Hop 3: host -> device over the receiver's PCIe lane.
+        let inl = &mut st.pcie_in_free[msg.to as usize];
+        let down_start = at_recv_host.max(*inl);
+        let down_done = down_start + pcie(msg.bytes);
+        *inl = down_done;
+
+        Delivery { arrival: down_done, sender_free: up_done, host_send_done }
+    }
+
+    /// Runs a whole barrier-style exchange (all messages known up front) and
+    /// summarizes it per device/host — the BSP communication phase.
+    pub fn exchange(&self, device_clock: &[SimTime], sends: &[SendDesc]) -> ExchangeOutcome {
+        let p = self.platform.num_devices() as usize;
+        let h = self.platform.num_hosts() as usize;
+        let mut st = self.new_state();
+        // Link state starts at each device's clock implicitly via depart.
+        let mut device_done: Vec<SimTime> = device_clock.to_vec();
+        let mut host_send_done: Vec<SimTime> =
+            (0..h).map(|i| host_work_floor(&self.platform, device_clock, i as u32)).collect();
+        let mut host_last_arrival: Vec<SimTime> = vec![SimTime::ZERO; h];
+        let mut sender_free: Vec<SimTime> = device_clock.to_vec();
+        let mut total_bytes = 0u64;
+
+        // Deterministic service order: by departure, then endpoints.
+        let mut order: Vec<&SendDesc> = sends.iter().collect();
+        order.sort_by_key(|m| (m.depart, m.from, m.to));
+
+        for msg in order {
+            let d = self.send(&mut st, *msg);
+            total_bytes += msg.bytes;
+            let hf = self.platform.host_of(msg.from) as usize;
+            let ht = self.platform.host_of(msg.to) as usize;
+            device_done[msg.to as usize] = device_done[msg.to as usize].max(d.arrival);
+            sender_free[msg.from as usize] = sender_free[msg.from as usize].max(d.sender_free);
+            host_send_done[hf] = host_send_done[hf].max(d.host_send_done);
+            host_last_arrival[ht] = host_last_arrival[ht].max(d.arrival);
+        }
+        // A sender is not "done" until its uploads finish even if it
+        // receives nothing.
+        for dev in 0..p {
+            device_done[dev] = device_done[dev].max(sender_free[dev]);
+        }
+        let host_wait = (0..h)
+            .map(|i| host_last_arrival[i].saturating_sub(host_send_done[i]))
+            .collect();
+        ExchangeOutcome {
+            device_done,
+            host_wait,
+            total_bytes,
+            num_messages: sends.len() as u64,
+        }
+    }
+}
+
+/// The earliest a host can be considered "done with its own work": the
+/// latest compute-finish among its devices.
+fn host_work_floor(platform: &Platform, device_clock: &[SimTime], host: u32) -> SimTime {
+    (0..platform.num_devices())
+        .filter(|&d| platform.host_of(d) == host)
+        .map(|d| device_clock[d as usize])
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(n: u32) -> NetModel {
+        NetModel::new(Platform::bridges(n))
+    }
+
+    #[test]
+    fn single_message_path_times_add_up() {
+        let m = model(4);
+        let mut st = m.new_state();
+        let c = m.platform().cluster;
+        // Cross-host: device 0 (host 0) -> device 2 (host 1).
+        let d = m.send(
+            &mut st,
+            SendDesc { from: 0, to: 2, bytes: 1_000_000, depart: SimTime::ZERO },
+        );
+        let pcie = c.pcie_latency + 1e6 / c.pcie_bandwidth;
+        let net = c.msg_overhead + 1e6 / c.net_bandwidth + c.net_latency;
+        let expect = 2.0 * pcie + net;
+        assert!((d.arrival.as_secs_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_host_skips_the_nic() {
+        let m = model(4);
+        let mut st1 = m.new_state();
+        let mut st2 = m.new_state();
+        let same = m.send(
+            &mut st1,
+            SendDesc { from: 0, to: 1, bytes: 1_000_000, depart: SimTime::ZERO },
+        );
+        let cross = m.send(
+            &mut st2,
+            SendDesc { from: 0, to: 2, bytes: 1_000_000, depart: SimTime::ZERO },
+        );
+        assert!(same.arrival < cross.arrival);
+    }
+
+    #[test]
+    fn nic_serializes_messages() {
+        let m = model(8);
+        let mut st = m.new_state();
+        let a = m.send(&mut st, SendDesc { from: 0, to: 2, bytes: 10_000_000, depart: SimTime::ZERO });
+        // Second message from the same host must queue behind the first on
+        // the NIC even though it comes from the other device.
+        let b = m.send(&mut st, SendDesc { from: 1, to: 4, bytes: 10_000_000, depart: SimTime::ZERO });
+        assert!(b.host_send_done > a.host_send_done);
+        assert!(b.arrival > a.arrival);
+    }
+
+    #[test]
+    fn gpudirect_is_faster() {
+        let mut m = model(4);
+        let msg = SendDesc { from: 0, to: 2, bytes: 4_000_000, depart: SimTime::ZERO };
+        let staged = m.send(&mut m.new_state(), msg);
+        m.direct_device = true;
+        let direct = m.send(&mut m.new_state(), msg);
+        assert!(direct.arrival < staged.arrival);
+    }
+
+    #[test]
+    fn exchange_reports_waits_and_volume() {
+        let m = model(4);
+        let clocks = vec![SimTime::ZERO; 4];
+        let sends = vec![
+            SendDesc { from: 0, to: 2, bytes: 1_000_000, depart: SimTime::ZERO },
+            SendDesc { from: 2, to: 0, bytes: 8_000_000, depart: SimTime::ZERO },
+        ];
+        let out = m.exchange(&clocks, &sends);
+        assert_eq!(out.total_bytes, 9_000_000);
+        assert_eq!(out.num_messages, 2);
+        // Host 0 receives the big message: it waits longer than host 1.
+        assert!(out.host_wait[0] > out.host_wait[1]);
+        assert!(out.device_done[0] > out.device_done[1]);
+    }
+
+    #[test]
+    fn exchange_with_no_messages_is_instant() {
+        let m = model(2);
+        let clocks = vec![SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(2.0)];
+        let out = m.exchange(&clocks, &[]);
+        assert_eq!(out.device_done, clocks);
+        assert_eq!(out.total_bytes, 0);
+        assert!(out.host_wait.iter().all(|&w| w == SimTime::ZERO));
+    }
+
+    #[test]
+    fn more_partners_cost_more_overhead_at_equal_volume() {
+        // Same volume split over 1 vs 7 partners from one host: the
+        // per-message overhead makes many partners slower.
+        let m = model(16);
+        let clocks = vec![SimTime::ZERO; 16];
+        let one = m.exchange(
+            &clocks,
+            &[SendDesc { from: 0, to: 14, bytes: 700_000, depart: SimTime::ZERO }],
+        );
+        let many: Vec<SendDesc> = (1..8)
+            .map(|i| SendDesc { from: 0, to: 2 * i + 1, bytes: 100_000, depart: SimTime::ZERO })
+            .collect();
+        let spread = m.exchange(&clocks, &many);
+        let t1 = one.device_done.iter().max().unwrap().as_secs_f64();
+        let t7 = spread.device_done.iter().max().unwrap().as_secs_f64();
+        assert!(t7 > t1, "one={t1} seven={t7}");
+    }
+}

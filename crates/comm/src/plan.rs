@@ -1,0 +1,197 @@
+//! The synchronization planner.
+//!
+//! A reduce (mirror→master) followed by a broadcast (master→mirror) always
+//! suffices (§III-D1), but most of it can be elided: a mirror only needs to
+//! be **reduced** if the program can have written it, and only needs the
+//! **broadcast** if the program will read it. Where writes and reads happen
+//! is a property of the operator (push programs read the edge source and
+//! write the edge destination), and whether a given mirror has local
+//! out-/in-edges is a property of the partition. Filtering the exchange
+//! links by those two facts reproduces every optimization in the paper
+//! without special cases:
+//!
+//! * **OEC** (+ push): mirrors never have out-edges → every broadcast list
+//!   is empty → broadcast skipped;
+//! * **IEC** (+ push): mirrors never have in-edges → reduce skipped;
+//! * **CVC**: mirrors with in-edges share the master's grid column and
+//!   mirrors with out-edges its grid row → reduce/broadcast partner sets
+//!   collapse from all-to-all to one grid column/row.
+
+use serde::{Deserialize, Serialize};
+
+use dirgl_partition::Partition;
+
+/// Precomputed participant sets for one (program, partition) pairing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SyncPlan {
+    num_devices: u32,
+    /// For pair `(holder, owner)` at `holder * P + owner`: indices into the
+    /// pair's link entries whose mirror may be written — the reduce set.
+    reduce_entries: Vec<Vec<u32>>,
+    /// Same indexing: entries whose mirror is read — the broadcast set.
+    bcast_entries: Vec<Vec<u32>>,
+}
+
+impl SyncPlan {
+    /// Builds the plan for a program that reads at the edge source iff
+    /// `read_at_src` and writes at the edge destination iff `write_at_dst`.
+    /// (All five paper benchmarks read at source and write at destination,
+    /// in both their push and pull formulations.)
+    pub fn build(part: &Partition, read_at_src: bool, write_at_dst: bool) -> SyncPlan {
+        let p = part.num_devices;
+        let mut reduce_entries = Vec::with_capacity((p * p) as usize);
+        let mut bcast_entries = Vec::with_capacity((p * p) as usize);
+        for holder in 0..p {
+            for owner in 0..p {
+                let link = part.link(holder, owner);
+                if holder == owner || link.is_empty() {
+                    reduce_entries.push(Vec::new());
+                    bcast_entries.push(Vec::new());
+                    continue;
+                }
+                reduce_entries.push(link.written_entries(write_at_dst));
+                bcast_entries.push(link.read_entries(read_at_src));
+            }
+        }
+        SyncPlan { num_devices: p, reduce_entries, bcast_entries }
+    }
+
+    /// Reduce participant entries for `(holder, owner)`.
+    #[inline]
+    pub fn reduce(&self, holder: u32, owner: u32) -> &[u32] {
+        &self.reduce_entries[(holder * self.num_devices + owner) as usize]
+    }
+
+    /// Broadcast participant entries for `(holder, owner)`.
+    #[inline]
+    pub fn bcast(&self, holder: u32, owner: u32) -> &[u32] {
+        &self.bcast_entries[(holder * self.num_devices + owner) as usize]
+    }
+
+    /// Total shared proxies the plan can ever move (both directions), for
+    /// communication-buffer memory accounting on each device.
+    pub fn buffer_entries_for_device(&self, dev: u32) -> u64 {
+        let p = self.num_devices;
+        let mut total = 0u64;
+        for other in 0..p {
+            if other == dev {
+                continue;
+            }
+            // dev as mirror holder (sends reduce, receives broadcast)...
+            total += self.reduce(dev, other).len() as u64;
+            total += self.bcast(dev, other).len() as u64;
+            // ...and as master owner (receives reduce, sends broadcast).
+            total += self.reduce(other, dev).len() as u64;
+            total += self.bcast(other, dev).len() as u64;
+        }
+        total
+    }
+
+    /// True when no reduce message exists anywhere (e.g. IEC + push).
+    pub fn reduce_is_elided(&self) -> bool {
+        self.reduce_entries.iter().all(|e| e.is_empty())
+    }
+
+    /// True when no broadcast message exists anywhere (e.g. OEC + push).
+    pub fn bcast_is_elided(&self) -> bool {
+        self.bcast_entries.iter().all(|e| e.is_empty())
+    }
+
+    /// Distinct devices this device exchanges at least one message with.
+    pub fn partner_count(&self, dev: u32) -> u32 {
+        (0..self.num_devices)
+            .filter(|&o| {
+                o != dev
+                    && (!self.reduce(dev, o).is_empty()
+                        || !self.bcast(dev, o).is_empty()
+                        || !self.reduce(o, dev).is_empty()
+                        || !self.bcast(o, dev).is_empty())
+            })
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirgl_graph::RmatConfig;
+    use dirgl_partition::Policy;
+
+    fn graph() -> dirgl_graph::Csr {
+        RmatConfig::new(10, 8).seed(11).generate()
+    }
+
+    #[test]
+    fn oec_elides_broadcast_for_push() {
+        let part = Partition::build(&graph(), Policy::Oec, 8, 0);
+        let plan = SyncPlan::build(&part, true, true);
+        assert!(plan.bcast_is_elided());
+        assert!(!plan.reduce_is_elided());
+    }
+
+    #[test]
+    fn iec_elides_reduce_for_push() {
+        let part = Partition::build(&graph(), Policy::Iec, 8, 0);
+        let plan = SyncPlan::build(&part, true, true);
+        assert!(plan.reduce_is_elided());
+        assert!(!plan.bcast_is_elided());
+    }
+
+    #[test]
+    fn hvc_needs_both_directions() {
+        let part = Partition::build(&graph(), Policy::Hvc, 8, 0);
+        let plan = SyncPlan::build(&part, true, true);
+        assert!(!plan.reduce_is_elided());
+        assert!(!plan.bcast_is_elided());
+    }
+
+    #[test]
+    fn cvc_partners_are_fewer_than_all_to_all() {
+        let g = graph();
+        let cvc = Partition::build(&g, Policy::Cvc, 16, 0);
+        let hvc = Partition::build(&g, Policy::Hvc, 16, 0);
+        let plan_cvc = SyncPlan::build(&cvc, true, true);
+        let plan_hvc = SyncPlan::build(&hvc, true, true);
+        // On a 4x4 grid each device talks to its row + column: <= 6 partners
+        // versus up to 15 under an unstructured vertex cut.
+        let max_cvc = (0..16).map(|d| plan_cvc.partner_count(d)).max().unwrap();
+        let max_hvc = (0..16).map(|d| plan_hvc.partner_count(d)).max().unwrap();
+        assert!(max_cvc <= 6, "cvc partners {max_cvc}");
+        assert!(max_hvc > 10, "hvc partners {max_hvc}");
+    }
+
+    #[test]
+    fn reduce_and_bcast_reference_valid_entries() {
+        let part = Partition::build(&graph(), Policy::Cvc, 8, 0);
+        let plan = SyncPlan::build(&part, true, true);
+        for holder in 0..8 {
+            for owner in 0..8 {
+                let link = part.link(holder, owner);
+                for &e in plan.reduce(holder, owner) {
+                    assert!((e as usize) < link.len());
+                    assert!(link.mirror_has_in[e as usize]);
+                }
+                for &e in plan.bcast(holder, owner) {
+                    assert!((e as usize) < link.len());
+                    assert!(link.mirror_has_out[e as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_accounting_is_symmetric_in_total() {
+        let part = Partition::build(&graph(), Policy::Cvc, 4, 0);
+        let plan = SyncPlan::build(&part, true, true);
+        let total: u64 = (0..4).map(|d| plan.buffer_entries_for_device(d)).sum();
+        // Every entry is counted once on the holder side and once on the
+        // owner side.
+        let mut expect = 0u64;
+        for h in 0..4 {
+            for o in 0..4 {
+                expect += 2 * (plan.reduce(h, o).len() + plan.bcast(h, o).len()) as u64;
+            }
+        }
+        assert_eq!(total, expect);
+    }
+}

@@ -1,0 +1,235 @@
+//! The bulk-synchronous (BSP) driver (§III-B).
+//!
+//! Execution proceeds in global rounds: every device computes on its
+//! partition, then a reduce exchange (mirror→master), a master absorb, and
+//! a broadcast exchange (master→mirror) synchronize the proxies. There is
+//! no explicit global barrier — stragglers propagate through message
+//! arrival times, exactly as in MPI-based Gluon — but round *content* is
+//! globally aligned, which is what makes BSP deterministic.
+
+use rayon::prelude::*;
+
+use dirgl_comm::{NetModel, SendDesc, SimTime};
+use dirgl_comm::SyncPlan;
+use dirgl_partition::Partition;
+
+use crate::config::RunConfig;
+use crate::device::DeviceRun;
+
+/// A built sync payload awaiting application: (sender, receiver, values).
+type Payloads<W> = Vec<(u32, u32, Vec<(u32, W)>)>;
+use crate::program::{Style, VertexProgram};
+
+/// Raw outcome of a BSP run, consumed by the runtime's report assembly.
+pub struct EngineOutcome {
+    /// Final per-device clocks; the max is the execution time.
+    pub clocks: Vec<SimTime>,
+    /// Accumulated per-host blocking time.
+    pub host_wait: Vec<SimTime>,
+    /// Paper-equivalent bytes moved.
+    pub comm_bytes: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Minimum local rounds across devices (== global rounds under BSP).
+    pub min_rounds: u32,
+    /// Maximum local rounds across devices.
+    pub max_rounds: u32,
+}
+
+/// Per-round cost of the distributed termination check (an allreduce over
+/// the hosts).
+pub(crate) fn termination_check_cost(net: &NetModel) -> SimTime {
+    let hosts = net.platform().num_hosts();
+    if hosts <= 1 {
+        return SimTime::ZERO;
+    }
+    let c = net.platform().cluster;
+    let hops = (hosts as f64).log2().ceil().max(1.0);
+    SimTime::from_secs_f64(c.msg_overhead + c.net_latency * hops)
+}
+
+/// Runs `program` to convergence under BSP.
+pub fn run_bsp<P: VertexProgram>(
+    program: &P,
+    devices: &mut [DeviceRun<P>],
+    part: &Partition,
+    plan: &SyncPlan,
+    net: &NetModel,
+    config: &RunConfig,
+) -> EngineOutcome {
+    let p = devices.len();
+    let mode = config.variant.comm;
+    let divisor = config.scale_divisor;
+    let balancer = config.variant.balancer;
+    let hybrid = program.style() == Style::HybridPushPull;
+    let topo = matches!(
+        program.style(),
+        Style::PullTopologyDriven | Style::PushTopologyDriven
+    );
+    let total_vertices: u64 = devices.iter().map(|d| d.lg.num_masters as u64).sum();
+    let term_cost = termination_check_cost(net)
+        + SimTime::from_secs_f64(config.runtime_round_overhead_secs);
+
+    let mut clocks = vec![SimTime::ZERO; p];
+    let mut host_wait = vec![SimTime::ZERO; net.platform().num_hosts() as usize];
+    let mut comm_bytes = 0u64;
+    let mut messages = 0u64;
+    let mut rounds = 0u32;
+
+    loop {
+        program.on_round_start(rounds);
+        // --- Direction decision (hybrid programs): a global per-round
+        // choice, like Gunrock's direction-optimizing alpha test.
+        let use_pull = hybrid && {
+            let frontier: u64 = devices.iter().map(|d| d.active_count()).sum();
+            program.pull_when(frontier, total_vertices)
+        };
+        // --- Compute phase (devices in parallel; each sequential inside).
+        let times: Vec<SimTime> = devices
+            .par_iter_mut()
+            .map(|d| {
+                if use_pull {
+                    d.compute_bottom_up(program, balancer, divisor)
+                } else if topo || d.has_work() {
+                    d.compute(program, balancer, divisor)
+                } else {
+                    SimTime::ZERO
+                }
+            })
+            .collect();
+        for (c, t) in clocks.iter_mut().zip(&times) {
+            *c += *t;
+        }
+
+        // --- Reduce exchange: mirrors -> masters.
+        let mut sends: Vec<SendDesc> = Vec::new();
+        let mut payloads: Payloads<P::Wire> = Vec::new();
+        let mut packed = vec![false; p];
+        for holder in 0..p as u32 {
+            for owner in 0..p as u32 {
+                if holder == owner {
+                    continue;
+                }
+                let entries = plan.reduce(holder, owner);
+                if entries.is_empty() {
+                    continue;
+                }
+                let link = part.link(holder, owner);
+                // Even an empty payload is sent: under BSP every host
+                // waits to hear from each of its partners every round, so
+                // UO messages carry at least the presence bitset. This
+                // per-partner cost is what makes CVC's restricted partner
+                // sets matter (SIII-D1).
+                let (payload, bytes) =
+                    devices[holder as usize].build_reduce(program, link, entries, mode, divisor);
+                if !packed[holder as usize] {
+                    packed[holder as usize] = true;
+                    clocks[holder as usize] += devices[holder as usize].pack_time(mode, divisor);
+                }
+                sends.push(SendDesc {
+                    from: holder,
+                    to: owner,
+                    bytes,
+                    depart: clocks[holder as usize],
+                });
+                payloads.push((holder, owner, payload));
+            }
+        }
+        exchange_and_apply(
+            devices, net, &mut clocks, &mut host_wait, &mut comm_bytes, &mut messages, sends,
+        );
+        for (holder, owner, payload) in payloads {
+            let link = part.link(holder, owner);
+            devices[owner as usize].apply_reduce(program, link, &payload);
+        }
+
+        // --- Absorb: masters fold accumulators once per round.
+        let changed: u32 = devices.par_iter_mut().map(|d| d.absorb_masters(program)).sum();
+
+        // --- Broadcast exchange: masters -> mirrors.
+        let mut sends: Vec<SendDesc> = Vec::new();
+        let mut payloads: Payloads<P::Wire> = Vec::new();
+        let mut packed = vec![false; p];
+        for owner in 0..p as u32 {
+            for holder in 0..p as u32 {
+                if holder == owner {
+                    continue;
+                }
+                let entries = plan.bcast(holder, owner);
+                if entries.is_empty() {
+                    continue;
+                }
+                let link = part.link(holder, owner);
+                let (payload, bytes) =
+                    devices[owner as usize].build_broadcast(program, link, entries, mode, divisor, false);
+                if !packed[owner as usize] {
+                    packed[owner as usize] = true;
+                    clocks[owner as usize] += devices[owner as usize].pack_time(mode, divisor);
+                }
+                sends.push(SendDesc {
+                    from: owner,
+                    to: holder,
+                    bytes,
+                    depart: clocks[owner as usize],
+                });
+                payloads.push((owner, holder, payload));
+            }
+        }
+        exchange_and_apply(
+            devices, net, &mut clocks, &mut host_wait, &mut comm_bytes, &mut messages, sends,
+        );
+        for (owner, holder, payload) in payloads {
+            let link = part.link(holder, owner);
+            devices[holder as usize].apply_broadcast(program, link, &payload, false);
+        }
+
+        // --- Round end: clear update tracking, pay the termination check.
+        devices.iter_mut().for_each(|d| d.clear_sync_marks());
+        for c in clocks.iter_mut() {
+            *c += term_cost;
+        }
+        rounds += 1;
+
+        let work_left = match program.style() {
+            Style::PullTopologyDriven => changed > 0,
+            // Round-gated: runs for exactly max_rounds rounds.
+            Style::PushTopologyDriven => true,
+            _ => devices.iter().any(|d| d.has_work()),
+        };
+        if !work_left || rounds >= program.max_rounds() {
+            break;
+        }
+    }
+
+    EngineOutcome {
+        clocks,
+        host_wait,
+        comm_bytes,
+        messages,
+        min_rounds: rounds,
+        max_rounds: rounds,
+    }
+}
+
+/// Runs one exchange through the network model and folds its timing into
+/// the running clocks/waits.
+fn exchange_and_apply<P: VertexProgram>(
+    _devices: &mut [DeviceRun<P>],
+    net: &NetModel,
+    clocks: &mut [SimTime],
+    host_wait: &mut [SimTime],
+    comm_bytes: &mut u64,
+    messages: &mut u64,
+    sends: Vec<SendDesc>,
+) {
+    if sends.is_empty() {
+        return;
+    }
+    let outcome = net.exchange(clocks, &sends);
+    clocks.copy_from_slice(&outcome.device_done);
+    for (w, o) in host_wait.iter_mut().zip(&outcome.host_wait) {
+        *w += *o;
+    }
+    *comm_bytes += outcome.total_bytes;
+    *messages += outcome.num_messages;
+}

@@ -1,0 +1,459 @@
+//! Per-device execution state shared by the BSP and BASP drivers.
+//!
+//! A [`DeviceRun`] owns one partition's proxies and labels and performs the
+//! *real* computation (label updates) while charging *simulated* time
+//! through [`dirgl_gpusim::KernelModel`]. Each device's round is executed
+//! sequentially (devices run in parallel via rayon), which keeps the whole
+//! simulation bit-for-bit deterministic.
+
+use dirgl_comm::{message, CommMode, DenseBitset, SimTime, SyncPlan};
+use dirgl_gpusim::{Balancer, GpuSpec, KernelModel};
+use dirgl_partition::{LocalGraph, PairLink};
+
+use crate::program::{InitCtx, Style, VertexProgram};
+
+/// One device's live state during a run.
+pub struct DeviceRun<P: VertexProgram> {
+    /// Device index.
+    pub dev: u32,
+    /// The partition this device owns.
+    pub lg: LocalGraph,
+    /// Per-proxy program state.
+    pub state: Vec<P::State>,
+    /// Data-driven worklist (which local proxies are active).
+    pub active: DenseBitset,
+    /// Proxies whose *accumulator* was written since the last
+    /// synchronization — the reduce set (mirror side) and absorb
+    /// candidates (master side).
+    pub updated: DenseBitset,
+    /// Masters whose *canonical* value changed since the last
+    /// synchronization — the broadcast set. Kept separate from `updated`
+    /// so that receiving a delta that does not change the canonical value
+    /// never triggers a broadcast (which would cause endless wake chatter
+    /// under BASP).
+    pub bcast_dirty: DenseBitset,
+    /// Timing model for this device.
+    pub kernel: KernelModel,
+    /// Accumulated kernel time.
+    pub compute_time: SimTime,
+    /// Accumulated idle/blocked time (BASP).
+    pub idle_time: SimTime,
+    /// Local rounds executed.
+    pub rounds: u32,
+    /// Paper-equivalent work items processed.
+    pub work_items: u64,
+    /// Paper-equivalent peak device memory.
+    pub peak_memory: u64,
+}
+
+impl<P: VertexProgram> DeviceRun<P> {
+    /// Initializes device state from a partition and the program.
+    pub fn new(lg: LocalGraph, spec: GpuSpec, program: &P, ctx: &InitCtx<'_>) -> DeviceRun<P> {
+        let n = lg.num_vertices();
+        let mut state = Vec::with_capacity(n as usize);
+        let mut active = DenseBitset::new(n);
+        for lv in 0..n {
+            let gv = lg.l2g[lv as usize];
+            state.push(program.init_state(gv, ctx));
+            if !matches!(program.style(), Style::PullTopologyDriven | Style::PushTopologyDriven)
+                && program.initially_active(gv, ctx)
+            {
+                active.set(lv);
+            }
+        }
+        DeviceRun {
+            dev: lg.device,
+            lg,
+            state,
+            active,
+            updated: DenseBitset::new(n),
+            bcast_dirty: DenseBitset::new(n),
+            kernel: KernelModel::new(spec),
+            compute_time: SimTime::ZERO,
+            idle_time: SimTime::ZERO,
+            rounds: 0,
+            work_items: 0,
+            peak_memory: 0,
+        }
+    }
+
+    /// Paper-equivalent bytes this device must allocate to run `program`
+    /// with `plan` (CSR + labels + bitsets + worklist + comm buffers).
+    pub fn required_bytes(
+        lg: &LocalGraph,
+        plan: &SyncPlan,
+        program: &P,
+        state_bytes: u64,
+        divisor: u64,
+    ) -> u64 {
+        let style = program.style();
+        let n = lg.num_vertices() as u64;
+        // Only the arrays the program traverses are loaded: push programs
+        // hold the out-CSR, pull programs the in-CSR, hybrid both; weights
+        // ship only for weight-reading programs (sssp).
+        let mut raw = lg.device_bytes_for(
+            state_bytes,
+            style != Style::PullTopologyDriven,
+            matches!(style, Style::PullTopologyDriven | Style::HybridPushPull),
+            program.uses_weights(),
+        );
+        raw += 2 * n.div_ceil(8); // active + updated bitsets
+        if style != Style::PullTopologyDriven {
+            raw += 4 * n; // worklist
+        }
+        raw += plan.buffer_entries_for_device(lg.device) * message::VAL_BYTES * 2;
+        raw * divisor
+    }
+
+    /// True when this device has local work pending.
+    pub fn has_work(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Runs one compute phase: applies the operator over the active set
+    /// (push) or all vertices (pull), accumulating into local proxies only.
+    /// Returns the simulated kernel time.
+    pub fn compute(&mut self, program: &P, balancer: Balancer, work_scale: u64) -> SimTime {
+        let t = match program.style() {
+            Style::PushDataDriven | Style::HybridPushPull => {
+                self.compute_push(program, balancer, work_scale)
+            }
+            Style::PushTopologyDriven => {
+                // Every vertex is processed every round.
+                for lv in 0..self.lg.num_vertices() {
+                    self.active.set(lv);
+                }
+                self.compute_push(program, balancer, work_scale)
+            }
+            Style::PullTopologyDriven => self.compute_pull(program, balancer, work_scale),
+        };
+        let t = SimTime::from_secs_f64(t);
+        self.compute_time += t;
+        self.rounds += 1;
+        t
+    }
+
+    fn compute_push(&mut self, program: &P, balancer: Balancer, work_scale: u64) -> f64 {
+        let actives: Vec<u32> = self.active.iter_set().collect();
+        self.active.clear_all();
+        let kr = self.kernel.launch(
+            balancer,
+            actives.iter().map(|&lv| self.lg.csr.out_degree(lv)),
+            work_scale,
+        );
+        self.work_items += kr.work.total_work;
+        for &lv in &actives {
+            let before = self.state[lv as usize];
+            let mut src = before;
+            let push = program.begin_push(&mut src);
+            self.state[lv as usize] = src;
+            // begin_push may flip canonical state (kcore's death): masters
+            // must rebroadcast it.
+            if src != before && self.lg.is_master(lv) {
+                self.bcast_dirty.set(lv);
+            }
+            if !push {
+                continue;
+            }
+            // Iterate this proxy's local out-edges, accumulating into the
+            // local destination proxies.
+            let lo = self.lg.csr.offsets()[lv as usize] as usize;
+            let hi = self.lg.csr.offsets()[lv as usize + 1] as usize;
+            for i in lo..hi {
+                let n = self.lg.csr.targets()[i];
+                let w = self.lg.csr.weights().map_or(0, |ws| ws[i]);
+                if let Some(m) = program.edge_msg(&src, w) {
+                    if program.accumulate(&mut self.state[n as usize], m) {
+                        self.updated.set(n);
+                    }
+                }
+            }
+        }
+        kr.time
+    }
+
+    fn compute_pull(&mut self, program: &P, balancer: Balancer, work_scale: u64) -> f64 {
+        let n = self.lg.num_vertices();
+        let kr = self.kernel.launch(
+            balancer,
+            (0..n).map(|lv| self.lg.in_csr.out_degree(lv)),
+            work_scale,
+        );
+        self.work_items += kr.work.total_work;
+        for lv in 0..n {
+            let lo = self.lg.in_csr.offsets()[lv as usize] as usize;
+            let hi = self.lg.in_csr.offsets()[lv as usize + 1] as usize;
+            if lo == hi {
+                continue;
+            }
+            let mut changed = false;
+            // Accumulate into a local copy so reads of other entries are
+            // unaffected within the round.
+            let mut st = self.state[lv as usize];
+            for i in lo..hi {
+                let u = self.lg.in_csr.targets()[i];
+                let w = self.lg.in_csr.weights().map_or(0, |ws| ws[i]);
+                if let Some(c) = program.pull_contribution(&self.state[u as usize], w) {
+                    changed |= program.accumulate(&mut st, c);
+                }
+            }
+            self.state[lv as usize] = st;
+            if changed {
+                self.updated.set(lv);
+            }
+        }
+        kr.time
+    }
+
+    /// Bottom-up round for hybrid programs (direction-optimizing BFS):
+    /// instead of expanding the frontier, every still-unsettled vertex
+    /// ([`VertexProgram::pull_ready`]) scans its local in-edges for a
+    /// settled parent. The frontier is consumed; newly settled vertices
+    /// activate through the normal absorb/broadcast path.
+    pub fn compute_bottom_up(&mut self, program: &P, balancer: Balancer, work_scale: u64) -> SimTime {
+        self.active.clear_all();
+        // Scan with early exit: each unsettled vertex probes its in-edges
+        // until the first settled parent (in a synchronous round every
+        // settled in-neighbor of an unsettled vertex carries the current
+        // level, so the first hit is also the minimum). Only the probes
+        // are charged — the whole point of bottom-up traversal.
+        let mut probes: Vec<u32> = Vec::new();
+        for lv in 0..self.lg.num_vertices() {
+            if !program.pull_ready(&self.state[lv as usize]) {
+                continue;
+            }
+            let lo = self.lg.in_csr.offsets()[lv as usize] as usize;
+            let hi = self.lg.in_csr.offsets()[lv as usize + 1] as usize;
+            let mut st = self.state[lv as usize];
+            let mut probed = 0u32;
+            for i in lo..hi {
+                probed += 1;
+                let u = self.lg.in_csr.targets()[i];
+                let w = self.lg.in_csr.weights().map_or(0, |ws| ws[i]);
+                if let Some(m) = program.edge_msg(&self.state[u as usize], w) {
+                    if program.accumulate(&mut st, m) {
+                        self.updated.set(lv);
+                    }
+                    break;
+                }
+            }
+            self.state[lv as usize] = st;
+            probes.push(probed);
+        }
+        let kr = self.kernel.launch(balancer, probes.iter().copied(), work_scale);
+        self.work_items += kr.work.total_work;
+        let t = SimTime::from_secs_f64(kr.time);
+        self.compute_time += t;
+        self.rounds += 1;
+        t
+    }
+
+    /// Global frontier contribution for the hybrid direction decision.
+    pub fn active_count(&self) -> u64 {
+        self.active.count_ones() as u64
+    }
+
+    /// Absorb phase: folds accumulators into canonical state on masters.
+    /// For data-driven programs only updated masters absorb; topology-driven
+    /// programs absorb every master exactly once per round. Changed masters
+    /// re-activate. Returns the number of masters whose canonical state
+    /// changed.
+    pub fn absorb_masters(&mut self, program: &P) -> u32 {
+        let mut changed = 0;
+        match program.style() {
+            Style::PushDataDriven | Style::HybridPushPull | Style::PushTopologyDriven => {
+                let updated: Vec<u32> =
+                    self.updated.iter_set().take_while(|&lv| lv < self.lg.num_masters).collect();
+                for lv in updated {
+                    if program.absorb(&mut self.state[lv as usize]) {
+                        self.active.set(lv);
+                        self.bcast_dirty.set(lv);
+                        changed += 1;
+                    }
+                }
+            }
+            Style::PullTopologyDriven => {
+                for lv in 0..self.lg.num_masters {
+                    if program.absorb(&mut self.state[lv as usize]) {
+                        self.bcast_dirty.set(lv);
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Builds the reduce payload for one link: `(entry index, delta)` pairs
+    /// plus the wire size (paper-equivalent bytes). Under UO only updated
+    /// mirrors are extracted; under AS every participating entry is sent.
+    pub fn build_reduce(
+        &mut self,
+        program: &P,
+        link: &PairLink,
+        entries: &[u32],
+        mode: CommMode,
+        divisor: u64,
+    ) -> (Vec<(u32, P::Wire)>, u64) {
+        let mut payload = Vec::new();
+        for &e in entries {
+            let lv = link.mirror_side[e as usize];
+            if mode == CommMode::AllShared || self.updated.get(lv) {
+                payload.push((e, program.take_delta(&mut self.state[lv as usize])));
+            }
+        }
+        let bytes =
+            message::message_bytes(mode, entries.len() as u64, payload.len() as u64, message::VAL_BYTES)
+                * divisor;
+        (payload, bytes)
+    }
+
+    /// Applies a reduce payload on the master side, accumulating deltas and
+    /// marking recipients updated. Returns true if anything changed.
+    pub fn apply_reduce(&mut self, program: &P, link: &PairLink, payload: &[(u32, P::Wire)]) -> bool {
+        let mut any = false;
+        for &(e, v) in payload {
+            let lv = link.master_side[e as usize];
+            if program.accumulate(&mut self.state[lv as usize], v) {
+                self.updated.set(lv);
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Builds the broadcast payload for one link (master side): canonical
+    /// values of updated (UO) or all (AS) participating masters.
+    pub fn build_broadcast(
+        &mut self,
+        program: &P,
+        link: &PairLink,
+        entries: &[u32],
+        mode: CommMode,
+        divisor: u64,
+        async_take: bool,
+    ) -> (Vec<(u32, P::Wire)>, u64) {
+        let mut payload = Vec::new();
+        for &e in entries {
+            let lv = link.master_side[e as usize];
+            if mode == CommMode::AllShared || self.bcast_dirty.get(lv) {
+                let v = if async_take {
+                    program.canonical_async(&self.state[lv as usize])
+                } else {
+                    program.canonical(&self.state[lv as usize])
+                };
+                payload.push((e, v));
+            }
+        }
+        let bytes =
+            message::message_bytes(mode, entries.len() as u64, payload.len() as u64, message::VAL_BYTES)
+                * divisor;
+        (payload, bytes)
+    }
+
+    /// Applies a broadcast payload on the mirror side; changed mirrors
+    /// activate (data-driven). Asynchronous engines pass `async_merge` so
+    /// mass-conserving programs can merge additively instead of
+    /// overwriting.
+    pub fn apply_broadcast(
+        &mut self,
+        program: &P,
+        link: &PairLink,
+        payload: &[(u32, P::Wire)],
+        async_merge: bool,
+    ) -> bool {
+        let data_driven = program.style() != Style::PullTopologyDriven;
+        let mut any = false;
+        for &(e, v) in payload {
+            let lv = link.mirror_side[e as usize];
+            let st = &mut self.state[lv as usize];
+            let changed = if async_merge {
+                program.merge_canonical_async(st, v)
+            } else {
+                program.set_canonical(st, v)
+            };
+            if changed {
+                any = true;
+                if data_driven {
+                    self.active.set(lv);
+                }
+            }
+        }
+        any
+    }
+
+    /// Asynchronous pull engines: consume every mirror's read-side value
+    /// after a local pull round (see
+    /// [`VertexProgram::consume_after_pull`]).
+    pub fn consume_mirrors_after_pull(&mut self, program: &P) {
+        for lv in self.lg.num_masters..self.lg.num_vertices() {
+            program.consume_after_pull(&mut self.state[lv as usize]);
+        }
+    }
+
+    /// Clears both synchronization tracking bitsets (end of a round's
+    /// sync).
+    pub fn clear_sync_marks(&mut self) {
+        self.updated.clear_all();
+        self.bcast_dirty.clear_all();
+    }
+
+    /// Asynchronous engines: after every broadcast payload of a round has
+    /// been built, settle the per-master broadcast ledgers (consumable
+    /// generations reset their "unsent" portion exactly once per round,
+    /// after all mirror holders received it).
+    pub fn after_broadcast_round(&mut self, program: &P) {
+        let dirty: Vec<u32> = self
+            .bcast_dirty
+            .iter_set()
+            .take_while(|&lv| lv < self.lg.num_masters)
+            .collect();
+        for lv in dirty {
+            program.after_broadcast(&mut self.state[lv as usize]);
+        }
+    }
+
+    /// UO extraction cost for one sync direction on this device (prefix
+    /// scan over all local proxies, in paper-equivalent items).
+    pub fn pack_time(&self, mode: CommMode, divisor: u64) -> SimTime {
+        match mode {
+            CommMode::AllShared => SimTime::ZERO,
+            CommMode::UpdatedOnly => SimTime::from_secs_f64(
+                self.kernel.scan_time(self.lg.num_vertices() as u64 * divisor),
+            ),
+        }
+    }
+}
+
+/// Mutably borrows two distinct devices.
+pub fn get2_mut<T>(xs: &mut [T], a: usize, b: usize) -> (&mut T, &mut T) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = xs.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = xs.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get2_mut_borrows_disjoint() {
+        let mut v = vec![1, 2, 3, 4];
+        let (a, b) = get2_mut(&mut v, 3, 1);
+        *a += 10;
+        *b += 20;
+        assert_eq!(v, vec![1, 22, 3, 14]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get2_mut_rejects_same_index() {
+        let mut v = vec![1, 2];
+        let _ = get2_mut(&mut v, 1, 1);
+    }
+}

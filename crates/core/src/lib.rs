@@ -1,0 +1,28 @@
+//! The D-IrGL-equivalent engine: vertex programs executed bulk-
+//! synchronously or bulk-asynchronously over simulated distributed GPUs.
+//!
+//! The moving parts:
+//!
+//! * [`program::VertexProgram`] — the operator abstraction (push
+//!   data-driven or pull topology-driven, §III-E);
+//! * [`config::Variant`] — the four optimization variants of §IV-C
+//!   (TWC/ALB × AS/UO × Sync/Async);
+//! * [`bsp`] / [`basp`] — the two execution models of §III-B;
+//! * [`runtime::Runtime`] — partition, load (with device-memory OOM
+//!   checking), execute, and report;
+//! * [`report::ExecutionReport`] — the Max Compute / Min Wait / Device
+//!   Comm. decomposition with volume, rounds, work items and per-device
+//!   memory, feeding every figure and table of the evaluation.
+
+pub mod basp;
+pub mod bsp;
+pub mod config;
+pub mod device;
+pub mod program;
+pub mod report;
+pub mod runtime;
+
+pub use config::{ExecModel, RunConfig, Variant};
+pub use program::{InitCtx, Style, VertexProgram};
+pub use report::ExecutionReport;
+pub use runtime::{RunError, RunOutput, Runtime};

@@ -1,0 +1,279 @@
+//! The vertex-program abstraction the engine executes.
+//!
+//! Modelled on D-IrGL's operator formulation (§II-A): operators are applied
+//! to active vertices and read/update labels in the vertex's immediate
+//! neighborhood. Push-style programs read the **source** of an edge and
+//! write the **destination**; the pull-style program (pagerank) also reads
+//! sources (of in-edges) and writes the destination — so proxy
+//! synchronization is always *reduce written destinations, broadcast read
+//! sources*, with the per-policy elisions handled by
+//! [`dirgl_comm::SyncPlan`].
+//!
+//! ## Engine contract (one round)
+//!
+//! 1. **compute** — active vertices [`VertexProgram::begin_push`] then send
+//!    [`VertexProgram::edge_msg`] along local out-edges (push), or every
+//!    vertex folds [`VertexProgram::pull_contribution`] over local in-edges
+//!    (pull); all deliveries go through [`VertexProgram::accumulate`] into
+//!    the *local* proxy, never across devices.
+//! 2. **reduce** — each written mirror's [`VertexProgram::take_delta`] is
+//!    combined into its master with `accumulate`.
+//! 3. **absorb** — masters fold their accumulator into canonical state
+//!    exactly once per round; a `true` return re-activates the vertex.
+//! 4. **broadcast** — updated masters' [`VertexProgram::canonical`] value
+//!    is installed on mirrors with [`VertexProgram::set_canonical`]; a
+//!    `true` return activates the mirror.
+
+use dirgl_graph::csr::VertexId;
+
+/// Traversal style (§III-E1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Style {
+    /// Data-driven push: a worklist of active vertices pushes along
+    /// out-edges (bfs, cc, kcore, sssp in D-IrGL).
+    PushDataDriven,
+    /// Topology-driven pull: every vertex pulls over in-edges every round
+    /// (pagerank in D-IrGL — "residual based algorithm").
+    PullTopologyDriven,
+    /// Data-driven with per-round direction switching: push from the
+    /// frontier while it is small, bottom-up pull over the unsettled
+    /// vertices while it is large. Only Gunrock uses this in the paper
+    /// ("direction-optimizing traversal for bfs"); the BSP driver decides
+    /// the direction globally per round via [`VertexProgram::pull_when`].
+    HybridPushPull,
+    /// Topology-driven push: every vertex runs [`VertexProgram::begin_push`]
+    /// every round; the program gates who actually pushes (betweenness
+    /// centrality's level-ordered backward sweep). Runs for exactly
+    /// [`VertexProgram::max_rounds`] rounds, bulk-synchronously only — the
+    /// runtime silently falls back to BSP under Var4, matching the paper's
+    /// "D-IrGL ... uses BASP by default *if the benchmark can be run
+    /// asynchronously*".
+    PushTopologyDriven,
+}
+
+/// Global, device-independent facts available at initialization.
+pub struct InitCtx<'a> {
+    /// |V| of the (possibly symmetrized) global graph.
+    pub num_vertices: u32,
+    /// Global out-degree of every vertex (== degree on symmetric inputs).
+    pub out_degrees: &'a [u32],
+    /// Optional per-vertex auxiliary words carried from an earlier phase
+    /// (multi-phase drivers like betweenness centrality pass the forward
+    /// phase's results to the backward phase here).
+    pub aux: Option<&'a [u64]>,
+}
+
+impl<'a> InitCtx<'a> {
+    /// Context without auxiliary data.
+    pub fn new(num_vertices: u32, out_degrees: &'a [u32]) -> InitCtx<'a> {
+        InitCtx { num_vertices, out_degrees, aux: None }
+    }
+}
+
+/// A distributed graph-analytics benchmark.
+///
+/// `State` is the full per-proxy label (including any message accumulator);
+/// `Wire` is the 4-byte value proxies exchange. All proxies of a vertex are
+/// initialized identically from [`VertexProgram::init_state`], so no
+/// initial broadcast is required.
+pub trait VertexProgram: Sync {
+    /// Per-proxy state.
+    type State: Copy + Send + Sync + PartialEq;
+    /// Value exchanged between proxies (and along edges).
+    type Wire: Copy + Send + Sync + PartialEq + std::fmt::Debug;
+
+    /// Benchmark name as the paper prints it (`bfs`, `cc`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Traversal style.
+    fn style(&self) -> Style;
+
+    /// True for benchmarks defined on the undirected view (cc, kcore); the
+    /// runtime symmetrizes the input first, as Galois/D-IrGL do.
+    fn needs_symmetric(&self) -> bool {
+        false
+    }
+
+    /// True when the program reads edge weights (sssp only); unweighted
+    /// programs do not load the weight arrays onto the device.
+    fn uses_weights(&self) -> bool {
+        false
+    }
+
+    /// Initial state of (every proxy of) global vertex `gv`.
+    fn init_state(&self, gv: VertexId, ctx: &InitCtx<'_>) -> Self::State;
+
+    /// Whether `gv` starts on the worklist (data-driven styles only).
+    fn initially_active(&self, gv: VertexId, ctx: &InitCtx<'_>) -> bool;
+
+    /// Called once when an active vertex is processed, before its edges are
+    /// visited; may mutate state (kcore flips `alive` here). Returns whether
+    /// the vertex pushes this round.
+    fn begin_push(&self, state: &mut Self::State) -> bool {
+        let _ = state;
+        true
+    }
+
+    /// The value pushed along an out-edge of weight `weight` (push styles).
+    fn edge_msg(&self, state: &Self::State, weight: u32) -> Option<Self::Wire>;
+
+    /// The contribution pulled from in-neighbor state `neighbor` over an
+    /// edge of weight `weight` (pull styles).
+    fn pull_contribution(&self, neighbor: &Self::State, weight: u32) -> Option<Self::Wire> {
+        let _ = (neighbor, weight);
+        None
+    }
+
+    /// Folds an incoming value into the proxy's accumulator. Returns true
+    /// if the accumulator changed (the proxy counts as *updated*).
+    fn accumulate(&self, state: &mut Self::State, msg: Self::Wire) -> bool;
+
+    /// Master-only: folds the accumulator into canonical state, exactly
+    /// once per round, after all local and reduced values are in. Returns
+    /// true if canonical state changed (the vertex re-activates).
+    fn absorb(&self, state: &mut Self::State) -> bool;
+
+    /// Mirror-only: extracts the accumulated delta for the reduce message,
+    /// resetting the accumulator to the reduction identity.
+    fn take_delta(&self, state: &mut Self::State) -> Self::Wire;
+
+    /// Master-only: the canonical value broadcast to mirrors.
+    fn canonical(&self, state: &Self::State) -> Self::Wire;
+
+    /// Mirror-only: installs a broadcast canonical value. Returns true if
+    /// the mirror's view changed (activates the mirror).
+    fn set_canonical(&self, state: &mut Self::State, v: Self::Wire) -> bool;
+
+    /// Master-only, asynchronous engines: the value broadcast to mirrors
+    /// when rounds are not globally aligned. Defaults to
+    /// [`Self::canonical`]; consumable-generation programs (push pagerank)
+    /// return only the not-yet-broadcast portion here and reset it in
+    /// [`Self::after_broadcast`].
+    fn canonical_async(&self, state: &Self::State) -> Self::Wire {
+        self.canonical(state)
+    }
+
+    /// Master-only, asynchronous engines: called once per local round
+    /// after every broadcast payload has been built (i.e. after all mirror
+    /// holders have been served the same value). Default: no-op.
+    fn after_broadcast(&self, state: &mut Self::State) {
+        let _ = state;
+    }
+
+    /// Mirror-only, asynchronous engines: merges a broadcast value when
+    /// rounds are not globally aligned. Defaults to [`Self::set_canonical`]
+    /// (correct for idempotent min/monotone programs); mass-conserving
+    /// programs (pagerank) override this with an additive merge paired with
+    /// [`Self::consume_after_pull`].
+    fn merge_canonical_async(&self, state: &mut Self::State, v: Self::Wire) -> bool {
+        self.set_canonical(state, v)
+    }
+
+    /// Mirror-only, asynchronous pull engines: called on every mirror after
+    /// a local pull round so that values read this round are not re-read by
+    /// the next local round (residual consumption). Default: no-op.
+    fn consume_after_pull(&self, state: &mut Self::State) {
+        let _ = state;
+    }
+
+    /// Hybrid styles only: pull this round? `active` is the global frontier
+    /// size, `total` the global vertex count (direction-optimizing BFS's
+    /// alpha test).
+    fn pull_when(&self, active: u64, total: u64) -> bool {
+        let _ = (active, total);
+        false
+    }
+
+    /// Hybrid styles only: does this vertex still scan its in-edges in a
+    /// pull round (bfs: still unreached)?
+    fn pull_ready(&self, state: &Self::State) -> bool {
+        let _ = state;
+        true
+    }
+
+    /// Whether the program tolerates bulk-asynchronous execution (stale
+    /// reads, unaligned rounds). Programs whose invariants need aligned
+    /// rounds (betweenness centrality's path counting) return false and the
+    /// runtime falls back to BSP, exactly as "D-IrGL ... uses BASP by
+    /// default if the benchmark can be run asynchronously" (SIII-B).
+    fn supports_async(&self) -> bool {
+        self.style() != Style::PushTopologyDriven
+    }
+
+    /// Bulk-synchronous engines call this at the start of every global
+    /// round (0-based) before any compute; round-gated programs (the bc
+    /// backward sweep) read it to decide which level pushes.
+    fn on_round_start(&self, round: u32) {
+        let _ = round;
+    }
+
+    /// Round cap (BASP local rounds are also capped by this).
+    fn max_rounds(&self) -> u32 {
+        100_000
+    }
+
+    /// Final per-vertex output for verification (exact for integer labels;
+    /// pagerank compares with tolerance).
+    fn output(&self, state: &Self::State) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal min-propagation program used to exercise defaults.
+    struct MinProp;
+
+    impl VertexProgram for MinProp {
+        type State = u32;
+        type Wire = u32;
+        fn name(&self) -> &'static str {
+            "minprop"
+        }
+        fn style(&self) -> Style {
+            Style::PushDataDriven
+        }
+        fn init_state(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> u32 {
+            gv
+        }
+        fn initially_active(&self, _gv: VertexId, _ctx: &InitCtx<'_>) -> bool {
+            true
+        }
+        fn edge_msg(&self, state: &u32, _w: u32) -> Option<u32> {
+            Some(*state)
+        }
+        fn accumulate(&self, state: &mut u32, msg: u32) -> bool {
+            if msg < *state {
+                *state = msg;
+                true
+            } else {
+                false
+            }
+        }
+        fn absorb(&self, _state: &mut u32) -> bool {
+            false
+        }
+        fn take_delta(&self, state: &mut u32) -> u32 {
+            *state
+        }
+        fn canonical(&self, state: &u32) -> u32 {
+            *state
+        }
+        fn set_canonical(&self, state: &mut u32, v: u32) -> bool {
+            self.accumulate(state, v)
+        }
+        fn output(&self, state: &u32) -> f64 {
+            *state as f64
+        }
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let p = MinProp;
+        assert!(!p.needs_symmetric());
+        assert_eq!(p.max_rounds(), 100_000);
+        let mut s = 5;
+        assert!(p.begin_push(&mut s));
+        assert_eq!(p.pull_contribution(&s, 0), None);
+    }
+}

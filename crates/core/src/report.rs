@@ -1,0 +1,139 @@
+//! Execution reports — the decomposition plotted in Figs. 4–6 and 8–9 and
+//! the balance columns of Table IV.
+
+use serde::{Deserialize, Serialize};
+
+use dirgl_comm::SimTime;
+use dirgl_partition::metrics::max_over_mean_f64;
+
+/// Everything measured about one application run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// End-to-end simulated execution time (excludes partitioning and
+    /// loading, like the paper's reported times).
+    pub total_time: SimTime,
+    /// Per-device accumulated kernel time.
+    pub compute_per_device: Vec<SimTime>,
+    /// Per-host accumulated blocking-receive time.
+    pub wait_per_host: Vec<SimTime>,
+    /// Paper-equivalent communication volume in bytes.
+    pub comm_bytes: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Global rounds (BSP) or the *minimum* local rounds across devices
+    /// (BASP — the statistic the paper quotes for bfs/uk14).
+    pub rounds: u32,
+    /// Maximum local rounds across devices (== `rounds` under BSP).
+    pub max_rounds: u32,
+    /// Paper-equivalent work items (edges processed, including redundant
+    /// re-processing under BASP).
+    pub work_items: u64,
+    /// Peak device-memory bytes per device (paper-equivalent).
+    pub memory_per_device: Vec<u64>,
+}
+
+impl ExecutionReport {
+    /// "Max Compute": the maximum per-device computation time (the paper
+    /// "measure\[s\] the computation time on each device and report\[s\] the
+    /// maximum among them").
+    pub fn max_compute(&self) -> SimTime {
+        self.compute_per_device.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// "Min Wait": the minimum per-host blocking time.
+    pub fn min_wait(&self) -> SimTime {
+        self.wait_per_host.iter().copied().min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// "Device Comm.": the non-overlapping device↔host communication time —
+    /// the paper reports "the rest of the execution time" after compute and
+    /// wait.
+    pub fn device_comm(&self) -> SimTime {
+        self.total_time
+            .saturating_sub(self.max_compute())
+            .saturating_sub(self.min_wait())
+    }
+
+    /// Dynamic load balance: max/mean of per-device compute time (Table IV
+    /// "Dynamic").
+    pub fn dynamic_balance(&self) -> f64 {
+        let times: Vec<f64> =
+            self.compute_per_device.iter().map(|t| t.as_secs_f64()).collect();
+        max_over_mean_f64(&times)
+    }
+
+    /// Memory balance: max/mean of per-device peak memory (Table IV
+    /// "Memory").
+    pub fn memory_balance(&self) -> f64 {
+        let max = self.memory_per_device.iter().copied().max().unwrap_or(0) as f64;
+        let mean = if self.memory_per_device.is_empty() {
+            0.0
+        } else {
+            self.memory_per_device.iter().sum::<u64>() as f64
+                / self.memory_per_device.len() as f64
+        };
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Maximum per-device peak memory (Table III's statistic).
+    pub fn max_memory(&self) -> u64 {
+        self.memory_per_device.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Communication volume in GB, as annotated on the paper's bars.
+    pub fn comm_gb(&self) -> f64 {
+        self.comm_bytes as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            total_time: SimTime::from_secs_f64(10.0),
+            compute_per_device: vec![
+                SimTime::from_secs_f64(4.0),
+                SimTime::from_secs_f64(2.0),
+            ],
+            wait_per_host: vec![SimTime::from_secs_f64(3.0), SimTime::from_secs_f64(1.0)],
+            comm_bytes: 2_000_000_000,
+            messages: 10,
+            rounds: 7,
+            max_rounds: 7,
+            work_items: 1000,
+            memory_per_device: vec![300, 100],
+        }
+    }
+
+    #[test]
+    fn decomposition_sums_to_total() {
+        let r = report();
+        assert_eq!(r.max_compute(), SimTime::from_secs_f64(4.0));
+        assert_eq!(r.min_wait(), SimTime::from_secs_f64(1.0));
+        assert_eq!(r.device_comm(), SimTime::from_secs_f64(5.0));
+        let sum = r.max_compute() + r.min_wait() + r.device_comm();
+        assert_eq!(sum, r.total_time);
+    }
+
+    #[test]
+    fn balances() {
+        let r = report();
+        assert!((r.dynamic_balance() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((r.memory_balance() - 1.5).abs() < 1e-12);
+        assert_eq!(r.max_memory(), 300);
+        assert!((r.comm_gb() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_comm_saturates() {
+        let mut r = report();
+        r.total_time = SimTime::from_secs_f64(2.0);
+        assert_eq!(r.device_comm(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,184 @@
+//! The runtime: partition → load (with OOM check) → execute → report.
+
+use dirgl_comm::{NetModel, SimTime, SyncPlan};
+use dirgl_gpusim::{OomError, Platform};
+use dirgl_graph::csr::Csr;
+use dirgl_partition::Partition;
+
+use crate::basp::run_basp;
+use crate::bsp::{run_bsp, EngineOutcome};
+use crate::config::{ExecModel, RunConfig};
+use crate::device::DeviceRun;
+use crate::program::{InitCtx, VertexProgram};
+use crate::report::ExecutionReport;
+
+/// A run failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// A device could not hold its partition — the paper's missing points.
+    Oom {
+        /// Device that failed to load.
+        device: u32,
+        /// Allocation detail.
+        err: OomError,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Oom { device, err } => write!(f, "device {device}: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// A completed run: the report plus per-global-vertex outputs for
+/// verification.
+pub struct RunOutput {
+    /// Timing, volume, balance and memory measurements.
+    pub report: ExecutionReport,
+    /// Final output of every global vertex (from its master proxy).
+    pub values: Vec<f64>,
+}
+
+/// Executes vertex programs on a simulated multi-GPU platform with a fixed
+/// configuration — the D-IrGL equivalent.
+pub struct Runtime {
+    /// Devices and interconnect.
+    pub platform: Platform,
+    /// Policy, variant and scaling.
+    pub config: RunConfig,
+}
+
+impl Runtime {
+    /// Creates a runtime.
+    pub fn new(platform: Platform, config: RunConfig) -> Runtime {
+        Runtime { platform, config }
+    }
+
+    /// Runs `program` on `graph` to convergence.
+    ///
+    /// Symmetrizes the input first when the benchmark requires the
+    /// undirected view (cc, kcore). Reported time excludes partitioning and
+    /// loading, matching §IV-A.
+    pub fn run<P: VertexProgram>(&self, graph: &Csr, program: &P) -> Result<RunOutput, RunError> {
+        let sym;
+        let g = if program.needs_symmetric() {
+            sym = graph.symmetrize();
+            &sym
+        } else {
+            graph
+        };
+        let part = Partition::build(g, self.config.policy, self.platform.num_devices(), self.config.seed);
+        self.run_partitioned(g, part, program)
+    }
+
+    /// Runs on an existing partition (harnesses reuse partitions across
+    /// variants, as the paper does when comparing optimizations).
+    pub fn run_partitioned<P: VertexProgram>(
+        &self,
+        g: &Csr,
+        part: Partition,
+        program: &P,
+    ) -> Result<RunOutput, RunError> {
+        self.run_partitioned_aux(g, part, program, None).map(|(out, _)| out)
+    }
+
+    /// [`Runtime::run_partitioned`] with optional per-vertex auxiliary data
+    /// for the program's initialization and the final master *states*
+    /// gathered per global vertex — the building blocks of multi-phase
+    /// drivers (betweenness centrality).
+    pub fn run_partitioned_aux<P: VertexProgram>(
+        &self,
+        g: &Csr,
+        mut part: Partition,
+        program: &P,
+        aux: Option<&[u64]>,
+    ) -> Result<(RunOutput, Vec<P::State>), RunError> {
+        let divisor = self.config.scale_divisor;
+        let plan = SyncPlan::build(&part, true, true);
+
+        // --- Load: charge every device's working set, failing on OOM.
+        let state_bytes = std::mem::size_of::<P::State>() as u64;
+        let mut memory = Vec::with_capacity(part.locals.len());
+        for lg in &part.locals {
+            let need = DeviceRun::<P>::required_bytes(lg, &plan, program, state_bytes, divisor);
+            let capacity = self.platform.gpus[lg.device as usize].memory_bytes;
+            if need > capacity {
+                return Err(RunError::Oom {
+                    device: lg.device,
+                    err: OomError { requested: need, in_use: 0, capacity },
+                });
+            }
+            memory.push(need);
+        }
+
+        // --- Initialize device state.
+        let out_degrees: Vec<u32> = (0..g.num_vertices()).map(|v| g.out_degree(v)).collect();
+        let ctx = InitCtx { num_vertices: g.num_vertices(), out_degrees: &out_degrees, aux };
+        let locals = std::mem::take(&mut part.locals);
+        let mut devices: Vec<DeviceRun<P>> = locals
+            .into_iter()
+            .map(|lg| {
+                let spec = self.platform.gpus[lg.device as usize];
+                let mut d = DeviceRun::new(lg, spec, program, &ctx);
+                d.peak_memory = memory[d.dev as usize];
+                d
+            })
+            .collect();
+
+        // --- Execute.
+        let mut net = NetModel::new(self.platform.clone());
+        net.direct_device = self.config.gpudirect;
+        // Programs that cannot run asynchronously fall back to BSP, as
+        // D-IrGL does for benchmarks that "can[not] be run asynchronously"
+        // (SIII-B).
+        let model = if program.supports_async() {
+            self.config.variant.model
+        } else {
+            ExecModel::Sync
+        };
+        let outcome: EngineOutcome = match model {
+            ExecModel::Sync => run_bsp(program, &mut devices, &part, &plan, &net, &self.config),
+            ExecModel::Async => run_basp(program, &mut devices, &part, &plan, &net, &self.config),
+        };
+
+        // --- Gather outputs and states from masters.
+        let mut values = vec![0.0f64; g.num_vertices() as usize];
+        let mut states: Vec<P::State> = Vec::with_capacity(g.num_vertices() as usize);
+        // Seed with any master's copy; overwritten per global vertex below.
+        let template = devices
+            .iter()
+            .find_map(|d| d.state.first().copied())
+            .unwrap_or_else(|| program.init_state(0, &ctx));
+        states.resize(g.num_vertices() as usize, template);
+        for d in &devices {
+            for lv in 0..d.lg.num_masters {
+                let gv = d.lg.l2g[lv as usize] as usize;
+                values[gv] = program.output(&d.state[lv as usize]);
+                states[gv] = d.state[lv as usize];
+            }
+        }
+
+        let report = ExecutionReport {
+            total_time: outcome.clocks.iter().copied().max().unwrap_or(SimTime::ZERO),
+            compute_per_device: devices.iter().map(|d| d.compute_time).collect(),
+            wait_per_host: outcome.host_wait,
+            comm_bytes: outcome.comm_bytes,
+            messages: outcome.messages,
+            rounds: outcome.min_rounds,
+            max_rounds: outcome.max_rounds,
+            work_items: devices.iter().map(|d| d.work_items).sum(),
+            memory_per_device: devices.iter().map(|d| d.peak_memory).collect(),
+        };
+        Ok((RunOutput { report, values }, states))
+    }
+
+    /// True when the benchmark is expected to traverse from a source (bfs,
+    /// sssp) — convenience for harnesses picking sources.
+    pub fn max_out_degree_source(g: &Csr) -> u32 {
+        g.max_out_degree_vertex()
+    }
+}

@@ -1,0 +1,220 @@
+//! Engine-level tests with a controlled min-propagation program on graphs
+//! whose behaviour is known in closed form.
+
+use dirgl_comm::CommMode;
+use dirgl_core::{ExecModel, InitCtx, RunConfig, Runtime, Style, Variant, VertexProgram};
+use dirgl_gpusim::{Balancer, Platform};
+use dirgl_graph::csr::{Csr, CsrBuilder, VertexId};
+use dirgl_partition::Policy;
+
+/// Minimal single-source min-propagation (bfs with unit steps), used to
+/// observe engine mechanics precisely.
+struct MinProp {
+    source: VertexId,
+}
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct St {
+    dist: u32,
+    acc: u32,
+}
+
+impl VertexProgram for MinProp {
+    type State = St;
+    type Wire = u32;
+    fn name(&self) -> &'static str {
+        "minprop"
+    }
+    fn style(&self) -> Style {
+        Style::PushDataDriven
+    }
+    fn init_state(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> St {
+        St { dist: if gv == self.source { 0 } else { u32::MAX }, acc: u32::MAX }
+    }
+    fn initially_active(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> bool {
+        gv == self.source
+    }
+    fn edge_msg(&self, state: &St, _w: u32) -> Option<u32> {
+        (state.dist != u32::MAX).then(|| state.dist + 1)
+    }
+    fn accumulate(&self, state: &mut St, msg: u32) -> bool {
+        if msg < state.acc && msg < state.dist {
+            state.acc = msg;
+            true
+        } else {
+            false
+        }
+    }
+    fn absorb(&self, state: &mut St) -> bool {
+        if state.acc < state.dist {
+            state.dist = state.acc;
+            true
+        } else {
+            false
+        }
+    }
+    fn take_delta(&self, state: &mut St) -> u32 {
+        let d = state.acc.min(state.dist);
+        state.acc = u32::MAX;
+        d
+    }
+    fn canonical(&self, state: &St) -> u32 {
+        state.dist
+    }
+    fn set_canonical(&self, state: &mut St, v: u32) -> bool {
+        if v < state.dist {
+            state.dist = v;
+            true
+        } else {
+            false
+        }
+    }
+    fn output(&self, state: &St) -> f64 {
+        state.dist as f64
+    }
+}
+
+fn path(n: u32) -> Csr {
+    let mut b = CsrBuilder::new(n);
+    for i in 0..n - 1 {
+        b.add(i, i + 1);
+    }
+    b.build()
+}
+
+fn run(g: &Csr, cfg: RunConfig, devices: u32) -> dirgl_core::RunOutput {
+    Runtime::new(Platform::bridges(devices), cfg).run(g, &MinProp { source: 0 }).unwrap()
+}
+
+#[test]
+fn bsp_round_count_equals_path_length() {
+    // On a path of 17 vertices, the frontier advances one hop per global
+    // round: 16 productive rounds + 1 empty detection round.
+    let g = path(17);
+    let out = run(&g, RunConfig::new(Policy::Oec, Variant::var3()), 4);
+    assert_eq!(out.report.rounds, 17);
+    for (v, d) in out.values.iter().enumerate() {
+        assert_eq!(*d, v as f64);
+    }
+}
+
+#[test]
+fn basp_quiesces_on_path() {
+    let g = path(17);
+    let out = run(&g, RunConfig::new(Policy::Oec, Variant::var4()), 4);
+    for (v, d) in out.values.iter().enumerate() {
+        assert_eq!(*d, v as f64);
+    }
+    // Devices holding later path segments idle while the wave approaches:
+    // minimum local rounds is well below the path length.
+    assert!(out.report.rounds < 17, "min rounds {}", out.report.rounds);
+}
+
+#[test]
+fn as_sends_every_round_uo_only_updates() {
+    // Wide links are needed: on one-entry links UO's bitset header makes
+    // it *bigger* than AS — which is exactly the paper's "threshold below
+    // which the extraction overhead outweighs the volume reduction".
+    let g = dirgl_graph::RmatConfig::new(10, 8).seed(5).generate();
+    let as_run = run(
+        &g,
+        RunConfig::new(
+            Policy::Iec,
+            Variant { balancer: Balancer::Alb, comm: CommMode::AllShared, model: ExecModel::Sync },
+        ),
+        4,
+    );
+    let uo_run = run(&g, RunConfig::new(Policy::Iec, Variant::var3()), 4);
+    assert_eq!(as_run.values, uo_run.values);
+    // Same number of messages (one per partner per round under the
+    // always-send BSP discipline) but AS moves more bytes.
+    assert!(as_run.report.comm_bytes > uo_run.report.comm_bytes);
+}
+
+#[test]
+fn single_device_runs_have_no_communication() {
+    let g = path(9);
+    let out = run(&g, RunConfig::new(Policy::Oec, Variant::var3()), 1);
+    assert_eq!(out.report.comm_bytes, 0);
+    assert_eq!(out.report.messages, 0);
+    assert_eq!(out.values, (0..9).map(f64::from).collect::<Vec<_>>());
+}
+
+#[test]
+fn throttle_reduces_basp_rounds() {
+    // A denser graph so unthrottled BASP overlaps work.
+    let g = dirgl_graph::RmatConfig::new(10, 8).seed(3).generate();
+    let mut free = RunConfig::new(Policy::Iec, Variant::var4()).scale(1024);
+    free.basp_round_gap_secs = 0.0;
+    let unthrottled = run(&g, free.clone(), 8);
+    let mut gap = free;
+    gap.basp_round_gap_secs = 0.05;
+    let throttled = run(&g, gap, 8);
+    assert_eq!(unthrottled.values, throttled.values);
+    assert!(
+        throttled.report.max_rounds <= unthrottled.report.max_rounds,
+        "throttled {} vs {}",
+        throttled.report.max_rounds,
+        unthrottled.report.max_rounds
+    );
+}
+
+#[test]
+fn work_items_scale_with_divisor() {
+    let g = path(9);
+    let small = run(&g, RunConfig::new(Policy::Oec, Variant::var3()).scale(1), 2);
+    let big = run(&g, RunConfig::new(Policy::Oec, Variant::var3()).scale(1000), 2);
+    assert_eq!(small.values, big.values);
+    assert_eq!(big.report.work_items, 1000 * small.report.work_items);
+}
+
+#[test]
+fn lux_round_overhead_is_charged_per_round() {
+    let g = path(17);
+    let mut plain = RunConfig::new(Policy::Iec, Variant::var3());
+    let base = run(&g, plain.clone(), 4);
+    plain.runtime_round_overhead_secs = 0.010;
+    let taxed = run(&g, plain, 4);
+    let extra = taxed.report.total_time.as_secs_f64() - base.report.total_time.as_secs_f64();
+    let expected = 0.010 * base.report.rounds as f64;
+    assert!(
+        (extra - expected).abs() < 0.2 * expected,
+        "extra {extra} vs expected {expected}"
+    );
+}
+
+#[test]
+fn disconnected_vertices_stay_unreached() {
+    // Two components; source in the first.
+    let mut b = CsrBuilder::new(6);
+    b.add(0, 1);
+    b.add(1, 2);
+    b.add(4, 5);
+    let g = b.build();
+    for variant in [Variant::var3(), Variant::var4()] {
+        let out = run(&g, RunConfig::new(Policy::Cvc, variant), 3);
+        assert_eq!(out.values[2], 2.0);
+        assert_eq!(out.values[4], u32::MAX as f64);
+        assert_eq!(out.values[5], u32::MAX as f64);
+    }
+}
+
+#[test]
+fn empty_graph_terminates_immediately() {
+    let g = Csr::empty(8);
+    let out = run(&g, RunConfig::new(Policy::Oec, Variant::var3()), 2);
+    assert!(out.report.rounds <= 1);
+    assert_eq!(out.values[0], 0.0); // the source itself
+    assert!(out.values[1..].iter().all(|&d| d == u32::MAX as f64));
+}
+
+#[test]
+fn gpudirect_reduces_device_comm_share() {
+    let g = dirgl_graph::RmatConfig::new(11, 8).seed(9).generate();
+    let mut cfg = RunConfig::new(Policy::Cvc, Variant::var3()).scale(1024);
+    let staged = run(&g, cfg.clone(), 8);
+    cfg.gpudirect = true;
+    let direct = run(&g, cfg, 8);
+    assert!(direct.report.total_time < staged.report.total_time);
+    assert_eq!(direct.values, staged.values);
+}

@@ -1,0 +1,477 @@
+//! Compressed-sparse-row graph storage.
+//!
+//! The CSR layout is the one every GPU graph framework in the paper uses:
+//! an `offsets` array of length `n + 1` and a `targets` array of length `m`,
+//! with an optional parallel `weights` array (the paper adds randomized edge
+//! weights to every input for `sssp`).
+//!
+//! Vertex ids are `u32` — the largest scaled dataset stays far below
+//! `u32::MAX` vertices — and edge offsets are `u64` so the builder is safe
+//! for any edge count we can hold in memory.
+
+use rayon::prelude::*;
+
+/// A vertex identifier. Global and partition-local ids share this type.
+pub type VertexId = u32;
+
+/// Sentinel for "no vertex".
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// An edge list: `(src, dst)` pairs plus optional weights, the input to
+/// [`CsrBuilder`] and the output of the synthetic generators.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeList {
+    /// Number of vertices (ids must be `< num_vertices`).
+    pub num_vertices: u32,
+    /// `(src, dst)` pairs.
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// Optional per-edge weights, parallel to `edges`.
+    pub weights: Option<Vec<u32>>,
+}
+
+impl EdgeList {
+    /// Creates an empty edge list over `num_vertices` vertices.
+    pub fn new(num_vertices: u32) -> Self {
+        EdgeList { num_vertices, edges: Vec::new(), weights: None }
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the list holds no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Removes duplicate edges and self-loops (keeping the first weight seen
+    /// for a retained edge). Generators call this so the analogues match the
+    /// simple-digraph inputs of the paper.
+    pub fn dedup(&mut self) {
+        let mut keyed: Vec<(u64, u32)> = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, (s, d))| s != d)
+            .map(|(i, (s, d))| (((*s as u64) << 32) | *d as u64, i as u32))
+            .collect();
+        keyed.par_sort_unstable();
+        keyed.dedup_by_key(|(k, _)| *k);
+        let weights = self.weights.take();
+        let mut edges = Vec::with_capacity(keyed.len());
+        let mut new_weights = weights.as_ref().map(|_| Vec::with_capacity(keyed.len()));
+        for (k, i) in keyed {
+            edges.push(((k >> 32) as u32, k as u32));
+            if let (Some(nw), Some(w)) = (new_weights.as_mut(), weights.as_ref()) {
+                nw.push(w[i as usize]);
+            }
+        }
+        self.edges = edges;
+        self.weights = new_weights;
+    }
+
+    /// Builds the CSR for this edge list.
+    pub fn into_csr(self) -> Csr {
+        let mut b = CsrBuilder::new(self.num_vertices);
+        match self.weights {
+            Some(ws) => {
+                for ((s, d), w) in self.edges.into_iter().zip(ws) {
+                    b.add_weighted(s, d, w);
+                }
+            }
+            None => {
+                for (s, d) in self.edges {
+                    b.add(s, d);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+/// Incremental CSR construction from individual edges.
+///
+/// Collects edges then performs a counting sort by source; `O(m)` time and
+/// memory, no comparison sort.
+#[derive(Clone, Debug)]
+pub struct CsrBuilder {
+    num_vertices: u32,
+    srcs: Vec<VertexId>,
+    dsts: Vec<VertexId>,
+    weights: Vec<u32>,
+    weighted: bool,
+}
+
+impl CsrBuilder {
+    /// New builder over `num_vertices` vertices.
+    pub fn new(num_vertices: u32) -> Self {
+        CsrBuilder {
+            num_vertices,
+            srcs: Vec::new(),
+            dsts: Vec::new(),
+            weights: Vec::new(),
+            weighted: false,
+        }
+    }
+
+    /// Pre-reserves space for `m` edges.
+    pub fn with_capacity(num_vertices: u32, m: usize) -> Self {
+        let mut b = Self::new(num_vertices);
+        b.srcs.reserve(m);
+        b.dsts.reserve(m);
+        b
+    }
+
+    /// Adds an unweighted edge.
+    pub fn add(&mut self, src: VertexId, dst: VertexId) {
+        debug_assert!(src < self.num_vertices && dst < self.num_vertices);
+        self.srcs.push(src);
+        self.dsts.push(dst);
+        if self.weighted {
+            self.weights.push(0);
+        }
+    }
+
+    /// Adds a weighted edge. Mixing with [`CsrBuilder::add`] gives the
+    /// unweighted edges weight 0.
+    pub fn add_weighted(&mut self, src: VertexId, dst: VertexId, w: u32) {
+        if !self.weighted {
+            self.weights = vec![0; self.srcs.len()];
+            self.weighted = true;
+        }
+        self.srcs.push(src);
+        self.dsts.push(dst);
+        self.weights.push(w);
+    }
+
+    /// Finalizes into a [`Csr`] (counting sort by source; destination order
+    /// within a vertex's adjacency list follows insertion order).
+    pub fn build(self) -> Csr {
+        let n = self.num_vertices as usize;
+        let m = self.srcs.len();
+        let mut offsets = vec![0u64; n + 1];
+        for &s in &self.srcs {
+            offsets[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![INVALID_VERTEX; m];
+        let mut weights = if self.weighted { vec![0u32; m] } else { Vec::new() };
+        for i in 0..m {
+            let s = self.srcs[i] as usize;
+            let at = cursor[s] as usize;
+            cursor[s] += 1;
+            targets[at] = self.dsts[i];
+            if self.weighted {
+                weights[at] = self.weights[i];
+            }
+        }
+        Csr {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+            weights: if self.weighted { Some(weights.into_boxed_slice()) } else { None },
+        }
+    }
+}
+
+/// A directed graph in compressed-sparse-row form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    offsets: Box<[u64]>,
+    targets: Box<[VertexId]>,
+    weights: Option<Box<[u32]>>,
+}
+
+impl Csr {
+    /// An empty graph with `n` vertices and no edges.
+    pub fn empty(n: u32) -> Self {
+        Csr {
+            offsets: vec![0u64; n as usize + 1].into_boxed_slice(),
+            targets: Box::new([]),
+            weights: None,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// The out-neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// The weights parallel to [`Csr::neighbors`], or `None` if unweighted.
+    #[inline]
+    pub fn edge_weights(&self, v: VertexId) -> Option<&[u32]> {
+        self.weights.as_ref().map(|w| {
+            let lo = self.offsets[v as usize] as usize;
+            let hi = self.offsets[v as usize + 1] as usize;
+            &w[lo..hi]
+        })
+    }
+
+    /// Neighbors of `v` zipped with weights (weight 0 when unweighted).
+    pub fn edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        let ws = self.weights.as_deref();
+        (lo..hi).map(move |i| (self.targets[i], ws.map_or(0, |w| w[i])))
+    }
+
+    /// True when the graph carries edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Raw offsets array (length `n + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Raw targets array (length `m`).
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Raw weights array (length `m`) if present.
+    pub fn weights(&self) -> Option<&[u32]> {
+        self.weights.as_deref()
+    }
+
+    /// Bytes used by the CSR arrays themselves; the quantity GPU memory
+    /// accounting charges for a loaded graph partition.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_with(true)
+    }
+
+    /// CSR bytes, optionally excluding the weight array (benchmarks that
+    /// ignore weights — everything except sssp — do not load them).
+    pub fn bytes_with(&self, with_weights: bool) -> u64 {
+        let mut b = self.offsets.len() as u64 * 8 + self.targets.len() as u64 * 4;
+        if with_weights && self.weights.is_some() {
+            b += self.targets.len() as u64 * 4;
+        }
+        b
+    }
+
+    /// The reverse graph: edge `(u, v)` becomes `(v, u)`, weights preserved.
+    ///
+    /// Pull-style programs (pagerank in the paper) iterate in-edges, which
+    /// the engines obtain from the transpose.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices() as usize;
+        let m = self.targets.len();
+        let mut offsets = vec![0u64; n + 1];
+        for &t in self.targets.iter() {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![INVALID_VERTEX; m];
+        let mut weights = self.weights.as_ref().map(|_| vec![0u32; m]);
+        for u in 0..n as u32 {
+            let lo = self.offsets[u as usize] as usize;
+            let hi = self.offsets[u as usize + 1] as usize;
+            for i in lo..hi {
+                let v = self.targets[i] as usize;
+                let at = cursor[v] as usize;
+                cursor[v] += 1;
+                targets[at] = u;
+                if let (Some(tw), Some(sw)) = (weights.as_mut(), self.weights.as_ref()) {
+                    tw[at] = sw[i];
+                }
+            }
+        }
+        Csr {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+            weights: weights.map(Vec::into_boxed_slice),
+        }
+    }
+
+    /// The symmetric closure: for every edge `(u, v)` ensures `(v, u)` also
+    /// exists (weights copied), then deduplicates. Undirected benchmarks
+    /// (cc, kcore) run on this view, as in Galois/D-IrGL.
+    pub fn symmetrize(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut el = EdgeList::new(n);
+        el.weights = self.weights.as_ref().map(|_| Vec::new());
+        for u in 0..n {
+            for (v, w) in self.edges(u) {
+                el.edges.push((u, v));
+                el.edges.push((v, u));
+                if let Some(ws) = el.weights.as_mut() {
+                    ws.push(w);
+                    ws.push(w);
+                }
+            }
+        }
+        el.dedup();
+        el.into_csr()
+    }
+
+    /// The vertex with the highest out-degree (ties broken by lowest id).
+    ///
+    /// The paper: "the vertex with the highest out-degree is used as the
+    /// source vertex for bfs and sssp".
+    pub fn max_out_degree_vertex(&self) -> VertexId {
+        let n = self.num_vertices();
+        let mut best = 0u32;
+        let mut best_deg = 0u32;
+        for v in 0..n {
+            let d = self.out_degree(v);
+            if d > best_deg {
+                best_deg = d;
+                best = v;
+            }
+        }
+        best
+    }
+
+    /// Iterates all edges as `(src, dst, weight)` triples.
+    pub fn iter_all_edges(&self) -> impl Iterator<Item = (VertexId, VertexId, u32)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| self.edges(u).map(move |(v, w)| (u, v, w)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = CsrBuilder::new(4);
+        b.add(0, 1);
+        b.add(0, 2);
+        b.add(1, 3);
+        b.add(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[3]);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn weighted_build_preserves_weights_through_sort() {
+        let mut b = CsrBuilder::new(3);
+        b.add_weighted(2, 0, 7);
+        b.add_weighted(0, 1, 3);
+        b.add_weighted(2, 1, 9);
+        let g = b.build();
+        assert!(g.is_weighted());
+        assert_eq!(g.edges(2).collect::<Vec<_>>(), vec![(0, 7), (1, 9)]);
+        assert_eq!(g.edges(0).collect::<Vec<_>>(), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn mixed_weighted_unweighted_adds() {
+        let mut b = CsrBuilder::new(2);
+        b.add(0, 1);
+        b.add_weighted(1, 0, 5);
+        let g = b.build();
+        assert_eq!(g.edges(0).collect::<Vec<_>>(), vec![(1, 0)]);
+        assert_eq!(g.edges(1).collect::<Vec<_>>(), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.neighbors(3), &[1, 2]);
+        assert_eq!(t.neighbors(1), &[0]);
+        let tt = t.transpose();
+        assert_eq!(tt, g);
+    }
+
+    #[test]
+    fn transpose_preserves_weights() {
+        let mut b = CsrBuilder::new(3);
+        b.add_weighted(0, 2, 11);
+        b.add_weighted(1, 2, 13);
+        let t = b.build().transpose();
+        let mut edges: Vec<_> = t.edges(2).collect();
+        edges.sort();
+        assert_eq!(edges, vec![(0, 11), (1, 13)]);
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_edges_once() {
+        let g = diamond().symmetrize();
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.neighbors(3), &[1, 2]);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        // Symmetrizing twice is a fixpoint.
+        assert_eq!(g.symmetrize(), g);
+    }
+
+    #[test]
+    fn edge_list_dedup_removes_duplicates_and_loops() {
+        let mut el = EdgeList::new(3);
+        el.edges = vec![(0, 1), (1, 1), (0, 1), (2, 0)];
+        el.weights = Some(vec![4, 5, 6, 7]);
+        el.dedup();
+        assert_eq!(el.edges, vec![(0, 1), (2, 0)]);
+        let g = el.into_csr();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edges(0).next(), Some((1, 4)));
+        assert_eq!(g.edges(2).next(), Some((0, 7)));
+    }
+
+    #[test]
+    fn max_out_degree_vertex_picks_highest() {
+        let g = diamond();
+        assert_eq!(g.max_out_degree_vertex(), 0);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let g = diamond();
+        assert_eq!(g.bytes(), 5 * 8 + 4 * 4);
+        let mut b = CsrBuilder::new(4);
+        b.add_weighted(0, 1, 1);
+        let gw = b.build();
+        assert_eq!(gw.bytes(), 5 * 8 + 4 + 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_degree(4), 0);
+        assert_eq!(g.max_out_degree_vertex(), 0);
+    }
+}

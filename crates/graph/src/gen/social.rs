@@ -1,0 +1,222 @@
+//! Social-network generator (orkut / twitter50 / friendster analogues).
+//!
+//! Shape targets, from the paper's Table I:
+//!
+//! * power-law out-degrees with a controllable maximum (twitter50's max
+//!   out-degree is 780k on 51M vertices — about 1.5% of |V|);
+//! * power-law in-degrees, also heavy (twitter50 max in-degree 3.5M);
+//! * very low approximate diameter (2–12): almost every vertex is a couple
+//!   of hops from a hub;
+//! * no id locality: vertex ids are randomly permuted after generation
+//!   (crawl order of social networks carries little structure).
+//!
+//! Construction: draw out- and in-degree sequences from
+//! `powerlaw_degrees`, then connect sources to
+//! destinations sampled proportionally to in-degree (a configuration-model
+//! variant). A sprinkle of hub back-edges keeps the graph's undirected
+//! diameter tiny.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::{powerlaw_degrees, random_permutation};
+use crate::csr::{Csr, EdgeList, VertexId};
+
+/// Configuration for a social-network generation run.
+#[derive(Clone, Debug)]
+pub struct SocialConfig {
+    /// Number of vertices.
+    pub num_vertices: u32,
+    /// Target edge count (before dedup).
+    pub num_edges: u64,
+    /// Target maximum out-degree.
+    pub max_out_degree: u32,
+    /// Target maximum in-degree.
+    pub max_in_degree: u32,
+    /// Power-law exponent for the rank-degree curve.
+    pub alpha: f64,
+    /// Optional approximate diameter to plant via a chain of low-degree
+    /// members hanging off the core (social networks have short but
+    /// non-trivial diameters — friendster's is 21).
+    pub target_diameter: Option<u32>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SocialConfig {
+    /// A social network with the given size and degree ceilings.
+    pub fn new(num_vertices: u32, num_edges: u64, max_out: u32, max_in: u32) -> Self {
+        SocialConfig {
+            num_vertices,
+            num_edges,
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            alpha: 0.75,
+            target_diameter: None,
+            seed: 1,
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Plants an approximate diameter (builder style).
+    pub fn diameter(mut self, d: u32) -> Self {
+        self.target_diameter = Some(d);
+        self
+    }
+
+    /// Generates the edge list.
+    pub fn generate_edges(&self) -> EdgeList {
+        let n = self.num_vertices;
+        // Members forming the diameter chain are excluded from the core so
+        // no random edge shortcuts the planted path.
+        let chain_len = self
+            .target_diameter
+            .map(|d| d.saturating_sub(4).clamp(1, n / 4))
+            .unwrap_or(0);
+        let core_n = n - chain_len;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let out_degs =
+            powerlaw_degrees(core_n, self.num_edges, self.max_out_degree, self.alpha, &mut rng);
+        let in_degs =
+            powerlaw_degrees(core_n, self.num_edges, self.max_in_degree, self.alpha, &mut rng);
+
+        // Destination sampling table: cumulative in-degree weights. Alias
+        // tables would be faster; a binary search over the prefix sums is
+        // simple and O(log n) per edge.
+        let mut in_prefix: Vec<u64> = Vec::with_capacity(n as usize + 1);
+        in_prefix.push(0);
+        for &d in &in_degs {
+            in_prefix.push(in_prefix.last().unwrap() + d as u64);
+        }
+        let total_in = *in_prefix.last().unwrap();
+        assert!(total_in > 0, "degenerate in-degree sequence");
+
+        // Rank r generated the r-th highest degree; permute so ids carry no
+        // locality, like crawled social graphs.
+        let perm = random_permutation(n, self.seed.wrapping_mul(0x9e3779b97f4a7c15));
+
+        let mut el = EdgeList::new(n);
+        el.edges.reserve(self.num_edges as usize);
+        for (rank, &d) in out_degs.iter().enumerate() {
+            let src = perm[rank];
+            for _ in 0..d {
+                let ticket = rng.gen_range(0..total_in);
+                let dst_rank = in_prefix.partition_point(|&p| p <= ticket) - 1;
+                el.edges.push((src, perm[dst_rank]));
+            }
+        }
+        // Hub mesh: connect the top-degree ranks to one another so the core
+        // is strongly connected and its diameter stays tiny.
+        let hubs = (core_n as usize).min(16);
+        for i in 0..hubs {
+            for j in 0..hubs {
+                if i != j {
+                    el.edges.push((perm[i], perm[j]));
+                }
+            }
+        }
+        // Diameter chain: a bidirectional path of fringe members hanging
+        // off a mid-rank member (friend-of-friend tendrils).
+        if chain_len > 0 {
+            let anchor = perm[core_n as usize / 2];
+            let chain = &perm[core_n as usize..];
+            el.edges.push((anchor, chain[0]));
+            el.edges.push((chain[0], anchor));
+            for w in chain.windows(2) {
+                el.edges.push((w[0], w[1]));
+                el.edges.push((w[1], w[0]));
+            }
+        }
+        el.dedup();
+        el
+    }
+
+    /// Generates the CSR directly.
+    pub fn generate(&self) -> Csr {
+        self.generate_edges().into_csr()
+    }
+}
+
+/// Connects each isolated (zero total degree) vertex to a random hub so
+/// traversal benchmarks reach the whole graph. Returns the number patched.
+pub fn patch_isolated(el: &mut EdgeList, seed: u64) -> u32 {
+    let n = el.num_vertices;
+    let mut deg = vec![0u32; n as usize];
+    for &(s, d) in &el.edges {
+        deg[s as usize] += 1;
+        deg[d as usize] += 1;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut patched = 0;
+    for v in 0..n {
+        if deg[v as usize] == 0 {
+            let hub: VertexId = rng.gen_range(0..n);
+            el.edges.push((hub, v));
+            patched += 1;
+        }
+    }
+    patched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn hits_shape_targets() {
+        let cfg = SocialConfig::new(20_000, 400_000, 3_000, 10_000).seed(9);
+        let g = cfg.generate();
+        let st = GraphStats::compute(&g);
+        assert_eq!(g.num_vertices(), 20_000);
+        // Dedup collapses some edges on the hot destinations; shape holds.
+        assert!(st.num_edges > 250_000, "edges={}", st.num_edges);
+        assert!(st.max_out_degree as f64 > 2_000.0, "dout={}", st.max_out_degree);
+        assert!(st.max_in_degree as f64 > 6_000.0, "din={}", st.max_in_degree);
+        assert!(st.max_in_degree > st.max_out_degree);
+    }
+
+    #[test]
+    fn tiny_diameter() {
+        let cfg = SocialConfig::new(5_000, 100_000, 1_000, 2_000).seed(4);
+        let g = cfg.generate();
+        let st = GraphStats::compute(&g);
+        assert!(st.approx_diameter <= 8, "diam={}", st.approx_diameter);
+    }
+
+    #[test]
+    fn planted_diameter() {
+        let g = SocialConfig::new(10_000, 150_000, 800, 1_500).diameter(21).seed(11).generate();
+        let st = GraphStats::compute(&g);
+        assert!(
+            (18..=26).contains(&st.approx_diameter),
+            "diam={}",
+            st.approx_diameter
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SocialConfig::new(2_000, 20_000, 200, 500).seed(42);
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+
+    #[test]
+    fn patch_isolated_connects_everything() {
+        let mut el = EdgeList::new(10);
+        el.edges.extend([(0, 1), (1, 2)]);
+        let patched = patch_isolated(&mut el, 1);
+        assert_eq!(patched, 7);
+        let mut deg = [0u32; 10];
+        for &(s, d) in &el.edges {
+            deg[s as usize] += 1;
+            deg[d as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| d > 0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Web-crawl generator (indochina04 / uk07 / clueweb12 / uk14 / wdc14
+//! analogues).
+//!
+//! Shape targets, from the paper's Table I and §IV-A:
+//!
+//! * **host locality**: pages cluster into sites; most links stay within a
+//!   site and ids are crawl-ordered, so nearby ids are densely connected
+//!   (this is what makes edge-cuts of web crawls communication-friendly);
+//! * **extreme max in-degree**: a handful of hub pages are linked from a
+//!   sizeable fraction of the whole crawl (clueweb12: 75M of 978M pages);
+//! * **moderate max out-degree**: the largest directory page links to a few
+//!   thousand pages (uk07: 15k of 106M);
+//! * **long-tail diameter**: "large web-crawls like uk14 have a non-trivial
+//!   diameter due to long tails" — modelled as a directed chain of
+//!   `target_diameter` pages hanging off a hub (crawler-trap/calendar
+//!   structure). The chain length is *not* scaled down with the graph,
+//!   because the paper's round counts (bfs on uk14 runs >1000 rounds)
+//!   depend on it directly.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use super::powerlaw_degrees;
+use crate::csr::{Csr, EdgeList};
+
+/// Number of global hub pages.
+const NUM_HUBS: usize = 16;
+
+/// Configuration for a web-crawl generation run.
+#[derive(Clone, Debug)]
+pub struct WebCrawlConfig {
+    /// Number of pages.
+    pub num_vertices: u32,
+    /// Target edge count.
+    pub num_edges: u64,
+    /// Target maximum out-degree (largest directory page).
+    pub max_out_degree: u32,
+    /// Target maximum in-degree (most-linked hub page).
+    pub max_in_degree: u32,
+    /// Approximate diameter to plant via the long-tail chain.
+    pub target_diameter: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WebCrawlConfig {
+    /// A web crawl with the given size, degree ceilings and diameter.
+    pub fn new(n: u32, m: u64, max_out: u32, max_in: u32, diameter: u32) -> Self {
+        WebCrawlConfig {
+            num_vertices: n,
+            num_edges: m,
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            target_diameter: diameter,
+            seed: 1,
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the edge list.
+    pub fn generate_edges(&self) -> EdgeList {
+        let n = self.num_vertices;
+        assert!(n as u64 > self.target_diameter as u64 + NUM_HUBS as u64 + 64,
+            "graph too small for requested diameter");
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut el = EdgeList::new(n);
+        el.edges.reserve(self.num_edges as usize + n as usize);
+
+        let chain_len = self.target_diameter.saturating_sub(3).max(1);
+        let core_n = n - chain_len; // pages [core_n, n) form the tail chain
+        let hubs: Vec<u32> = (0..NUM_HUBS as u32).collect();
+
+        // --- Hub mesh: hubs link each other (strongly connected core). ---
+        for &h in &hubs {
+            for &g in &hubs {
+                if h != g {
+                    el.edges.push((h, g));
+                }
+            }
+        }
+
+        // --- Sites: contiguous id ranges with power-law sizes. ---
+        // The largest site's index page supplies the max out-degree.
+        let mut site_of = vec![0u32; n as usize]; // site index page per vertex
+        let mut site_starts: Vec<u32> = Vec::new();
+        let mut start = NUM_HUBS as u32;
+        let mut first_site = true;
+        while start < core_n {
+            let remaining = core_n - start;
+            let size = if first_site {
+                // Plant the max-out-degree directory page exactly once.
+                first_site = false;
+                (self.max_out_degree + 1).min(remaining)
+            } else {
+                // Mostly small sites, occasionally a big one.
+                let base: u32 = if rng.gen::<f64>() < 0.02 {
+                    rng.gen_range(256..=1024.min(self.max_out_degree.max(257)))
+                } else {
+                    rng.gen_range(8..64)
+                };
+                base.min(remaining)
+            };
+            site_starts.push(start);
+            let index = start;
+            for i in start..start + size {
+                site_of[i as usize] = index;
+            }
+            // Directory page links every page of its site; pages link back
+            // and chain to the next page (crawl-order locality).
+            for i in start + 1..start + size {
+                el.edges.push((index, i));
+                el.edges.push((i, index));
+                if i + 1 < start + size {
+                    el.edges.push((i, i + 1));
+                }
+            }
+            // Every index page links a hub so the hub core is reachable
+            // from anywhere and vice versa.
+            let h = hubs[rng.gen_range(0..NUM_HUBS)];
+            el.edges.push((index, h));
+            el.edges.push((h, index));
+            start += size;
+        }
+
+        // --- Hub in-links: drive hub 0 to the max in-degree target. ---
+        // Zipf-ish shares over the hubs; page i links hub z with probability
+        // chosen so hub 0 collects ~max_in_degree links.
+        let shares: Vec<f64> = (0..NUM_HUBS).map(|r| 1.0 / (r + 1) as f64).collect();
+        let share_sum: f64 = shares.iter().sum();
+        let q = (self.max_in_degree as f64 * share_sum / (shares[0] * core_n as f64)).min(1.0);
+        let mut hub_cum: Vec<f64> = Vec::with_capacity(NUM_HUBS);
+        let mut acc = 0.0;
+        for s in &shares {
+            acc += s / share_sum;
+            hub_cum.push(acc);
+        }
+        for i in NUM_HUBS as u32..core_n {
+            if rng.gen::<f64>() < q {
+                let t = rng.gen::<f64>();
+                let z = hub_cum.partition_point(|&c| c < t).min(NUM_HUBS - 1);
+                el.edges.push((i, hubs[z]));
+            }
+        }
+
+        // --- Long-tail chain: hub 0 -> core_n -> core_n+1 -> ... ---
+        el.edges.push((hubs[0] , core_n));
+        for i in core_n..n - 1 {
+            el.edges.push((i, i + 1));
+            site_of[i as usize] = core_n;
+        }
+        site_of[n as usize - 1] = core_n;
+
+        // --- Fill the remaining edge budget with locality-biased links. ---
+        let structural = el.edges.len() as u64;
+        if self.num_edges > structural {
+            let fill = self.num_edges - structural;
+            // Source selection is skewed: busy pages link more.
+            let out_degs =
+                powerlaw_degrees(core_n, fill, (self.max_out_degree / 4).max(8), 0.6, &mut rng);
+            'outer: for (v, &d) in out_degs.iter().enumerate() {
+                let v = v as u32;
+                if v < NUM_HUBS as u32 {
+                    continue;
+                }
+                for _ in 0..d {
+                    if el.edges.len() as u64 >= self.num_edges {
+                        break 'outer;
+                    }
+                    let dst = if rng.gen::<f64>() < 0.8 {
+                        // In-site link: near the source id.
+                        let lo = site_of[v as usize];
+                        let width = 512.min(core_n - lo);
+                        lo + rng.gen_range(0..width.max(1))
+                    } else {
+                        rng.gen_range(NUM_HUBS as u32..core_n)
+                    };
+                    el.edges.push((v, dst));
+                }
+            }
+        }
+        el.dedup();
+        el
+    }
+
+    /// Generates the CSR directly.
+    pub fn generate(&self) -> Csr {
+        self.generate_edges().into_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn hits_shape_targets() {
+        let cfg = WebCrawlConfig::new(30_000, 750_000, 7_000, 1_000, 30).seed(2);
+        let g = cfg.generate();
+        let st = GraphStats::compute(&g);
+        assert_eq!(g.num_vertices(), 30_000);
+        assert!(st.num_edges as f64 > 0.75 * 750_000.0, "edges={}", st.num_edges);
+        assert!(
+            (st.max_out_degree as f64 - 7_000.0).abs() < 700.0,
+            "dout={}",
+            st.max_out_degree
+        );
+        assert!(
+            st.max_in_degree as f64 > 0.7 * 1_000.0,
+            "din={}",
+            st.max_in_degree
+        );
+    }
+
+    #[test]
+    fn plants_requested_diameter() {
+        let cfg = WebCrawlConfig::new(8_000, 100_000, 500, 400, 120).seed(6);
+        let g = cfg.generate();
+        let st = GraphStats::compute(&g);
+        assert!(
+            st.approx_diameter >= 110 && st.approx_diameter <= 140,
+            "diam={}",
+            st.approx_diameter
+        );
+    }
+
+    #[test]
+    fn everything_reachable_from_max_out_degree_vertex() {
+        let cfg = WebCrawlConfig::new(5_000, 60_000, 300, 300, 20).seed(8);
+        let g = cfg.generate();
+        let src = g.max_out_degree_vertex();
+        // BFS from the benchmark source must reach (almost) all pages.
+        let mut seen = vec![false; g.num_vertices() as usize];
+        let mut frontier = vec![src];
+        seen[src as usize] = true;
+        let mut reached = 1u32;
+        while let Some(u) = frontier.pop() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    reached += 1;
+                    frontier.push(v);
+                }
+            }
+        }
+        assert!(reached as f64 > 0.99 * g.num_vertices() as f64, "reached={reached}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WebCrawlConfig::new(4_000, 40_000, 200, 200, 15).seed(77);
+        assert_eq!(cfg.generate(), cfg.generate());
+    }
+}

@@ -1,0 +1,184 @@
+//! Graph serialization.
+//!
+//! Two formats:
+//!
+//! * a text edge list (`src dst [weight]` per line) for interop and small
+//!   fixtures;
+//! * a binary CSR dump, mirroring the paper's footnote that "in practice,
+//!   graphs can be partitioned once, and in-memory representations of the
+//!   partitions can be written to disk" and reloaded directly.
+
+use std::io::{self, BufRead, BufWriter, Read, Write};
+
+use crate::csr::{Csr, CsrBuilder, EdgeList};
+
+const MAGIC: &[u8; 8] = b"DIRGLCSR";
+
+/// Writes `g` as a binary CSR stream.
+pub fn write_binary<W: Write>(g: &Csr, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&g.num_edges().to_le_bytes())?;
+    w.write_all(&[g.is_weighted() as u8])?;
+    for &o in g.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in g.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    if let Some(ws) = g.weights() {
+        for &x in ws {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a binary CSR stream written by [`write_binary`].
+pub fn read_binary<R: Read>(mut r: R) -> io::Result<Csr> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let weighted = flag[0] != 0;
+
+    let mut offsets = vec![0u64; n + 1];
+    for o in offsets.iter_mut() {
+        r.read_exact(&mut buf8)?;
+        *o = u64::from_le_bytes(buf8);
+    }
+    let mut buf4 = [0u8; 4];
+    let mut builder = CsrBuilder::with_capacity(n as u32, m);
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        targets.push(u32::from_le_bytes(buf4));
+    }
+    let mut weights = Vec::new();
+    if weighted {
+        weights.reserve(m);
+        for _ in 0..m {
+            r.read_exact(&mut buf4)?;
+            weights.push(u32::from_le_bytes(buf4));
+        }
+    }
+    for u in 0..n {
+        for i in offsets[u] as usize..offsets[u + 1] as usize {
+            if weighted {
+                builder.add_weighted(u as u32, targets[i], weights[i]);
+            } else {
+                builder.add(u as u32, targets[i]);
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Writes `g` as a text edge list (`src dst [weight]` per line).
+pub fn write_edge_list<W: Write>(g: &Csr, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    for (u, v, wt) in g.iter_all_edges() {
+        if g.is_weighted() {
+            writeln!(w, "{u} {v} {wt}")?;
+        } else {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    w.flush()
+}
+
+/// Parses a text edge list; `#`-prefixed lines are comments. The vertex
+/// count is `max id + 1` unless `num_vertices` is given.
+pub fn read_edge_list<R: BufRead>(r: R, num_vertices: Option<u32>) -> io::Result<EdgeList> {
+    let mut edges = Vec::new();
+    let mut weights: Option<Vec<u32>> = None;
+    let mut max_id = 0u32;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let bad = || {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed edge list line {}", lineno + 1),
+            )
+        };
+        let s: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d: u32 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        max_id = max_id.max(s).max(d);
+        if let Some(wtok) = it.next() {
+            let wt: u32 = wtok.parse().map_err(|_| bad())?;
+            weights.get_or_insert_with(|| vec![0; edges.len()]).push(wt);
+        } else if let Some(ws) = weights.as_mut() {
+            ws.push(0);
+        }
+        edges.push((s, d));
+    }
+    let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_id + 1 });
+    Ok(EdgeList { num_vertices: n, edges, weights })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::rmat::RmatConfig;
+    use crate::weights::randomize_weights;
+
+    #[test]
+    fn binary_roundtrip_unweighted() {
+        let g = RmatConfig::new(8, 4).seed(1).generate();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_weighted() {
+        let g = randomize_weights(&RmatConfig::new(7, 4).seed(2).generate(), 100, 3);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(g, read_binary(&buf[..]).unwrap());
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(read_binary(&b"NOTAGRPH########"[..]).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = randomize_weights(&RmatConfig::new(6, 3).seed(4).generate(), 10, 5);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let el = read_edge_list(&buf[..], Some(g.num_vertices())).unwrap();
+        assert_eq!(el.into_csr(), g);
+    }
+
+    #[test]
+    fn text_parses_comments_and_blank_lines() {
+        let text = "# a comment\n\n0 1 5\n1 2 7\n";
+        let el = read_edge_list(text.as_bytes(), None).unwrap();
+        assert_eq!(el.num_vertices, 3);
+        assert_eq!(el.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(el.weights, Some(vec![5, 7]));
+    }
+
+    #[test]
+    fn text_rejects_malformed() {
+        assert!(read_edge_list("0 x\n".as_bytes(), None).is_err());
+        assert!(read_edge_list("42\n".as_bytes(), None).is_err());
+    }
+}

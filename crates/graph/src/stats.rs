@@ -1,0 +1,130 @@
+//! Graph property measurement — the columns of the paper's Table I.
+
+use crate::csr::{Csr, VertexId};
+
+/// Measured properties of a graph, mirroring Table I of the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// |V|.
+    pub num_vertices: u32,
+    /// |E|.
+    pub num_edges: u64,
+    /// |E| / |V|.
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: u32,
+    /// Maximum in-degree.
+    pub max_in_degree: u32,
+    /// Approximate diameter via double-sweep BFS on the undirected view.
+    pub approx_diameter: u32,
+}
+
+impl GraphStats {
+    /// Computes all properties. `O(|V| + |E|)` except the diameter estimate
+    /// which runs two BFS sweeps.
+    pub fn compute(g: &Csr) -> GraphStats {
+        let n = g.num_vertices();
+        let mut in_deg = vec![0u32; n as usize];
+        for &t in g.targets() {
+            in_deg[t as usize] += 1;
+        }
+        let max_out = (0..n).map(|v| g.out_degree(v)).max().unwrap_or(0);
+        let max_in = in_deg.into_iter().max().unwrap_or(0);
+        GraphStats {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            avg_degree: if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 },
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            approx_diameter: approx_diameter(g),
+        }
+    }
+}
+
+/// BFS levels from `src` over out-edges of `g` plus out-edges of `rev`
+/// (i.e. the undirected view); returns `(levels, farthest, max_level)`.
+fn bfs_levels(g: &Csr, rev: &Csr, src: VertexId) -> (Vec<u32>, VertexId, u32) {
+    let n = g.num_vertices() as usize;
+    let mut level = vec![u32::MAX; n];
+    level[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut next = Vec::new();
+    let mut depth = 0u32;
+    let mut far = src;
+    while !frontier.is_empty() {
+        depth += 1;
+        for &u in &frontier {
+            for &v in g.neighbors(u).iter().chain(rev.neighbors(u)) {
+                if level[v as usize] == u32::MAX {
+                    level[v as usize] = depth;
+                    far = v;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    let max_level = depth.saturating_sub(1);
+    (level, far, max_level)
+}
+
+/// Double-sweep diameter estimate on the undirected view: BFS from the
+/// max-out-degree vertex, then BFS again from the farthest vertex found.
+/// A lower bound on the true diameter; the standard approximation the paper
+/// (and Table I's "Approx. Diameter") relies on.
+pub fn approx_diameter(g: &Csr) -> u32 {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let rev = g.transpose();
+    let start = g.max_out_degree_vertex();
+    let (_, far, _) = bfs_levels(g, &rev, start);
+    let (_, _, d2) = bfs_levels(g, &rev, far);
+    d2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+
+    #[test]
+    fn path_graph_diameter() {
+        let mut b = CsrBuilder::new(6);
+        for i in 0..5 {
+            b.add(i, i + 1);
+        }
+        let g = b.build();
+        assert_eq!(approx_diameter(&g), 5);
+        let st = GraphStats::compute(&g);
+        assert_eq!(st.max_out_degree, 1);
+        assert_eq!(st.max_in_degree, 1);
+        assert_eq!(st.num_edges, 5);
+        assert!((st.avg_degree - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_graph_stats() {
+        let mut b = CsrBuilder::new(5);
+        for i in 1..5 {
+            b.add(0, i);
+        }
+        let g = b.build();
+        let st = GraphStats::compute(&g);
+        assert_eq!(st.max_out_degree, 4);
+        assert_eq!(st.max_in_degree, 1);
+        assert_eq!(st.approx_diameter, 2); // leaf -> hub -> leaf, undirected
+    }
+
+    #[test]
+    fn directed_cycle_uses_undirected_view() {
+        let mut b = CsrBuilder::new(8);
+        for i in 0..8 {
+            b.add(i, (i + 1) % 8);
+        }
+        let g = b.build();
+        // Undirected cycle of 8: diameter 4.
+        assert_eq!(approx_diameter(&g), 4);
+    }
+}

@@ -1,0 +1,372 @@
+//! Streaming partition construction (CuSP's algorithm, in-memory).
+
+use rayon::prelude::*;
+
+use dirgl_graph::csr::{Csr, CsrBuilder, VertexId};
+
+use crate::edges::{default_hvc_threshold, EdgeRule};
+use crate::links::PairLink;
+use crate::local::LocalGraph;
+use crate::masters::{assign_masters, in_degrees};
+use crate::policy::{Grid, Policy};
+
+/// A complete partitioning of a graph across `num_devices` devices.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Policy used.
+    pub policy: Policy,
+    /// Number of devices.
+    pub num_devices: u32,
+    /// CVC device grid (present only for [`Policy::Cvc`]).
+    pub grid: Option<Grid>,
+    /// |V| of the global graph.
+    pub num_global_vertices: u32,
+    /// Per-device local graphs.
+    pub locals: Vec<LocalGraph>,
+    /// Exchange links indexed `holder * num_devices + owner`.
+    links: Vec<PairLink>,
+}
+
+impl Partition {
+    /// Partitions `g` with `policy` across `num_devices` devices.
+    ///
+    /// `seed` feeds the random/BFS-grow master rules; the edge-balanced
+    /// policies are fully deterministic.
+    pub fn build(g: &Csr, policy: Policy, num_devices: u32, seed: u64) -> Partition {
+        assert!(num_devices >= 1);
+        let n = g.num_vertices();
+        let p = num_devices as usize;
+        let ma = assign_masters(g, policy, num_devices, seed);
+        let grid = (policy == Policy::Cvc).then(|| Grid::for_devices(num_devices));
+        let ind = (policy == Policy::Hvc).then(|| in_degrees(g));
+        let avg = if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 };
+        let rule =
+            EdgeRule::new(policy, &ma.owner, grid, ind.as_deref(), default_hvc_threshold(avg));
+
+        // --- Edge assignment: bucket every edge onto its device. ---
+        let mut dev_edges: Vec<Vec<(VertexId, VertexId, u32)>> = vec![Vec::new(); p];
+        for u in 0..n {
+            for (v, w) in g.edges(u) {
+                dev_edges[rule.device_of(u, v) as usize].push((u, v, w));
+            }
+        }
+
+        // --- Masters per device, in ascending global id. ---
+        let mut masters_per_dev: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+        for v in 0..n {
+            masters_per_dev[ma.owner[v as usize] as usize].push(v);
+        }
+
+        // --- Local graph construction, one device at a time (parallel). ---
+        let owner = &ma.owner;
+        let weighted = g.is_weighted();
+        let locals: Vec<LocalGraph> = dev_edges
+            .into_par_iter()
+            .zip(masters_per_dev.into_par_iter())
+            .enumerate()
+            .map(|(d, (edges, masters))| {
+                build_local(d as u32, edges, masters, owner, weighted)
+            })
+            .collect();
+
+        // --- Exchange links: align mirror lists with master local ids. ---
+        let mut links: Vec<PairLink> = vec![PairLink::default(); p * p];
+        for holder in 0..p {
+            let lg = &locals[holder];
+            for lv in lg.num_masters..lg.num_vertices() {
+                let ow = lg.master_device[lv as usize] as usize;
+                debug_assert_ne!(ow, holder);
+                let link = &mut links[holder * p + ow];
+                link.mirror_side.push(lv);
+                link.mirror_has_out.push(lg.has_out_edges(lv));
+                link.mirror_has_in.push(lg.has_in_edges(lv));
+                // Global id resolves to a master local id on the owner.
+                let gid = lg.l2g[lv as usize];
+                let m = locals[ow].g2l[&gid];
+                debug_assert!(locals[ow].is_master(m));
+                link.master_side.push(m);
+            }
+        }
+
+        Partition { policy, num_devices, grid, num_global_vertices: n, locals, links }
+    }
+
+    /// Reassembles a partition from previously serialized parts,
+    /// validating basic consistency (used by [`crate::io`]).
+    #[allow(clippy::result_large_err)]
+    pub fn from_parts(
+        policy: Policy,
+        num_devices: u32,
+        grid: Option<Grid>,
+        num_global_vertices: u32,
+        locals: Vec<LocalGraph>,
+        links: Vec<PairLink>,
+    ) -> Result<Partition, String> {
+        if locals.len() != num_devices as usize {
+            return Err(format!("expected {num_devices} locals, got {}", locals.len()));
+        }
+        if links.len() != (num_devices * num_devices) as usize {
+            return Err("link table size mismatch".into());
+        }
+        for (d, lg) in locals.iter().enumerate() {
+            if lg.device != d as u32 {
+                return Err(format!("local {d} carries device id {}", lg.device));
+            }
+            if lg.num_masters > lg.num_vertices() {
+                return Err("more masters than vertices".into());
+            }
+        }
+        Ok(Partition { policy, num_devices, grid, num_global_vertices, locals, links })
+    }
+
+    /// The exchange link for mirrors held on `holder` whose masters live on
+    /// `owner`.
+    #[inline]
+    pub fn link(&self, holder: u32, owner: u32) -> &PairLink {
+        &self.links[(holder * self.num_devices + owner) as usize]
+    }
+
+    /// Average proxies per global vertex (§III-A's replication factor).
+    pub fn replication_factor(&self) -> f64 {
+        let total: u64 = self.locals.iter().map(|l| l.num_vertices() as u64).sum();
+        total as f64 / self.num_global_vertices.max(1) as f64
+    }
+
+    /// Total edges across devices (must equal the input graph's edges).
+    pub fn total_edges(&self) -> u64 {
+        self.locals.iter().map(|l| l.num_edges()).sum()
+    }
+
+    /// Devices owning at least one mirror of masters on `owner` — the
+    /// broadcast partner set before update filtering.
+    pub fn mirror_holders(&self, owner: u32) -> Vec<u32> {
+        (0..self.num_devices)
+            .filter(|&h| h != owner && !self.link(h, owner).is_empty())
+            .collect()
+    }
+}
+
+fn build_local(
+    device: u32,
+    edges: Vec<(VertexId, VertexId, u32)>,
+    masters: Vec<VertexId>,
+    owner: &[u32],
+    weighted: bool,
+) -> LocalGraph {
+    // Vertex set: all masters assigned here plus every endpoint of a local
+    // edge. Masters come first (ascending global id), then mirrors.
+    let num_masters = masters.len() as u32;
+    let mut g2l = std::collections::HashMap::with_capacity(masters.len() * 2);
+    let mut l2g: Vec<VertexId> = Vec::with_capacity(masters.len() * 2);
+    for &v in &masters {
+        g2l.insert(v, l2g.len() as VertexId);
+        l2g.push(v);
+    }
+    let mut mirrors: Vec<VertexId> = Vec::new();
+    for &(u, v, _) in &edges {
+        for gid in [u, v] {
+            if let std::collections::hash_map::Entry::Vacant(e) = g2l.entry(gid) {
+                e.insert(VertexId::MAX); // placeholder, fixed below
+                mirrors.push(gid);
+            }
+        }
+    }
+    mirrors.sort_unstable();
+    for gid in mirrors {
+        let lv = l2g.len() as VertexId;
+        g2l.insert(gid, lv);
+        l2g.push(gid);
+    }
+
+    let mut b = CsrBuilder::with_capacity(l2g.len() as u32, edges.len());
+    for (u, v, w) in edges {
+        let (lu, lv) = (g2l[&u], g2l[&v]);
+        if weighted {
+            b.add_weighted(lu, lv, w);
+        } else {
+            b.add(lu, lv);
+        }
+    }
+    let csr = b.build();
+    let in_csr = csr.transpose();
+    let master_device: Vec<u32> = l2g.iter().map(|&gid| owner[gid as usize]).collect();
+
+    LocalGraph {
+        device,
+        num_masters,
+        l2g: l2g.into_boxed_slice(),
+        master_device: master_device.into_boxed_slice(),
+        csr,
+        in_csr,
+        g2l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirgl_graph::{RmatConfig, WebCrawlConfig};
+
+    fn check_partition_invariants(g: &Csr, part: &Partition) {
+        let p = part.num_devices;
+        // 1. Every edge appears exactly once across devices.
+        assert_eq!(part.total_edges(), g.num_edges());
+        let mut global_edges: Vec<(u32, u32, u32)> = Vec::new();
+        for lg in &part.locals {
+            for lu in 0..lg.num_vertices() {
+                for (lv, w) in lg.csr.edges(lu) {
+                    global_edges.push((lg.l2g[lu as usize], lg.l2g[lv as usize], w));
+                }
+            }
+        }
+        global_edges.sort_unstable();
+        let mut expected: Vec<(u32, u32, u32)> = g.iter_all_edges().collect();
+        expected.sort_unstable();
+        assert_eq!(global_edges, expected);
+
+        // 2. Every global vertex has exactly one master.
+        let mut master_count = vec![0u32; g.num_vertices() as usize];
+        for lg in &part.locals {
+            for lv in 0..lg.num_masters {
+                master_count[lg.l2g[lv as usize] as usize] += 1;
+            }
+        }
+        assert!(master_count.iter().all(|&c| c == 1));
+
+        // 3. Links are aligned: the global ids match entry by entry.
+        for holder in 0..p {
+            for ow in 0..p {
+                let link = part.link(holder, ow);
+                for i in 0..link.len() {
+                    let gid_m = part.locals[holder as usize].l2g[link.mirror_side[i] as usize];
+                    let gid_o = part.locals[ow as usize].l2g[link.master_side[i] as usize];
+                    assert_eq!(gid_m, gid_o);
+                    assert!(part.locals[ow as usize].is_master(link.master_side[i]));
+                    assert!(!part.locals[holder as usize].is_master(link.mirror_side[i]));
+                }
+            }
+            // A device never links to itself.
+            assert!(part.link(holder, holder).is_empty());
+        }
+    }
+
+    #[test]
+    fn all_policies_satisfy_invariants() {
+        let g = RmatConfig::new(9, 8).seed(4).generate();
+        for policy in
+            [Policy::Oec, Policy::Iec, Policy::Hvc, Policy::Cvc, Policy::Random, Policy::MetisLike]
+        {
+            for p in [1, 2, 4, 8] {
+                let part = Partition::build(&g, policy, p, 42);
+                check_partition_invariants(&g, &part);
+            }
+        }
+    }
+
+    #[test]
+    fn oec_keeps_out_edges_at_master() {
+        let g = RmatConfig::new(9, 6).seed(1).generate();
+        let part = Partition::build(&g, Policy::Oec, 4, 0);
+        for lg in &part.locals {
+            for lv in lg.num_masters..lg.num_vertices() {
+                assert!(!lg.has_out_edges(lv), "mirror with out-edges under OEC");
+            }
+        }
+    }
+
+    #[test]
+    fn iec_keeps_in_edges_at_master() {
+        let g = RmatConfig::new(9, 6).seed(1).generate();
+        let part = Partition::build(&g, Policy::Iec, 4, 0);
+        for lg in &part.locals {
+            for lv in lg.num_masters..lg.num_vertices() {
+                assert!(!lg.has_in_edges(lv), "mirror with in-edges under IEC");
+            }
+        }
+    }
+
+    #[test]
+    fn cvc_structural_invariants() {
+        let g = RmatConfig::new(10, 8).seed(7).generate();
+        let part = Partition::build(&g, Policy::Cvc, 8, 0);
+        let grid = part.grid.unwrap();
+        for lg in &part.locals {
+            for lv in lg.num_masters..lg.num_vertices() {
+                let owner_dev = lg.master_device[lv as usize];
+                // Mirrors with out-edges share the master's grid row.
+                if lg.has_out_edges(lv) {
+                    assert_eq!(grid.row(lg.device), grid.row(owner_dev));
+                }
+                // Mirrors with in-edges share the master's grid column.
+                if lg.has_in_edges(lv) {
+                    assert_eq!(grid.col(lg.device), grid.col(owner_dev));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cvc_restricts_communication_partners() {
+        let g = RmatConfig::new(10, 8).seed(3).generate();
+        let part = Partition::build(&g, Policy::Cvc, 16, 0);
+        let grid = part.grid.unwrap();
+        // Any device's non-empty links target only its grid row/column.
+        for holder in 0..16 {
+            for ow in 0..16 {
+                if holder != ow && !part.link(holder, ow).is_empty() {
+                    let same_row = grid.row(holder) == grid.row(ow);
+                    let same_col = grid.col(holder) == grid.col(ow);
+                    assert!(same_row || same_col, "link {holder}->{ow} crosses the grid");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_device_partition_has_no_mirrors() {
+        let g = RmatConfig::new(8, 4).seed(2).generate();
+        for policy in [Policy::Oec, Policy::Cvc, Policy::Hvc] {
+            let part = Partition::build(&g, policy, 1, 0);
+            assert_eq!(part.locals[0].num_mirrors(), 0);
+            assert!((part.replication_factor() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vertex_cut_replication_grows_with_devices() {
+        let g = RmatConfig::new(10, 8).seed(9).generate();
+        let r2 = Partition::build(&g, Policy::Cvc, 2, 0).replication_factor();
+        let r16 = Partition::build(&g, Policy::Cvc, 16, 0).replication_factor();
+        assert!(r16 > r2, "r2={r2} r16={r16}");
+    }
+
+    #[test]
+    fn webcrawl_locality_gives_edge_cuts_low_replication() {
+        let g = WebCrawlConfig::new(8_000, 120_000, 400, 400, 20).seed(5).generate();
+        let iec = Partition::build(&g, Policy::Iec, 8, 0).replication_factor();
+        let random = Partition::build(&g, Policy::Random, 8, 0).replication_factor();
+        // Contiguous blocks exploit crawl locality; random destroys it.
+        assert!(iec < random, "iec={iec} random={random}");
+    }
+
+    #[test]
+    fn weights_preserved_through_partitioning() {
+        let g = dirgl_graph::weights::randomize_weights(
+            &RmatConfig::new(8, 4).seed(6).generate(),
+            50,
+            1,
+        );
+        let part = Partition::build(&g, Policy::Cvc, 4, 0);
+        for lg in &part.locals {
+            assert!(lg.csr.is_weighted());
+            for lu in 0..lg.num_vertices() {
+                for (lv, w) in lg.csr.edges(lu) {
+                    let (gu, gv) = (lg.l2g[lu as usize], lg.l2g[lv as usize]);
+                    // Weight must match one of gu's edges to gv globally.
+                    let found = g.edges(gu).any(|(t, wt)| t == gv && wt == w);
+                    assert!(found, "weight mismatch on ({gu},{gv})");
+                }
+            }
+        }
+    }
+}

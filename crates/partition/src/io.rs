@@ -1,0 +1,205 @@
+//! Partition serialization.
+//!
+//! The paper's methodology note (§IV-A footnote): "graphs can be
+//! partitioned once, and in-memory representations of the partitions can
+//! be written to disk. Applications can then load these partitions
+//! directly." This module provides exactly that: a binary dump/load of a
+//! complete [`Partition`], so harnesses can skip repartitioning across
+//! runs and processes.
+
+use std::io::{self, BufWriter, Read, Write};
+
+use dirgl_graph::io::{read_binary as read_csr, write_binary as write_csr};
+
+use crate::builder::Partition;
+use crate::links::PairLink;
+use crate::local::LocalGraph;
+use crate::policy::{Grid, Policy};
+
+const MAGIC: &[u8; 8] = b"DIRGLPRT";
+
+fn w_u32<W: Write>(w: &mut W, x: u32) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn r_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn w_vec_u32<W: Write>(w: &mut W, xs: &[u32]) -> io::Result<()> {
+    w_u32(w, xs.len() as u32)?;
+    for &x in xs {
+        w_u32(w, x)?;
+    }
+    Ok(())
+}
+
+fn r_vec_u32<R: Read>(r: &mut R) -> io::Result<Vec<u32>> {
+    let n = r_u32(r)? as usize;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(r_u32(r)?);
+    }
+    Ok(v)
+}
+
+fn policy_tag(p: Policy) -> u32 {
+    match p {
+        Policy::Oec => 0,
+        Policy::Iec => 1,
+        Policy::Hvc => 2,
+        Policy::Cvc => 3,
+        Policy::Random => 4,
+        Policy::MetisLike => 5,
+        Policy::Xtrapulp => 6,
+    }
+}
+
+fn tag_policy(t: u32) -> io::Result<Policy> {
+    Ok(match t {
+        0 => Policy::Oec,
+        1 => Policy::Iec,
+        2 => Policy::Hvc,
+        3 => Policy::Cvc,
+        4 => Policy::Random,
+        5 => Policy::MetisLike,
+        6 => Policy::Xtrapulp,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad policy tag")),
+    })
+}
+
+/// Writes a partition as a binary stream.
+pub fn write_partition<W: Write>(part: &Partition, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w_u32(&mut w, policy_tag(part.policy))?;
+    w_u32(&mut w, part.num_devices)?;
+    w_u32(&mut w, part.num_global_vertices)?;
+    match part.grid {
+        Some(g) => {
+            w_u32(&mut w, 1)?;
+            w_u32(&mut w, g.pr)?;
+            w_u32(&mut w, g.pc)?;
+        }
+        None => w_u32(&mut w, 0)?,
+    }
+    for lg in &part.locals {
+        w_u32(&mut w, lg.device)?;
+        w_u32(&mut w, lg.num_masters)?;
+        w_vec_u32(&mut w, &lg.l2g)?;
+        w_vec_u32(&mut w, &lg.master_device)?;
+        write_csr(&lg.csr, &mut w)?;
+    }
+    for holder in 0..part.num_devices {
+        for owner in 0..part.num_devices {
+            let link = part.link(holder, owner);
+            w_vec_u32(&mut w, &link.mirror_side)?;
+            w_vec_u32(&mut w, &link.master_side)?;
+            let flags: Vec<u32> = link
+                .mirror_has_out
+                .iter()
+                .zip(&link.mirror_has_in)
+                .map(|(&o, &i)| o as u32 | (i as u32) << 1)
+                .collect();
+            w_vec_u32(&mut w, &flags)?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads a partition written by [`write_partition`].
+pub fn read_partition<R: Read>(mut r: R) -> io::Result<Partition> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let policy = tag_policy(r_u32(&mut r)?)?;
+    let num_devices = r_u32(&mut r)?;
+    let num_global_vertices = r_u32(&mut r)?;
+    let grid = if r_u32(&mut r)? == 1 {
+        Some(Grid { pr: r_u32(&mut r)?, pc: r_u32(&mut r)? })
+    } else {
+        None
+    };
+    let mut locals = Vec::with_capacity(num_devices as usize);
+    for _ in 0..num_devices {
+        let device = r_u32(&mut r)?;
+        let num_masters = r_u32(&mut r)?;
+        let l2g = r_vec_u32(&mut r)?;
+        let master_device = r_vec_u32(&mut r)?;
+        let csr = read_csr(&mut r)?;
+        let in_csr = csr.transpose();
+        let g2l = l2g.iter().enumerate().map(|(lv, &gv)| (gv, lv as u32)).collect();
+        locals.push(LocalGraph {
+            device,
+            num_masters,
+            l2g: l2g.into_boxed_slice(),
+            master_device: master_device.into_boxed_slice(),
+            csr,
+            in_csr,
+            g2l,
+        });
+    }
+    let mut links = Vec::with_capacity((num_devices * num_devices) as usize);
+    for _ in 0..num_devices * num_devices {
+        let mirror_side = r_vec_u32(&mut r)?;
+        let master_side = r_vec_u32(&mut r)?;
+        let flags = r_vec_u32(&mut r)?;
+        if mirror_side.len() != master_side.len() || mirror_side.len() != flags.len() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "misaligned link"));
+        }
+        links.push(PairLink {
+            mirror_side,
+            master_side,
+            mirror_has_out: flags.iter().map(|&f| f & 1 != 0).collect(),
+            mirror_has_in: flags.iter().map(|&f| f & 2 != 0).collect(),
+        });
+    }
+    Partition::from_parts(policy, num_devices, grid, num_global_vertices, locals, links)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirgl_graph::weights::randomize_weights;
+    use dirgl_graph::RmatConfig;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = randomize_weights(&RmatConfig::new(9, 6).seed(5).generate(), 50, 1);
+        for policy in [Policy::Cvc, Policy::Iec, Policy::Hvc] {
+            let part = Partition::build(&g, policy, 6, 3);
+            let mut buf = Vec::new();
+            write_partition(&part, &mut buf).unwrap();
+            let back = read_partition(&buf[..]).unwrap();
+            assert_eq!(back.policy, part.policy);
+            assert_eq!(back.num_devices, part.num_devices);
+            assert_eq!(back.grid, part.grid);
+            assert_eq!(back.total_edges(), part.total_edges());
+            for d in 0..6 {
+                let (a, b) = (&part.locals[d], &back.locals[d]);
+                assert_eq!(a.l2g, b.l2g);
+                assert_eq!(a.num_masters, b.num_masters);
+                assert_eq!(a.csr, b.csr);
+                assert_eq!(a.in_csr, b.in_csr);
+                for o in 0..6 {
+                    let (la, lb) = (part.link(d as u32, o), back.link(d as u32, o));
+                    assert_eq!(la.mirror_side, lb.mirror_side);
+                    assert_eq!(la.master_side, lb.master_side);
+                    assert_eq!(la.mirror_has_out, lb.mirror_has_out);
+                    assert_eq!(la.mirror_has_in, lb.mirror_has_in);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_partition(&b"NOTAPART"[..]).is_err());
+        assert!(read_partition(&b"DIRGLPRT\xff\xff\xff\xff"[..]).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! CuSP-style streaming graph partitioner for the `dirgl` workspace.
+//!
+//! Implements the partitioning policies studied in the paper (§III-C):
+//!
+//! * **OEC / IEC** — edge-balanced outgoing/incoming edge-cuts (Lux's
+//!   native policy is IEC);
+//! * **HVC** — PowerLyra-style hybrid vertex-cut;
+//! * **CVC** — the Cartesian vertex-cut of Boman et al. / Gluon, the 2D cut
+//!   whose structural invariants make it the paper's headline result;
+//! * **Random** — Gunrock's default random vertex assignment;
+//! * **MetisLike** — a BFS-grow locality-seeking edge-cut standing in for
+//!   the METIS partitions Groute consumes.
+//!
+//! [`Partition::build`] follows CuSP's two decision functions — a *master
+//! assignment* rule and an *edge assignment* rule — then constructs one
+//! [`LocalGraph`] per device (masters first, then mirrors, exactly the
+//! proxy model of §III-A) and the aligned mirror↔master exchange links the
+//! Gluon-style substrate synchronizes over.
+
+pub mod builder;
+pub mod edges;
+pub mod io;
+pub mod links;
+pub mod local;
+pub mod masters;
+pub mod metrics;
+pub mod policy;
+
+pub use builder::Partition;
+pub use links::PairLink;
+pub use local::LocalGraph;
+pub use metrics::PartitionMetrics;
+pub use policy::{Grid, Policy};

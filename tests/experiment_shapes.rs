@@ -1,0 +1,172 @@
+//! Shape checks: the paper's headline findings must hold on scaled-down
+//! runs. These are the claims `EXPERIMENTS.md` tracks, asserted at a scale
+//! small enough for CI.
+
+use dirgl::prelude::*;
+use dirgl_bench::{run_dirgl, BenchId, LoadedDataset, PartitionCache};
+
+fn total(r: &Result<dirgl::core::RunOutput, RunError>) -> f64 {
+    r.as_ref().unwrap().report.total_time.as_secs_f64()
+}
+
+/// Lesson 1 (§V-C / Fig. 7): CVC is critical to scale out — it beats the
+/// edge-cuts at 16+ GPUs. Checked on the social-network medium input
+/// (twitter50): no id locality for contiguous edge-cuts to exploit, the
+/// regime where the partner-count argument is cleanest (on the web crawls
+/// the edge-cuts ride crawl locality to within a few percent of CVC, in
+/// this reproduction more so than in the paper — see EXPERIMENTS.md).
+#[test]
+fn cvc_wins_at_scale() {
+    let ld = LoadedDataset::load(DatasetId::Twitter50, 4);
+    let mut cache = PartitionCache::new();
+    let mut cvc_wins = 0;
+    let mut cells = 0;
+    for bench in [BenchId::Bfs, BenchId::Cc, BenchId::Sssp] {
+        let cvc = total(&run_dirgl(
+            bench, &ld, &mut cache, &Platform::bridges(64), Policy::Cvc, Variant::var4(),
+        ));
+        for policy in [Policy::Oec, Policy::Iec, Policy::Hvc] {
+            let other = total(&run_dirgl(
+                bench, &ld, &mut cache, &Platform::bridges(64), policy, Variant::var4(),
+            ));
+            cells += 1;
+            if cvc <= other * 1.05 {
+                cvc_wins += 1;
+            }
+        }
+    }
+    assert!(
+        cvc_wins * 3 >= cells * 2,
+        "CVC won only {cvc_wins}/{cells} comparisons at 64 GPUs"
+    );
+}
+
+/// §V-B3 (Fig. 4): UO (Var3) cuts communication volume sharply vs AS
+/// (Var2) and does not lose time overall on the medium inputs.
+#[test]
+fn updated_only_cuts_volume() {
+    let ld = LoadedDataset::load(DatasetId::Twitter50, 4);
+    let mut cache = PartitionCache::new();
+    for bench in [BenchId::Bfs, BenchId::Sssp] {
+        let var2 = run_dirgl(
+            bench, &ld, &mut cache, &Platform::bridges(32), Policy::Iec, Variant::var2(),
+        )
+        .unwrap();
+        let var3 = run_dirgl(
+            bench, &ld, &mut cache, &Platform::bridges(32), Policy::Iec, Variant::var3(),
+        )
+        .unwrap();
+        assert!(
+            (var3.report.comm_bytes as f64) < 0.5 * var2.report.comm_bytes as f64,
+            "{bench}: UO volume {} vs AS {}",
+            var3.report.comm_bytes,
+            var2.report.comm_bytes
+        );
+        assert!(var3.report.total_time <= var2.report.total_time);
+    }
+}
+
+/// §V-B2 (Fig. 6): ALB only matters where the max in-degree is huge —
+/// pagerank (pull) on a web crawl — and TWC/ALB tie on push benchmarks.
+#[test]
+fn alb_helps_exactly_where_the_paper_says() {
+    // Full catalog scale: extra shrinking would inflate the clamped
+    // max-degree floor relative to per-block work and manufacture TWC
+    // imbalance the real input does not have.
+    let ld = LoadedDataset::load(DatasetId::Uk07, 1);
+    let mut cache = PartitionCache::new();
+    let platform = Platform::bridges(32);
+    // pagerank: Var1 (TWC) has far higher compute than Var2 (ALB).
+    let v1 = run_dirgl(BenchId::Pagerank, &ld, &mut cache, &platform, Policy::Iec, Variant::var1())
+        .unwrap();
+    let v2 = run_dirgl(BenchId::Pagerank, &ld, &mut cache, &platform, Policy::Iec, Variant::var2())
+        .unwrap();
+    assert!(
+        v1.report.max_compute().as_secs_f64() > 1.5 * v2.report.max_compute().as_secs_f64(),
+        "pagerank TWC compute {} vs ALB {}",
+        v1.report.max_compute(),
+        v2.report.max_compute()
+    );
+    // bfs (push, low max out-degree): the two are close.
+    let b1 = run_dirgl(BenchId::Bfs, &ld, &mut cache, &platform, Policy::Iec, Variant::var1())
+        .unwrap();
+    let b2 = run_dirgl(BenchId::Bfs, &ld, &mut cache, &platform, Policy::Iec, Variant::var2())
+        .unwrap();
+    let ratio = b1.report.max_compute().as_secs_f64()
+        / b2.report.max_compute().as_secs_f64().max(1e-12);
+    assert!((0.7..1.6).contains(&ratio), "bfs TWC/ALB compute ratio {ratio}");
+}
+
+/// §V-B1 (Figs. 3/5): D-IrGL's baseline Var1 always beats Lux, and Lux's
+/// scaling flattens: its 64-GPU time gains less over 16 GPUs than Var1's.
+#[test]
+fn lux_trails_and_flattens() {
+    let ld = LoadedDataset::load(DatasetId::Twitter50, 4);
+    let mut cache = PartitionCache::new();
+    for gpus in [16u32, 64] {
+        let var1 = run_dirgl(
+            BenchId::Cc, &ld, &mut cache, &Platform::bridges(gpus), Policy::Iec, Variant::var1(),
+        )
+        .unwrap();
+        let lux = LuxRuntime::new(Platform::bridges(gpus), ld.ds.divisor)
+            .run_cc(ld.graph_for(BenchId::Cc))
+            .unwrap();
+        assert!(
+            lux.report.total_time > var1.report.total_time,
+            "{gpus} GPUs: Lux {} vs Var1 {}",
+            lux.report.total_time,
+            var1.report.total_time
+        );
+    }
+}
+
+/// Table III: Lux's memory is a graph-independent constant; D-IrGL's is
+/// working-set sized and smaller.
+#[test]
+fn lux_memory_constant_dirgl_smallest() {
+    let a = LoadedDataset::load(DatasetId::Rmat23, 8);
+    let b = LoadedDataset::load(DatasetId::Orkut, 8);
+    let lux_a = LuxRuntime::new(Platform::tuxedo(), a.ds.divisor)
+        .run_cc(&a.ds.graph)
+        .unwrap();
+    let lux_b = LuxRuntime::new(Platform::tuxedo(), b.ds.divisor)
+        .run_cc(&b.ds.graph)
+        .unwrap();
+    assert_eq!(lux_a.report.max_memory(), lux_b.report.max_memory());
+    let mut cache = PartitionCache::new();
+    let dirgl = run_dirgl(
+        BenchId::Cc, &a, &mut cache, &Platform::tuxedo(), Policy::Cvc, Variant::var4(),
+    )
+    .unwrap();
+    assert!(dirgl.report.max_memory() < lux_a.report.max_memory());
+}
+
+/// Table IV: static balance tracks memory balance closely (memory is
+/// edge-proportional), while dynamic balance can wander much further from
+/// static (active sets are unpredictable).
+#[test]
+fn static_tracks_memory_not_dynamic() {
+    let ld = LoadedDataset::load(DatasetId::Uk07, 1);
+    let mut cache = PartitionCache::new();
+    let platform = Platform::bridges(32);
+    let mut max_static_memory_gap: f64 = 0.0;
+    let mut max_static_dynamic_gap: f64 = 0.0;
+    for policy in Policy::DIRGL {
+        let part = cache.get(&ld, BenchId::Bfs, policy, 32);
+        let st = PartitionMetrics::compute(&part).static_balance;
+        let out =
+            run_dirgl(BenchId::Bfs, &ld, &mut cache, &platform, policy, Variant::var4()).unwrap();
+        max_static_memory_gap =
+            max_static_memory_gap.max((st - out.report.memory_balance()).abs());
+        max_static_dynamic_gap =
+            max_static_dynamic_gap.max((st - out.report.dynamic_balance()).abs());
+    }
+    assert!(
+        max_static_memory_gap < 0.12,
+        "static and memory diverge by {max_static_memory_gap}"
+    );
+    assert!(
+        max_static_dynamic_gap > max_static_memory_gap,
+        "dynamic ({max_static_dynamic_gap}) should stray further than memory ({max_static_memory_gap})"
+    );
+}

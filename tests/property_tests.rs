@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, with randomly generated graphs.
+
+use proptest::prelude::*;
+
+use dirgl::comm::{as_message_bytes, uo_message_bytes, DenseBitset, SimTime, VAL_BYTES};
+use dirgl::graph::csr::EdgeList;
+use dirgl::prelude::*;
+
+/// Strategy: a random small digraph as (n, edges).
+fn arb_graph() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (8u32..120).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 1..400);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: u32, edges: &[(u32, u32)]) -> Csr {
+    let mut el = EdgeList::new(n);
+    el.edges = edges.to_vec();
+    el.dedup();
+    el.into_csr()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR transpose is an involution and preserves the edge multiset.
+    #[test]
+    fn transpose_involution((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let tt = g.transpose().transpose();
+        prop_assert_eq!(&g, &tt);
+        prop_assert_eq!(g.num_edges(), g.transpose().num_edges());
+    }
+
+    /// Symmetrize is idempotent and dominates the original edge set.
+    #[test]
+    fn symmetrize_idempotent((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let s = g.symmetrize();
+        prop_assert_eq!(&s, &s.symmetrize());
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                if u != v {
+                    prop_assert!(s.neighbors(u).contains(&v));
+                    prop_assert!(s.neighbors(v).contains(&u));
+                }
+            }
+        }
+    }
+
+    /// Every partition policy covers each edge exactly once and gives each
+    /// vertex exactly one master.
+    #[test]
+    fn partition_covers_edges(
+        (n, edges) in arb_graph(),
+        policy in prop::sample::select(vec![
+            Policy::Oec, Policy::Iec, Policy::Hvc, Policy::Cvc,
+            Policy::Random, Policy::MetisLike, Policy::Xtrapulp,
+        ]),
+        devices in 1u32..9,
+    ) {
+        let g = build(n, &edges);
+        let part = Partition::build(&g, policy, devices, 7);
+        prop_assert_eq!(part.total_edges(), g.num_edges());
+        let mut masters = vec![0u32; n as usize];
+        for lg in &part.locals {
+            for lv in 0..lg.num_masters {
+                masters[lg.l2g[lv as usize] as usize] += 1;
+            }
+        }
+        prop_assert!(masters.iter().all(|&m| m == 1));
+        prop_assert!(part.replication_factor() >= 1.0 - 1e-12);
+    }
+
+    /// Distributed BFS equals sequential BFS on arbitrary graphs, any
+    /// policy, both execution models.
+    #[test]
+    fn distributed_bfs_is_correct(
+        (n, edges) in arb_graph(),
+        policy in prop::sample::select(vec![Policy::Iec, Policy::Cvc, Policy::MetisLike]),
+        sync in any::<bool>(),
+        devices in 1u32..7,
+    ) {
+        let g = build(n, &edges);
+        prop_assume!(g.num_edges() > 0);
+        let app = Bfs::from_max_out_degree(&g);
+        let variant = if sync { Variant::var3() } else { Variant::var4() };
+        let rt = Runtime::new(Platform::bridges(devices), RunConfig::new(policy, variant));
+        let out = rt.run(&g, &app).unwrap();
+        let want = reference::bfs(&g, app.source);
+        for (v, (got, w)) in out.values.iter().zip(&want).enumerate() {
+            prop_assert!(*got == *w as f64, "vertex {v}: {got} vs {w}");
+        }
+    }
+
+    /// Bitset: set/get/count agree with a model Vec<bool>.
+    #[test]
+    fn bitset_matches_model(ops in prop::collection::vec((0u32..500, any::<bool>()), 1..200)) {
+        let mut bs = DenseBitset::new(500);
+        let mut model = vec![false; 500];
+        for (i, set) in ops {
+            if set { bs.set(i); model[i as usize] = true; }
+            else { bs.clear(i); model[i as usize] = false; }
+        }
+        prop_assert_eq!(bs.count_ones() as usize, model.iter().filter(|&&b| b).count());
+        let got: Vec<u32> = bs.iter_set().collect();
+        let want: Vec<u32> =
+            (0..500u32).filter(|&i| model[i as usize]).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Message sizing: UO is monotone in updates and meets AS at full
+    /// density plus the bitset header.
+    #[test]
+    fn message_sizes_are_consistent(entries in 1u64..100_000, updated in 0u64..100_000) {
+        let updated = updated.min(entries);
+        let uo = uo_message_bytes(entries, updated, VAL_BYTES);
+        let uo_full = uo_message_bytes(entries, entries, VAL_BYTES);
+        let as_ = as_message_bytes(entries, VAL_BYTES);
+        prop_assert!(uo <= uo_full);
+        prop_assert_eq!(uo_full, as_ + entries.div_ceil(64) * 8);
+    }
+
+    /// SimTime conversion roundtrips to nanosecond precision.
+    #[test]
+    fn simtime_roundtrip(ns in 0u64..u64::MAX / 4) {
+        let t = SimTime(ns);
+        let t2 = SimTime::from_secs_f64(t.as_secs_f64());
+        // f64 has 53 bits of mantissa; below ~2^53 ns the roundtrip is
+        // exact, above it within 1 part per 2^52.
+        let err = t2.0.abs_diff(ns);
+        prop_assert!(err <= 1 + (ns >> 50), "{ns} -> {}", t2.0);
+    }
+
+    /// The CVC grid always factorizes correctly and its invariants hold on
+    /// random graphs.
+    #[test]
+    fn cvc_grid_invariants((n, edges) in arb_graph(), devices in 2u32..17) {
+        let g = build(n, &edges);
+        let part = Partition::build(&g, Policy::Cvc, devices, 0);
+        let grid = part.grid.unwrap();
+        prop_assert_eq!(grid.num_devices(), devices);
+        for lg in &part.locals {
+            for lv in lg.num_masters..lg.num_vertices() {
+                let owner = lg.master_device[lv as usize];
+                if lg.has_out_edges(lv) {
+                    prop_assert_eq!(grid.row(lg.device), grid.row(owner));
+                }
+                if lg.has_in_edges(lv) {
+                    prop_assert_eq!(grid.col(lg.device), grid.col(owner));
+                }
+            }
+        }
+    }
+}
