@@ -65,9 +65,19 @@ impl VertexProgram for BcForward {
 
     fn init_state(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> BcFwdState {
         if gv == self.source {
-            BcFwdState { dist: 0, sigma: 1.0, acc_dist: UNREACHED, acc_sigma: 0.0 }
+            BcFwdState {
+                dist: 0,
+                sigma: 1.0,
+                acc_dist: UNREACHED,
+                acc_sigma: 0.0,
+            }
         } else {
-            BcFwdState { dist: UNREACHED, sigma: 0.0, acc_dist: UNREACHED, acc_sigma: 0.0 }
+            BcFwdState {
+                dist: UNREACHED,
+                sigma: 0.0,
+                acc_dist: UNREACHED,
+                acc_sigma: 0.0,
+            }
         }
     }
 
@@ -159,7 +169,10 @@ pub struct BcBackward {
 impl BcBackward {
     /// Backward sweep from `max_level` down to 1.
     pub fn new(max_level: u32) -> BcBackward {
-        BcBackward { max_level, target: AtomicU32::new(max_level) }
+        BcBackward {
+            max_level,
+            target: AtomicU32::new(max_level),
+        }
     }
 }
 
@@ -178,7 +191,8 @@ impl VertexProgram for BcBackward {
     }
 
     fn on_round_start(&self, round: u32) {
-        self.target.store(self.max_level.saturating_sub(round), Ordering::Relaxed);
+        self.target
+            .store(self.max_level.saturating_sub(round), Ordering::Relaxed);
     }
 
     fn init_state(&self, gv: VertexId, ctx: &InitCtx<'_>) -> BcBwdState {
@@ -278,7 +292,12 @@ pub fn betweenness_centrality(
 ) -> Result<BcOutput, RunError> {
     use dirgl_partition::Partition;
     // Forward: levels and path counts.
-    let fwd_part = Partition::build(g, runtime.config.policy, runtime.platform.num_devices(), runtime.config.seed);
+    let fwd_part = Partition::build(
+        g,
+        runtime.config.policy,
+        runtime.platform.num_devices(),
+        runtime.config.seed,
+    );
     let (fwd_out, fwd_states) =
         runtime.run_partitioned_aux(g, fwd_part, &BcForward { source }, None)?;
     let max_level = fwd_states
@@ -293,15 +312,23 @@ pub fn betweenness_centrality(
 
     // Backward: dependency sweep on the transpose.
     let rev = g.transpose();
-    let bwd_part =
-        Partition::build(&rev, runtime.config.policy, runtime.platform.num_devices(), runtime.config.seed);
+    let bwd_part = Partition::build(
+        &rev,
+        runtime.config.policy,
+        runtime.platform.num_devices(),
+        runtime.config.seed,
+    );
     let (bwd_out, bwd_states) =
         runtime.run_partitioned_aux(&rev, bwd_part, &BcBackward::new(max_level), Some(&aux))?;
 
     let mut scores: Vec<f64> = bwd_states.iter().map(|s| s.delta as f64).collect();
     // Brandes excludes the source from its own dependency accumulation.
     scores[source as usize] = 0.0;
-    Ok(BcOutput { scores, forward: fwd_out.report, backward: bwd_out.report })
+    Ok(BcOutput {
+        scores,
+        forward: fwd_out.report,
+        backward: bwd_out.report,
+    })
 }
 
 /// Sequential Brandes reference (single source, unweighted).
@@ -386,8 +413,18 @@ mod tests {
     fn backward_gating_by_round() {
         let b = BcBackward::new(5);
         b.on_round_start(0);
-        let mut deep = BcBwdState { level: 5, sigma: 2.0, delta: 0.0, acc: 0.0 };
-        let mut shallow = BcBwdState { level: 3, sigma: 1.0, delta: 0.0, acc: 0.0 };
+        let mut deep = BcBwdState {
+            level: 5,
+            sigma: 2.0,
+            delta: 0.0,
+            acc: 0.0,
+        };
+        let mut shallow = BcBwdState {
+            level: 3,
+            sigma: 1.0,
+            delta: 0.0,
+            acc: 0.0,
+        };
         assert!(b.begin_push(&mut deep));
         assert!(!b.begin_push(&mut shallow));
         b.on_round_start(2);
@@ -397,7 +434,12 @@ mod tests {
     #[test]
     fn forward_counts_paths() {
         let f = BcForward { source: 0 };
-        let mut s = BcFwdState { dist: UNREACHED, sigma: 0.0, acc_dist: UNREACHED, acc_sigma: 0.0 };
+        let mut s = BcFwdState {
+            dist: UNREACHED,
+            sigma: 0.0,
+            acc_dist: UNREACHED,
+            acc_sigma: 0.0,
+        };
         assert!(f.accumulate(&mut s, (2, 1.0)));
         assert!(f.accumulate(&mut s, (2, 3.0)));
         assert!(!f.accumulate(&mut s, (3, 1.0))); // worse level ignored

@@ -30,7 +30,9 @@ impl Bfs {
     /// The paper's convention: "the vertex with the highest out-degree is
     /// used as the source vertex for bfs and sssp".
     pub fn from_max_out_degree(g: &Csr) -> Bfs {
-        Bfs { source: g.max_out_degree_vertex() }
+        Bfs {
+            source: g.max_out_degree_vertex(),
+        }
     }
 }
 
@@ -48,7 +50,10 @@ impl VertexProgram for Bfs {
 
     fn init_state(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> BfsState {
         let d = if gv == self.source { 0 } else { UNREACHED };
-        BfsState { dist: d, acc: UNREACHED }
+        BfsState {
+            dist: d,
+            acc: UNREACHED,
+        }
     }
 
     fn initially_active(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> bool {
@@ -123,7 +128,10 @@ mod tests {
     #[test]
     fn min_semantics() {
         let b = Bfs::new(0);
-        let mut s = BfsState { dist: 10, acc: UNREACHED };
+        let mut s = BfsState {
+            dist: 10,
+            acc: UNREACHED,
+        };
         assert!(b.accumulate(&mut s, 5));
         assert!(!b.accumulate(&mut s, 7)); // worse than acc
         assert!(b.absorb(&mut s));
@@ -139,14 +147,20 @@ mod tests {
         assert_eq!(b.take_delta(&mut s), 3);
         assert_eq!(s.acc, UNREACHED);
         // Untouched mirror ships its canonical view.
-        let mut t = BfsState { dist: 7, acc: UNREACHED };
+        let mut t = BfsState {
+            dist: 7,
+            acc: UNREACHED,
+        };
         assert_eq!(b.take_delta(&mut t), 7);
     }
 
     #[test]
     fn unreached_vertices_push_nothing() {
         let b = Bfs::new(0);
-        let s = BfsState { dist: UNREACHED, acc: UNREACHED };
+        let s = BfsState {
+            dist: UNREACHED,
+            acc: UNREACHED,
+        };
         assert_eq!(b.edge_msg(&s, 1), None);
     }
 }

@@ -35,7 +35,10 @@ impl VertexProgram for Cc {
     }
 
     fn init_state(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> CcState {
-        CcState { comp: gv, acc: u32::MAX }
+        CcState {
+            comp: gv,
+            acc: u32::MAX,
+        }
     }
 
     fn initially_active(&self, _gv: VertexId, _ctx: &InitCtx<'_>) -> bool {
@@ -105,7 +108,10 @@ mod tests {
     #[test]
     fn propagates_minimum() {
         let cc = Cc;
-        let mut s = CcState { comp: 9, acc: u32::MAX };
+        let mut s = CcState {
+            comp: 9,
+            acc: u32::MAX,
+        };
         assert!(cc.accumulate(&mut s, 4));
         assert!(cc.absorb(&mut s));
         assert_eq!(s.comp, 4);

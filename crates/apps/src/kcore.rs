@@ -141,7 +141,12 @@ mod tests {
     #[test]
     fn dies_once_and_pushes_once() {
         let kc = KCore::new(3);
-        let mut s = KCoreState { deg: 2, pending: 0, alive: true, death_handled: false };
+        let mut s = KCoreState {
+            deg: 2,
+            pending: 0,
+            alive: true,
+            death_handled: false,
+        };
         assert!(kc.begin_push(&mut s)); // dies, pushes
         assert!(!s.alive && s.death_handled);
         assert!(!kc.begin_push(&mut s)); // never twice
@@ -150,7 +155,12 @@ mod tests {
     #[test]
     fn healthy_vertex_does_not_push() {
         let kc = KCore::new(3);
-        let mut s = KCoreState { deg: 5, pending: 0, alive: true, death_handled: false };
+        let mut s = KCoreState {
+            deg: 5,
+            pending: 0,
+            alive: true,
+            death_handled: false,
+        };
         assert!(!kc.begin_push(&mut s));
         assert!(s.alive);
     }
@@ -158,7 +168,12 @@ mod tests {
     #[test]
     fn decrements_accumulate_and_absorb_detects_death() {
         let kc = KCore::new(3);
-        let mut s = KCoreState { deg: 4, pending: 0, alive: true, death_handled: false };
+        let mut s = KCoreState {
+            deg: 4,
+            pending: 0,
+            alive: true,
+            death_handled: false,
+        };
         assert!(kc.accumulate(&mut s, 1));
         assert!(kc.accumulate(&mut s, 1));
         assert!(kc.absorb(&mut s)); // 4 - 2 = 2 < 3: newly below threshold
@@ -171,9 +186,19 @@ mod tests {
     #[test]
     fn canonical_roundtrip_preserves_death_monotonicity() {
         let kc = KCore::new(3);
-        let master = KCoreState { deg: 7, pending: 0, alive: true, death_handled: false };
+        let master = KCoreState {
+            deg: 7,
+            pending: 0,
+            alive: true,
+            death_handled: false,
+        };
         let wire = kc.canonical(&master);
-        let mut mirror = KCoreState { deg: 9, pending: 0, alive: false, death_handled: true };
+        let mut mirror = KCoreState {
+            deg: 9,
+            pending: 0,
+            alive: false,
+            death_handled: true,
+        };
         assert!(kc.set_canonical(&mut mirror, wire));
         assert_eq!(mirror.deg, 7);
         assert!(!mirror.alive, "broadcast must not resurrect");
@@ -182,7 +207,12 @@ mod tests {
     #[test]
     fn delta_is_take_and_reset() {
         let kc = KCore::new(2);
-        let mut s = KCoreState { deg: 4, pending: 3, alive: true, death_handled: false };
+        let mut s = KCoreState {
+            deg: 4,
+            pending: 3,
+            alive: true,
+            death_handled: false,
+        };
         assert_eq!(kc.take_delta(&mut s), 3);
         assert_eq!(kc.take_delta(&mut s), 0);
     }

@@ -36,7 +36,11 @@ pub struct PageRank {
 
 impl Default for PageRank {
     fn default() -> Self {
-        PageRank { alpha: 0.85, tolerance: 1e-4, rounds_cap: 1000 }
+        PageRank {
+            alpha: 0.85,
+            tolerance: 1e-4,
+            rounds_cap: 1000,
+        }
     }
 }
 
@@ -185,7 +189,12 @@ mod tests {
     #[test]
     fn absorb_moves_residual_to_rank_and_drops_tiny_mass() {
         let pr = PageRank::new();
-        let mut s = PrState { rank: 0.0, residual: 0.15, acc: 0.05, kappa: 0.1 };
+        let mut s = PrState {
+            rank: 0.0,
+            residual: 0.15,
+            acc: 0.05,
+            kappa: 0.1,
+        };
         assert!(pr.absorb(&mut s));
         assert!((s.rank - 0.15).abs() < 1e-7);
         assert!((s.residual - 0.05).abs() < 1e-7);
@@ -202,7 +211,12 @@ mod tests {
     #[test]
     fn async_merge_is_additive_and_consumed() {
         let pr = PageRank::new();
-        let mut s = PrState { rank: 0.0, residual: 0.1, acc: 0.0, kappa: 0.2 };
+        let mut s = PrState {
+            rank: 0.0,
+            residual: 0.1,
+            acc: 0.0,
+            kappa: 0.2,
+        };
         assert!(pr.merge_canonical_async(&mut s, 0.05));
         assert!((s.residual - 0.15).abs() < 1e-7);
         assert!(!pr.merge_canonical_async(&mut s, 0.0));

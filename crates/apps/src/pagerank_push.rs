@@ -43,7 +43,10 @@ pub struct PageRankPush {
 
 impl Default for PageRankPush {
     fn default() -> Self {
-        PageRankPush { alpha: 0.85, tolerance: 1e-4 }
+        PageRankPush {
+            alpha: 0.85,
+            tolerance: 1e-4,
+        }
     }
 }
 

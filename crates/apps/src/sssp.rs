@@ -30,7 +30,9 @@ impl Sssp {
 
     /// The paper's source convention (highest out-degree vertex).
     pub fn from_max_out_degree(g: &Csr) -> Sssp {
-        Sssp { source: g.max_out_degree_vertex() }
+        Sssp {
+            source: g.max_out_degree_vertex(),
+        }
     }
 }
 
@@ -52,7 +54,10 @@ impl VertexProgram for Sssp {
 
     fn init_state(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> SsspState {
         let d = if gv == self.source { 0 } else { UNREACHED };
-        SsspState { dist: d, acc: UNREACHED }
+        SsspState {
+            dist: d,
+            acc: UNREACHED,
+        }
     }
 
     fn initially_active(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> bool {
@@ -112,7 +117,10 @@ mod tests {
     #[test]
     fn weight_is_applied_with_floor_one() {
         let s = Sssp::new(0);
-        let st = SsspState { dist: 10, acc: UNREACHED };
+        let st = SsspState {
+            dist: 10,
+            acc: UNREACHED,
+        };
         assert_eq!(s.edge_msg(&st, 5), Some(15));
         // Zero weights (unweighted graphs) degrade to bfs semantics.
         assert_eq!(s.edge_msg(&st, 0), Some(11));
@@ -121,14 +129,20 @@ mod tests {
     #[test]
     fn saturating_distances_never_wrap() {
         let s = Sssp::new(0);
-        let st = SsspState { dist: u32::MAX - 1, acc: UNREACHED };
+        let st = SsspState {
+            dist: u32::MAX - 1,
+            acc: UNREACHED,
+        };
         assert_eq!(s.edge_msg(&st, 100), Some(u32::MAX));
     }
 
     #[test]
     fn relax_and_absorb() {
         let s = Sssp::new(0);
-        let mut st = SsspState { dist: 100, acc: UNREACHED };
+        let mut st = SsspState {
+            dist: 100,
+            acc: UNREACHED,
+        };
         assert!(s.accumulate(&mut st, 40));
         assert!(s.accumulate(&mut st, 30));
         assert!(s.absorb(&mut st));

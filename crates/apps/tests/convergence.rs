@@ -8,8 +8,14 @@ use dirgl_graph::weights::randomize_weights;
 use dirgl_graph::{Csr, RmatConfig, WebCrawlConfig};
 use dirgl_partition::Policy;
 
-const POLICIES: [Policy; 6] =
-    [Policy::Oec, Policy::Iec, Policy::Hvc, Policy::Cvc, Policy::Random, Policy::MetisLike];
+const POLICIES: [Policy; 6] = [
+    Policy::Oec,
+    Policy::Iec,
+    Policy::Hvc,
+    Policy::Cvc,
+    Policy::Random,
+    Policy::MetisLike,
+];
 
 fn rmat() -> Csr {
     randomize_weights(&RmatConfig::new(9, 8).seed(21).generate(), 100, 5)
@@ -17,7 +23,9 @@ fn rmat() -> Csr {
 
 fn webcrawl() -> Csr {
     randomize_weights(
-        &WebCrawlConfig::new(3_000, 40_000, 200, 150, 25).seed(4).generate(),
+        &WebCrawlConfig::new(3_000, 40_000, 200, 150, 25)
+            .seed(4)
+            .generate(),
         100,
         6,
     )
@@ -38,11 +46,18 @@ fn exact_match(got: &[f64], want: &[f64], what: &str) {
 fn bfs_matches_reference_across_policies_and_engines() {
     let g = rmat();
     let app = Bfs::from_max_out_degree(&g);
-    let want: Vec<f64> = reference::bfs(&g, app.source).iter().map(|&d| d as f64).collect();
+    let want: Vec<f64> = reference::bfs(&g, app.source)
+        .iter()
+        .map(|&d| d as f64)
+        .collect();
     for policy in POLICIES {
         for variant in [Variant::var1(), Variant::var4()] {
             let out = runtime(policy, variant, 4).run(&g, &app).unwrap();
-            exact_match(&out.values, &want, &format!("bfs/{policy}/{}", variant.label()));
+            exact_match(
+                &out.values,
+                &want,
+                &format!("bfs/{policy}/{}", variant.label()),
+            );
         }
     }
 }
@@ -51,11 +66,18 @@ fn bfs_matches_reference_across_policies_and_engines() {
 fn sssp_matches_dijkstra_across_policies_and_engines() {
     let g = rmat();
     let app = Sssp::from_max_out_degree(&g);
-    let want: Vec<f64> = reference::sssp(&g, app.source).iter().map(|&d| d as f64).collect();
+    let want: Vec<f64> = reference::sssp(&g, app.source)
+        .iter()
+        .map(|&d| d as f64)
+        .collect();
     for policy in POLICIES {
         for variant in [Variant::var3(), Variant::var4()] {
             let out = runtime(policy, variant, 4).run(&g, &app).unwrap();
-            exact_match(&out.values, &want, &format!("sssp/{policy}/{}", variant.label()));
+            exact_match(
+                &out.values,
+                &want,
+                &format!("sssp/{policy}/{}", variant.label()),
+            );
         }
     }
 }
@@ -63,11 +85,18 @@ fn sssp_matches_dijkstra_across_policies_and_engines() {
 #[test]
 fn cc_matches_reference_across_policies_and_engines() {
     let g = webcrawl();
-    let want: Vec<f64> = reference::cc(&g.symmetrize()).iter().map(|&c| c as f64).collect();
+    let want: Vec<f64> = reference::cc(&g.symmetrize())
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
     for policy in POLICIES {
         for variant in [Variant::var2(), Variant::var4()] {
             let out = runtime(policy, variant, 4).run(&g, &Cc).unwrap();
-            exact_match(&out.values, &want, &format!("cc/{policy}/{}", variant.label()));
+            exact_match(
+                &out.values,
+                &want,
+                &format!("cc/{policy}/{}", variant.label()),
+            );
         }
     }
 }
@@ -76,12 +105,18 @@ fn cc_matches_reference_across_policies_and_engines() {
 fn kcore_matches_peeling_across_policies_and_engines() {
     let g = webcrawl();
     for k in [2, 5, 20] {
-        let want: Vec<f64> =
-            reference::kcore(&g, k).iter().map(|&a| if a { 1.0 } else { 0.0 }).collect();
+        let want: Vec<f64> = reference::kcore(&g, k)
+            .iter()
+            .map(|&a| if a { 1.0 } else { 0.0 })
+            .collect();
         for policy in POLICIES {
             for variant in [Variant::var1(), Variant::var4()] {
                 let out = runtime(policy, variant, 4).run(&g, &KCore::new(k)).unwrap();
-                exact_match(&out.values, &want, &format!("kcore{k}/{policy}/{}", variant.label()));
+                exact_match(
+                    &out.values,
+                    &want,
+                    &format!("kcore{k}/{policy}/{}", variant.label()),
+                );
             }
         }
     }
@@ -121,8 +156,12 @@ fn pagerank_matches_reference_within_tolerance() {
 fn single_device_equals_multi_device() {
     let g = rmat();
     let app = Bfs::from_max_out_degree(&g);
-    let one = runtime(Policy::Oec, Variant::var4(), 1).run(&g, &app).unwrap();
-    let many = runtime(Policy::Cvc, Variant::var4(), 8).run(&g, &app).unwrap();
+    let one = runtime(Policy::Oec, Variant::var4(), 1)
+        .run(&g, &app)
+        .unwrap();
+    let many = runtime(Policy::Cvc, Variant::var4(), 8)
+        .run(&g, &app)
+        .unwrap();
     exact_match(&many.values, &one.values, "1-vs-8 devices");
 }
 
@@ -142,7 +181,9 @@ fn runs_are_deterministic() {
 #[test]
 fn report_decomposition_is_consistent() {
     let g = rmat();
-    let out = runtime(Policy::Cvc, Variant::var3(), 8).run(&g, &Cc).unwrap();
+    let out = runtime(Policy::Cvc, Variant::var3(), 8)
+        .run(&g, &Cc)
+        .unwrap();
     let r = &out.report;
     assert!(r.total_time.as_secs_f64() > 0.0);
     // total = max compute + min wait + device comm by construction.

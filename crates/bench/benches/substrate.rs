@@ -22,7 +22,9 @@ fn bench_csr(c: &mut Criterion) {
             black_box(acc)
         })
     });
-    c.bench_function("csr/transpose", |b| b.iter(|| black_box(g.transpose().num_edges())));
+    c.bench_function("csr/transpose", |b| {
+        b.iter(|| black_box(g.transpose().num_edges()))
+    });
 }
 
 fn bench_bitset(c: &mut Criterion) {
@@ -34,7 +36,9 @@ fn bench_bitset(c: &mut Criterion) {
     c.bench_function("bitset/iter_sparse", |b| {
         b.iter(|| black_box(bs.iter_set().fold(0u64, |a, x| a + x as u64)))
     });
-    c.bench_function("bitset/count_ones", |b| b.iter(|| black_box(bs.count_ones())));
+    c.bench_function("bitset/count_ones", |b| {
+        b.iter(|| black_box(bs.count_ones()))
+    });
     c.bench_function("bitset/set_clear_cycle", |b| {
         let mut w = DenseBitset::new(n);
         b.iter(|| {
@@ -55,9 +59,7 @@ fn bench_sched(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(balancer.name()),
             &balancer,
-            |b, &bal| {
-                b.iter(|| black_box(distribute(bal, degs.iter().copied(), 1024, 112)))
-            },
+            |b, &bal| b.iter(|| black_box(distribute(bal, degs.iter().copied(), 1024, 112))),
         );
     }
     group.finish();
@@ -77,5 +79,11 @@ fn bench_partitioner(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_csr, bench_bitset, bench_sched, bench_partitioner);
+criterion_group!(
+    benches,
+    bench_csr,
+    bench_bitset,
+    bench_sched,
+    bench_partitioner
+);
 criterion_main!(benches);

@@ -38,7 +38,11 @@ fn uo_vs_as(c: &mut Criterion) {
             "  {pct:>3}% updated: AS {:.1}us vs UO {:.1}us -> {}",
             as_cost * 1e6,
             uo_cost * 1e6,
-            if uo_cost < as_cost { "UO wins" } else { "AS wins" }
+            if uo_cost < as_cost {
+                "UO wins"
+            } else {
+                "AS wins"
+            }
         );
     }
     // Measured: the actual bitset extraction work UO performs per message.

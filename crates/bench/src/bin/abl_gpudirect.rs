@@ -19,7 +19,13 @@ fn main() {
     println!("(D-IrGL Var4 + CVC @ 32 GPUs, medium graphs)\n");
     let widths = [12usize, 10, 11, 11, 9];
     print_row(
-        &["input".into(), "bench".into(), "staged(s)".into(), "direct(s)".into(), "speedup".into()],
+        &[
+            "input".into(),
+            "bench".into(),
+            "staged(s)".into(),
+            "direct(s)".into(),
+            "speedup".into(),
+        ],
         &widths,
     );
     for id in DatasetId::MEDIUM {
@@ -27,7 +33,12 @@ fn main() {
         let mut cache = PartitionCache::new();
         for bench in BenchId::ALL {
             let staged = dirgl_bench::run_dirgl(
-                bench, &ld, &mut cache, &platform, Policy::Cvc, Variant::var4(),
+                bench,
+                &ld,
+                &mut cache,
+                &platform,
+                Policy::Cvc,
+                Variant::var4(),
             );
             let mut cfg = RunConfig::new(Policy::Cvc, Variant::var4());
             cfg.gpudirect = true;
@@ -48,7 +59,13 @@ fn main() {
                     );
                 }
                 _ => print_row(
-                    &[id.name().into(), bench.name().into(), "OOM".into(), "OOM".into(), "-".into()],
+                    &[
+                        id.name().into(),
+                        bench.name().into(),
+                        "OOM".into(),
+                        "OOM".into(),
+                        "-".into(),
+                    ],
                     &widths,
                 ),
             }

@@ -19,8 +19,14 @@ fn main() {
     println!("Ablation: pagerank pull (paper) vs push (Gluon-Async style) @ 32 GPUs\n");
     let widths = [12usize, 7, 11, 11, 12, 12];
     print_row(
-        &["input".into(), "form".into(), "Var1(TWC)".into(), "Var3(ALB)".into(),
-          "Var3 work".into(), "Var3 vol".into()],
+        &[
+            "input".into(),
+            "form".into(),
+            "Var1(TWC)".into(),
+            "Var3(ALB)".into(),
+            "Var3 work".into(),
+            "Var3 vol".into(),
+        ],
         &widths,
     );
     for id in DatasetId::MEDIUM {
@@ -45,7 +51,14 @@ fn main() {
                 vol = dirgl_bench::fmt_gb(out.report.comm_bytes);
             }
             print_row(
-                &[id.name().into(), form.into(), cells[0].clone(), cells[1].clone(), work, vol],
+                &[
+                    id.name().into(),
+                    form.into(),
+                    cells[0].clone(),
+                    cells[1].clone(),
+                    work,
+                    vol,
+                ],
                 &widths,
             );
         }

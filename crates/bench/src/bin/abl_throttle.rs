@@ -28,7 +28,12 @@ fn main() {
             for policy in [Policy::Iec, Policy::Cvc] {
                 let mut row = vec![policy.name().to_string()];
                 let sync = dirgl_bench::run_dirgl(
-                    bench, &ld, &mut cache, &platform, policy, Variant::var3(),
+                    bench,
+                    &ld,
+                    &mut cache,
+                    &platform,
+                    policy,
+                    Variant::var3(),
                 );
                 row.push(fmt_result(&sync));
                 for &gap in &gaps_ms {

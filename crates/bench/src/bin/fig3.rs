@@ -2,7 +2,9 @@
 //! Lux for the medium graphs on Bridges, 2–64 GPUs. Missing cells are OOM
 //! (the paper's missing points).
 
-use dirgl_bench::{bridges_gpu_counts, fmt_result, print_row, Args, BenchId, LoadedDataset, PartitionCache};
+use dirgl_bench::{
+    bridges_gpu_counts, fmt_result, print_row, Args, BenchId, LoadedDataset, PartitionCache,
+};
 use dirgl_core::Variant;
 use dirgl_gpusim::Platform;
 use dirgl_graph::DatasetId;
@@ -12,6 +14,7 @@ use lux_sim::LuxRuntime;
 fn main() {
     let args = Args::parse();
     let counts = bridges_gpu_counts(args.quick);
+    let mut trace = args.open_trace();
     println!("Figure 3: strong scaling (sec), D-IrGL variants (IEC) + Lux, medium graphs\n");
 
     for id in DatasetId::MEDIUM {
@@ -26,13 +29,15 @@ fn main() {
             for (vi, variant) in Variant::all().iter().enumerate() {
                 let mut row = vec![format!("Var{}", vi + 1)];
                 for &n in &counts {
-                    let r = dirgl_bench::run_dirgl(
+                    let r = dirgl_bench::run_dirgl_maybe_traced(
                         bench,
                         &ld,
                         &mut cache,
                         &Platform::bridges(n),
                         Policy::Iec,
                         *variant,
+                        &mut trace,
+                        &format!("{}/{}/Var{}/{}gpus", bench.name(), id.name(), vi + 1, n),
                     );
                     row.push(fmt_result(&r));
                 }

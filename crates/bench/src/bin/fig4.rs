@@ -11,6 +11,7 @@ use dirgl_partition::Policy;
 fn main() {
     let args = Args::parse();
     let platform = Platform::bridges(32);
+    let mut trace = args.open_trace();
     println!("Figure 4: breakdown of D-IrGL variants (IEC), medium graphs @ 32 GPUs");
     for id in DatasetId::MEDIUM {
         let ld = LoadedDataset::load(id, args.extra_scale);
@@ -21,12 +22,22 @@ fn main() {
                 .enumerate()
                 .map(|(vi, variant)| Breakdown {
                     label: format!("Var{}", vi + 1),
-                    result: dirgl_bench::run_dirgl(
-                        bench, &ld, &mut cache, &platform, Policy::Iec, *variant,
+                    result: dirgl_bench::run_dirgl_maybe_traced(
+                        bench,
+                        &ld,
+                        &mut cache,
+                        &platform,
+                        Policy::Iec,
+                        *variant,
+                        &mut trace,
+                        &format!("{}/{}/Var{}", bench.name(), id.name(), vi + 1),
                     ),
                 })
                 .collect();
-            print_breakdown(&format!("{} / {} @ 32 GPUs", bench.name(), id.name()), &rows);
+            print_breakdown(
+                &format!("{} / {} @ 32 GPUs", bench.name(), id.name()),
+                &rows,
+            );
         }
     }
     println!("\nPaper shape: Var3 cuts volume sharply vs Var2 (UO); Var2 only helps");

@@ -23,7 +23,11 @@ fn main() {
                 BenchId::Cc => lux.run_cc(&ld.ds.graph),
                 BenchId::Pagerank => {
                     let rounds = dirgl_bench::run_dirgl(
-                        BenchId::Pagerank, &ld, &mut cache, &platform, Policy::Iec,
+                        BenchId::Pagerank,
+                        &ld,
+                        &mut cache,
+                        &platform,
+                        Policy::Iec,
                         Variant::var3(),
                     )
                     .map(|o| o.report.rounds)
@@ -32,11 +36,19 @@ fn main() {
                 }
                 _ => unreachable!(),
             };
-            rows.push(Breakdown { label: "Lux".into(), result: lux_result });
+            rows.push(Breakdown {
+                label: "Lux".into(),
+                result: lux_result,
+            });
             rows.push(Breakdown {
                 label: "D-IrGL(Var1)".into(),
                 result: dirgl_bench::run_dirgl(
-                    bench, &ld, &mut cache, &platform, Policy::Iec, Variant::var1(),
+                    bench,
+                    &ld,
+                    &mut cache,
+                    &platform,
+                    Policy::Iec,
+                    Variant::var1(),
                 ),
             });
             print_breakdown(&format!("{} / {} @ 4 GPUs", bench.name(), id.name()), &rows);

@@ -21,11 +21,19 @@ fn main() {
                 .map(|(vi, variant)| Breakdown {
                     label: format!("Var{}", vi + 1),
                     result: dirgl_bench::run_dirgl(
-                        bench, &ld, &mut cache, &platform, Policy::Iec, *variant,
+                        bench,
+                        &ld,
+                        &mut cache,
+                        &platform,
+                        Policy::Iec,
+                        *variant,
                     ),
                 })
                 .collect();
-            print_breakdown(&format!("{} / {} @ 64 GPUs", bench.name(), id.name()), &rows);
+            print_breakdown(
+                &format!("{} / {} @ 64 GPUs", bench.name(), id.name()),
+                &rows,
+            );
         }
     }
     println!("\nPaper shape: ALB (Var2+) cuts pagerank compute on clueweb12/uk14");

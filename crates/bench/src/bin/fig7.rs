@@ -1,7 +1,9 @@
 //! Figure 7: strong scaling of D-IrGL (Var4) under the four partitioning
 //! policies plus Lux, medium graphs on Bridges.
 
-use dirgl_bench::{bridges_gpu_counts, fmt_result, print_row, Args, BenchId, LoadedDataset, PartitionCache};
+use dirgl_bench::{
+    bridges_gpu_counts, fmt_result, print_row, Args, BenchId, LoadedDataset, PartitionCache,
+};
 use dirgl_core::Variant;
 use dirgl_gpusim::Platform;
 use dirgl_graph::DatasetId;
@@ -25,7 +27,11 @@ fn main() {
                 let mut row = vec![policy.name().to_string()];
                 for &n in &counts {
                     let r = dirgl_bench::run_dirgl(
-                        bench, &ld, &mut cache, &Platform::bridges(n), policy,
+                        bench,
+                        &ld,
+                        &mut cache,
+                        &Platform::bridges(n),
+                        policy,
                         Variant::var4(),
                     );
                     row.push(fmt_result(&r));
@@ -40,8 +46,12 @@ fn main() {
                         BenchId::Cc => lux.run_cc(&ld.ds.graph),
                         BenchId::Pagerank => {
                             let rounds = dirgl_bench::run_dirgl(
-                                BenchId::Pagerank, &ld, &mut cache, &Platform::bridges(n),
-                                Policy::Iec, Variant::var3(),
+                                BenchId::Pagerank,
+                                &ld,
+                                &mut cache,
+                                &Platform::bridges(n),
+                                Policy::Iec,
+                                Variant::var3(),
                             )
                             .map(|o| o.report.rounds)
                             .unwrap_or(50);

@@ -20,11 +20,19 @@ fn main() {
                 .map(|&policy| Breakdown {
                     label: policy.name().into(),
                     result: dirgl_bench::run_dirgl(
-                        bench, &ld, &mut cache, &platform, policy, Variant::var4(),
+                        bench,
+                        &ld,
+                        &mut cache,
+                        &platform,
+                        policy,
+                        Variant::var4(),
                     ),
                 })
                 .collect();
-            print_breakdown(&format!("{} / {} @ 32 GPUs", bench.name(), id.name()), &rows);
+            print_breakdown(
+                &format!("{} / {} @ 32 GPUs", bench.name(), id.name()),
+                &rows,
+            );
         }
     }
     println!("\nPaper shape: communication dominates; CVC's communication time is");

@@ -124,10 +124,18 @@ fn main() {
         o.variant.label(),
         format_args!(
             "{}+{}",
-            if o.variant.balancer == Balancer::Twc { "TWC" } else { "ALB" },
+            if o.variant.balancer == Balancer::Twc {
+                "TWC"
+            } else {
+                "ALB"
+            },
             o.variant.comm
         ),
-        if o.variant.model == ExecModel::Sync { "+Sync" } else { "+Async" },
+        if o.variant.model == ExecModel::Sync {
+            "+Sync"
+        } else {
+            "+Async"
+        },
         o.gpus,
         o.platform,
     );
@@ -139,10 +147,17 @@ fn main() {
             println!("  max compute       : {}", r.max_compute());
             println!("  min wait          : {}", r.min_wait());
             println!("  device comm       : {}", r.device_comm());
-            println!("  comm volume       : {:.3} GB ({} messages)", r.comm_gb(), r.messages);
+            println!(
+                "  comm volume       : {:.3} GB ({} messages)",
+                r.comm_gb(),
+                r.messages
+            );
             println!("  rounds (min..max) : {}..{}", r.rounds, r.max_rounds);
             println!("  work items        : {:.3e}", r.work_items as f64);
-            println!("  max device memory : {:.3} GB", r.max_memory() as f64 / 1e9);
+            println!(
+                "  max device memory : {:.3} GB",
+                r.max_memory() as f64 / 1e9
+            );
             println!("  dynamic balance   : {:.3}", r.dynamic_balance());
             println!("  memory balance    : {:.3}", r.memory_balance());
         }

@@ -11,8 +11,17 @@ fn main() {
     println!("(paper value -> generated analogue at 1/{{divisor}} scale)\n");
     let widths = [12usize, 9, 22, 22, 10, 20, 20, 18];
     print_row(
-        &["input", "divisor", "|V|", "|E|", "|E|/|V|", "max Dout", "max Din", "approx diam"]
-            .map(String::from),
+        &[
+            "input",
+            "divisor",
+            "|V|",
+            "|E|",
+            "|E|/|V|",
+            "max Dout",
+            "max Din",
+            "approx diam",
+        ]
+        .map(String::from),
         &widths,
     );
     for id in DatasetId::ALL {

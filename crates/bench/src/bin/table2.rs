@@ -24,8 +24,15 @@ fn best(results: Vec<(Result<RunOutput, RunError>, u32, String)>) -> String {
     }
     match best {
         Some((t, gpus, tag)) => {
-            let tag = if tag.is_empty() { String::new() } else { format!("({tag}) ") };
-            format!("{tag}{} ({gpus})", fmt_time(dirgl_comm::SimTime::from_secs_f64(t)))
+            let tag = if tag.is_empty() {
+                String::new()
+            } else {
+                format!("({tag}) ")
+            };
+            format!(
+                "{tag}{} ({gpus})",
+                fmt_time(dirgl_comm::SimTime::from_secs_f64(t))
+            )
         }
         None => "OOM".into(),
     }
@@ -33,12 +40,18 @@ fn best(results: Vec<(Result<RunOutput, RunError>, u32, String)>) -> String {
 
 fn main() {
     let args = Args::parse();
-    let counts: Vec<u32> = if args.quick { vec![1, 6] } else { vec![1, 2, 4, 6] };
+    let counts: Vec<u32> = if args.quick {
+        vec![1, 6]
+    } else {
+        vec![1, 2, 4, 6]
+    };
     println!("Table II: fastest execution time (sec) on Tuxedo");
     println!("(best-performing GPU count in parentheses; D-IrGL best policy tagged)\n");
 
-    let datasets: Vec<LoadedDataset> =
-        DatasetId::SMALL.iter().map(|&id| LoadedDataset::load(id, args.extra_scale)).collect();
+    let datasets: Vec<LoadedDataset> = DatasetId::SMALL
+        .iter()
+        .map(|&id| LoadedDataset::load(id, args.extra_scale))
+        .collect();
 
     let widths = [9usize, 10, 22, 22, 22];
     let mut header = vec!["bench".to_string(), "platform".to_string()];

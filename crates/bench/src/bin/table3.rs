@@ -16,8 +16,10 @@ fn gb(bytes: u64) -> String {
 fn main() {
     let args = Args::parse();
     println!("Table III: max memory usage (GB) across 6 GPUs for cc on Tuxedo\n");
-    let datasets: Vec<LoadedDataset> =
-        DatasetId::SMALL.iter().map(|&id| LoadedDataset::load(id, args.extra_scale)).collect();
+    let datasets: Vec<LoadedDataset> = DatasetId::SMALL
+        .iter()
+        .map(|&id| LoadedDataset::load(id, args.extra_scale))
+        .collect();
     let platform = Platform::tuxedo();
 
     let widths = [10usize, 12, 12, 12];
@@ -32,18 +34,24 @@ fn main() {
     let mut lux = Vec::new();
     let mut dirgl = Vec::new();
     for ld in &datasets {
-        gunrock.push(match GunrockSim::new(platform.clone(), ld.ds.divisor).run_cc(&ld.ds.graph) {
-            Ok(o) => gb(o.report.max_memory()),
-            Err(_) => "OOM".into(),
-        });
-        groute.push(match GrouteSim::new(platform.clone(), ld.ds.divisor).run_cc(&ld.ds.graph) {
-            Ok(o) => gb(o.report.max_memory()),
-            Err(_) => "OOM".into(),
-        });
-        lux.push(match LuxRuntime::new(platform.clone(), ld.ds.divisor).run_cc(&ld.ds.graph) {
-            Ok(o) => gb(o.report.max_memory()),
-            Err(_) => "OOM".into(),
-        });
+        gunrock.push(
+            match GunrockSim::new(platform.clone(), ld.ds.divisor).run_cc(&ld.ds.graph) {
+                Ok(o) => gb(o.report.max_memory()),
+                Err(_) => "OOM".into(),
+            },
+        );
+        groute.push(
+            match GrouteSim::new(platform.clone(), ld.ds.divisor).run_cc(&ld.ds.graph) {
+                Ok(o) => gb(o.report.max_memory()),
+                Err(_) => "OOM".into(),
+            },
+        );
+        lux.push(
+            match LuxRuntime::new(platform.clone(), ld.ds.divisor).run_cc(&ld.ds.graph) {
+                Ok(o) => gb(o.report.max_memory()),
+                Err(_) => "OOM".into(),
+            },
+        );
         let mut cache = PartitionCache::new();
         dirgl.push(
             match dirgl_bench::run_dirgl(

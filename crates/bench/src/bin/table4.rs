@@ -20,7 +20,16 @@ fn main() {
         let platform = Platform::bridges(gpus);
         let mut cache = PartitionCache::new();
         println!("--- {} on {gpus} GPUs ---", id.name());
-        print_row(&["bench".into(), "policy".into(), "static".into(), "dynamic".into(), "memory".into()], &widths);
+        print_row(
+            &[
+                "bench".into(),
+                "policy".into(),
+                "static".into(),
+                "dynamic".into(),
+                "memory".into(),
+            ],
+            &widths,
+        );
         for bench in BenchId::ALL {
             // pagerank's IEC/OEC rows only, like the paper (it prints no
             // HVC row for pr)? The paper lists CVC/IEC/OEC for pagerank and

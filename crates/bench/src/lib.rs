@@ -20,16 +20,24 @@
 //!
 //! All binaries accept `--scale N` (extra divisor on top of the catalog
 //! scale; default 1) and `--quick` (shorthand for `--scale 4` plus
-//! trimmed sweeps) so the whole suite can run fast while iterating.
+//! trimmed sweeps) so the whole suite can run fast while iterating, plus
+//! `--trace <path>` to stream per-round, per-device
+//! [`dirgl_core::RoundRecord`]s as JSON lines while the figures run.
 
 use std::collections::HashMap;
 
 use dirgl_apps::{Bfs, Cc, KCore, PageRank, Sssp};
 use dirgl_comm::SimTime;
-use dirgl_core::{RunConfig, RunError, RunOutput, Runtime, Variant};
+use dirgl_core::{
+    JsonLinesSink, NoopSink, RunConfig, RunError, RunOutput, Runtime, TraceSink, Variant,
+};
 use dirgl_gpusim::Platform;
 use dirgl_graph::{Csr, Dataset, DatasetId};
 use dirgl_partition::{Partition, Policy};
+
+/// The concrete sink type behind `--trace`: JSON lines into a buffered
+/// file.
+pub type TraceFileSink = JsonLinesSink<std::io::BufWriter<std::fs::File>>;
 
 /// k for the kcore benchmark across the harness. The paper does not state
 /// its threshold; the partitioning study it builds on (Gill et al., PVLDB
@@ -39,18 +47,25 @@ use dirgl_partition::{Partition, Policy};
 pub const KCORE_K: u32 = 100;
 
 /// Command-line options shared by every binary.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Args {
     /// Extra scale divisor on top of the dataset catalog divisor.
     pub extra_scale: u64,
     /// Trim sweeps for fast iteration.
     pub quick: bool,
+    /// Write per-round trace records (JSON lines) to this path.
+    pub trace: Option<String>,
 }
 
 impl Args {
-    /// Parses `--scale N` and `--quick` from `std::env::args`.
+    /// Parses `--scale N`, `--quick` and `--trace <path>` from
+    /// `std::env::args`.
     pub fn parse() -> Args {
-        let mut args = Args { extra_scale: 1, quick: false };
+        let mut args = Args {
+            extra_scale: 1,
+            quick: false,
+            trace: None,
+        };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -64,10 +79,25 @@ impl Args {
                     args.quick = true;
                     args.extra_scale = args.extra_scale.max(4);
                 }
-                other => panic!("unknown argument {other} (use --scale N / --quick)"),
+                "--trace" => {
+                    args.trace = Some(it.next().expect("--trace needs a file path"));
+                }
+                other => {
+                    panic!("unknown argument {other} (use --scale N / --quick / --trace PATH)")
+                }
             }
         }
         args
+    }
+
+    /// Opens the `--trace` file as a JSON-lines sink (None when the flag
+    /// was not given).
+    pub fn open_trace(&self) -> Option<TraceFileSink> {
+        self.trace.as_ref().map(|p| {
+            let f = std::fs::File::create(p)
+                .unwrap_or_else(|e| panic!("cannot create --trace file {p}: {e}"));
+            JsonLinesSink::new(std::io::BufWriter::new(f))
+        })
     }
 }
 
@@ -88,8 +118,13 @@ pub enum BenchId {
 
 impl BenchId {
     /// Paper order.
-    pub const ALL: [BenchId; 5] =
-        [BenchId::Bfs, BenchId::Cc, BenchId::Kcore, BenchId::Pagerank, BenchId::Sssp];
+    pub const ALL: [BenchId; 5] = [
+        BenchId::Bfs,
+        BenchId::Cc,
+        BenchId::Kcore,
+        BenchId::Pagerank,
+        BenchId::Sssp,
+    ];
 
     /// Name as printed by the paper.
     pub fn name(self) -> &'static str {
@@ -130,7 +165,11 @@ pub struct LoadedDataset {
 impl LoadedDataset {
     /// Generates the analogue at `catalog divisor × extra`.
     pub fn load(id: DatasetId, extra: u64) -> LoadedDataset {
-        LoadedDataset { ds: id.load_scaled(extra), extra, sym: std::cell::OnceCell::new() }
+        LoadedDataset {
+            ds: id.load_scaled(extra),
+            extra,
+            sym: std::cell::OnceCell::new(),
+        }
     }
 
     /// The graph a benchmark runs on.
@@ -168,9 +207,7 @@ impl PartitionCache {
         let key = (ld.ds.id, policy, devices, bench.symmetric());
         self.map
             .entry(key)
-            .or_insert_with(|| {
-                Partition::build(ld.graph_for(bench), policy, devices, 0x5EED)
-            })
+            .or_insert_with(|| Partition::build(ld.graph_for(bench), policy, devices, 0x5EED))
             .clone()
     }
 }
@@ -189,6 +226,31 @@ pub fn run_dirgl(
     })
 }
 
+/// [`run_dirgl`] with per-round trace emission into `sink`. When `sink`
+/// is `None` this is exactly [`run_dirgl`]; when `Some`, `label` is
+/// stamped into every emitted record's `"run"` field so one trace file
+/// can hold many configurations.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dirgl_maybe_traced(
+    bench: BenchId,
+    ld: &LoadedDataset,
+    cache: &mut PartitionCache,
+    platform: &Platform,
+    policy: Policy,
+    variant: Variant,
+    sink: &mut Option<TraceFileSink>,
+    label: &str,
+) -> Result<RunOutput, RunError> {
+    let cfg = RunConfig::new(policy, variant).scale(ld.ds.divisor);
+    match sink {
+        Some(s) => {
+            s.set_label(label);
+            run_dirgl_cfg_traced(bench, ld, cache, platform, cfg, s)
+        }
+        None => run_dirgl_cfg(bench, ld, cache, platform, cfg),
+    }
+}
+
 /// Runs one D-IrGL configuration with a fully custom [`RunConfig`] (the
 /// ablation binaries flip `gpudirect` etc.). The config's scale divisor is
 /// forced to the dataset's.
@@ -197,18 +259,34 @@ pub fn run_dirgl_cfg(
     ld: &LoadedDataset,
     cache: &mut PartitionCache,
     platform: &Platform,
+    cfg: RunConfig,
+) -> Result<RunOutput, RunError> {
+    run_dirgl_cfg_traced(bench, ld, cache, platform, cfg, &mut NoopSink)
+}
+
+/// [`run_dirgl_cfg`] with per-round trace emission into `sink`.
+pub fn run_dirgl_cfg_traced(
+    bench: BenchId,
+    ld: &LoadedDataset,
+    cache: &mut PartitionCache,
+    platform: &Platform,
     mut cfg: RunConfig,
+    sink: &mut dyn TraceSink,
 ) -> Result<RunOutput, RunError> {
     cfg.scale_divisor = ld.ds.divisor;
     let part = cache.get(ld, bench, cfg.policy, platform.num_devices());
     let g = ld.graph_for(bench);
     let rt = Runtime::new(platform.clone(), cfg);
     match bench {
-        BenchId::Bfs => rt.run_partitioned(g, part, &Bfs::from_max_out_degree(&ld.ds.graph)),
-        BenchId::Cc => rt.run_partitioned(g, part, &Cc),
-        BenchId::Kcore => rt.run_partitioned(g, part, &KCore::new(KCORE_K)),
-        BenchId::Pagerank => rt.run_partitioned(g, part, &PageRank::new()),
-        BenchId::Sssp => rt.run_partitioned(g, part, &Sssp::from_max_out_degree(&ld.ds.graph)),
+        BenchId::Bfs => {
+            rt.run_partitioned_traced(g, part, &Bfs::from_max_out_degree(&ld.ds.graph), sink)
+        }
+        BenchId::Cc => rt.run_partitioned_traced(g, part, &Cc, sink),
+        BenchId::Kcore => rt.run_partitioned_traced(g, part, &KCore::new(KCORE_K), sink),
+        BenchId::Pagerank => rt.run_partitioned_traced(g, part, &PageRank::new(), sink),
+        BenchId::Sssp => {
+            rt.run_partitioned_traced(g, part, &Sssp::from_max_out_degree(&ld.ds.graph), sink)
+        }
     }
 }
 
@@ -260,7 +338,13 @@ pub fn print_breakdown(title: &str, rows: &[Breakdown]) {
     let widths = [12, 9, 11, 9, 12, 9, 7, 12];
     print_row(
         &[
-            "series", "total(s)", "compute(s)", "wait(s)", "devcomm(s)", "volume", "rounds",
+            "series",
+            "total(s)",
+            "compute(s)",
+            "wait(s)",
+            "devcomm(s)",
+            "volume",
+            "rounds",
             "workitems",
         ]
         .map(String::from),
@@ -342,9 +426,15 @@ mod tests {
         let mut cache = PartitionCache::new();
         let platform = Platform::bridges(4);
         for bench in BenchId::ALL {
-            let out =
-                run_dirgl(bench, &ld, &mut cache, &platform, Policy::Cvc, Variant::var3())
-                    .unwrap();
+            let out = run_dirgl(
+                bench,
+                &ld,
+                &mut cache,
+                &platform,
+                Policy::Cvc,
+                Variant::var3(),
+            )
+            .unwrap();
             assert!(out.report.total_time.as_secs_f64() > 0.0, "{bench}");
         }
     }

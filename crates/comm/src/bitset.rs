@@ -18,7 +18,10 @@ pub struct DenseBitset {
 impl DenseBitset {
     /// An all-zero bitset over `len` positions.
     pub fn new(len: u32) -> DenseBitset {
-        DenseBitset { words: vec![0; (len as usize).div_ceil(64)], len }
+        DenseBitset {
+            words: vec![0; (len as usize).div_ceil(64)],
+            len,
+        }
     }
 
     /// Capacity in bits.

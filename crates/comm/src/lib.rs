@@ -26,5 +26,5 @@ pub mod plan;
 pub use bitset::DenseBitset;
 pub use clock::SimTime;
 pub use message::{as_message_bytes, uo_message_bytes, CommMode, VAL_BYTES};
-pub use net::{ExchangeOutcome, NetModel, SendDesc};
+pub use net::{Delivery, ExchangeOutcome, MessageTrace, NetModel, NetState, SendDesc};
 pub use plan::SyncPlan;

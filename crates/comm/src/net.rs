@@ -31,7 +31,14 @@ pub struct SendDesc {
     pub depart: SimTime,
 }
 
-/// Mutable link-occupancy state, persistent across rounds.
+/// Mutable link-occupancy state.
+///
+/// Persistence is the *caller's* choice: the engines thread one `NetState`
+/// through every exchange of a run (so a NIC still draining round `k`
+/// delays round `k+1`, as real hardware does), while the stateless
+/// [`NetModel::exchange`] convenience starts fresh each call for isolated
+/// what-if timing. See `state_persists_across_exchanges` for the pinned
+/// semantics.
 #[derive(Clone, Debug)]
 pub struct NetState {
     pcie_out_free: Vec<SimTime>,
@@ -61,6 +68,39 @@ pub struct Delivery {
     /// When the sending *host* finished pushing the message into the
     /// network (NIC occupancy end).
     pub host_send_done: SimTime,
+    /// Time the message queued behind earlier traffic on the sender's PCIe
+    /// lane before its upload started.
+    pub pcie_out_queue: SimTime,
+    /// Time the message queued behind earlier traffic on the sending
+    /// host's NIC (zero for same-host transfers).
+    pub nic_queue: SimTime,
+    /// Time the message queued behind earlier traffic on the receiver's
+    /// PCIe lane before its download started.
+    pub pcie_in_queue: SimTime,
+}
+
+/// One message's full timing, reported by
+/// [`NetModel::exchange_with`] when the caller asks for per-message
+/// attribution — this is what lets a trace say *which link* a device's
+/// wait time queued on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MessageTrace {
+    /// Sending device.
+    pub from: u32,
+    /// Receiving device.
+    pub to: u32,
+    /// Wire bytes.
+    pub bytes: u64,
+    /// When the sender had the payload ready.
+    pub depart: SimTime,
+    /// When the payload was applied on the receiver.
+    pub arrival: SimTime,
+    /// Queueing delay on the sender's PCIe lane.
+    pub pcie_out_queue: SimTime,
+    /// Queueing delay on the sending host's NIC.
+    pub nic_queue: SimTime,
+    /// Queueing delay on the receiver's PCIe lane.
+    pub pcie_in_queue: SimTime,
 }
 
 /// Timing model bound to one platform.
@@ -80,6 +120,10 @@ pub struct ExchangeOutcome {
     /// Per host: blocked time between finishing its sends and the last
     /// inbound arrival.
     pub host_wait: Vec<SimTime>,
+    /// Per device: when its last outbound upload left its PCIe lane (its
+    /// own clock if it sends nothing). `device_done[d] - sender_free[d]`
+    /// is the time device `d` spent blocked on *inbound* traffic.
+    pub sender_free: Vec<SimTime>,
     /// Total bytes moved.
     pub total_bytes: u64,
     /// Number of messages.
@@ -90,7 +134,10 @@ impl NetModel {
     /// Creates the model (host-staged transfers, as all frameworks in the
     /// paper do).
     pub fn new(platform: Platform) -> NetModel {
-        NetModel { platform, direct_device: false }
+        NetModel {
+            platform,
+            direct_device: false,
+        }
     }
 
     /// The platform this model times.
@@ -106,62 +153,112 @@ impl NetModel {
     /// Delivers one message, updating link occupancy.
     pub fn send(&self, st: &mut NetState, msg: SendDesc) -> Delivery {
         let c = &self.platform.cluster;
-        let pcie = |bytes: u64| SimTime::from_secs_f64(c.pcie_latency + bytes as f64 / c.pcie_bandwidth);
-        let (hf, ht) = (self.platform.host_of(msg.from), self.platform.host_of(msg.to));
+        let pcie =
+            |bytes: u64| SimTime::from_secs_f64(c.pcie_latency + bytes as f64 / c.pcie_bandwidth);
+        let (hf, ht) = (
+            self.platform.host_of(msg.from),
+            self.platform.host_of(msg.to),
+        );
 
         if self.direct_device {
             // GPUDirect P2P / RDMA: one hop, no host staging.
             if hf == ht {
                 let arrival = msg.depart + pcie(msg.bytes);
-                return Delivery { arrival, sender_free: arrival, host_send_done: arrival };
+                return Delivery {
+                    arrival,
+                    sender_free: arrival,
+                    host_send_done: arrival,
+                    pcie_out_queue: SimTime::ZERO,
+                    nic_queue: SimTime::ZERO,
+                    pcie_in_queue: SimTime::ZERO,
+                };
             }
             let nic = &mut st.nic_free[hf as usize];
             let start = msg.depart.max(*nic);
-            let done = start
-                + SimTime::from_secs_f64(c.msg_overhead + msg.bytes as f64 / c.net_bandwidth);
+            let nic_queue = start.saturating_sub(msg.depart);
+            let done =
+                start + SimTime::from_secs_f64(c.msg_overhead + msg.bytes as f64 / c.net_bandwidth);
             *nic = done;
             let arrival = done + SimTime::from_secs_f64(c.net_latency);
-            return Delivery { arrival, sender_free: done, host_send_done: done };
+            return Delivery {
+                arrival,
+                sender_free: done,
+                host_send_done: done,
+                pcie_out_queue: SimTime::ZERO,
+                nic_queue,
+                pcie_in_queue: SimTime::ZERO,
+            };
         }
 
         // Hop 1: device -> host over the sender's PCIe lane.
         let out = &mut st.pcie_out_free[msg.from as usize];
         let up_start = msg.depart.max(*out);
+        let pcie_out_queue = up_start.saturating_sub(msg.depart);
         let up_done = up_start + pcie(msg.bytes);
         *out = up_done;
 
         // Hop 2: host -> host (skipped within a host: staged in pinned
         // host memory, which hop 1/3 already price).
-        let (at_recv_host, host_send_done) = if hf == ht {
-            (up_done, up_done)
+        let (at_recv_host, host_send_done, nic_queue) = if hf == ht {
+            (up_done, up_done, SimTime::ZERO)
         } else {
             let nic = &mut st.nic_free[hf as usize];
             let start = up_done.max(*nic);
-            let done = start
-                + SimTime::from_secs_f64(c.msg_overhead + msg.bytes as f64 / c.net_bandwidth);
+            let nic_queue = start.saturating_sub(up_done);
+            let done =
+                start + SimTime::from_secs_f64(c.msg_overhead + msg.bytes as f64 / c.net_bandwidth);
             *nic = done;
-            (done + SimTime::from_secs_f64(c.net_latency), done)
+            (
+                done + SimTime::from_secs_f64(c.net_latency),
+                done,
+                nic_queue,
+            )
         };
 
         // Hop 3: host -> device over the receiver's PCIe lane.
         let inl = &mut st.pcie_in_free[msg.to as usize];
         let down_start = at_recv_host.max(*inl);
+        let pcie_in_queue = down_start.saturating_sub(at_recv_host);
         let down_done = down_start + pcie(msg.bytes);
         *inl = down_done;
 
-        Delivery { arrival: down_done, sender_free: up_done, host_send_done }
+        Delivery {
+            arrival: down_done,
+            sender_free: up_done,
+            host_send_done,
+            pcie_out_queue,
+            nic_queue,
+            pcie_in_queue,
+        }
     }
 
-    /// Runs a whole barrier-style exchange (all messages known up front) and
-    /// summarizes it per device/host — the BSP communication phase.
+    /// Runs a whole barrier-style exchange with *fresh* link state — an
+    /// isolated what-if measurement. The engines use
+    /// [`NetModel::exchange_with`] instead so congestion carries across
+    /// rounds.
     pub fn exchange(&self, device_clock: &[SimTime], sends: &[SendDesc]) -> ExchangeOutcome {
+        self.exchange_with(&mut self.new_state(), device_clock, sends, None)
+    }
+
+    /// Runs a whole barrier-style exchange (all messages known up front)
+    /// against *caller-owned* link state and summarizes it per device/host
+    /// — the BSP communication phase. Link occupancy left in `st` by
+    /// earlier exchanges delays this one and vice versa. When `trace` is
+    /// given, one [`MessageTrace`] per send is appended, attributing each
+    /// message's queueing to the PCIe lanes and NIC it crossed.
+    pub fn exchange_with(
+        &self,
+        st: &mut NetState,
+        device_clock: &[SimTime],
+        sends: &[SendDesc],
+        mut trace: Option<&mut Vec<MessageTrace>>,
+    ) -> ExchangeOutcome {
         let p = self.platform.num_devices() as usize;
         let h = self.platform.num_hosts() as usize;
-        let mut st = self.new_state();
-        // Link state starts at each device's clock implicitly via depart.
         let mut device_done: Vec<SimTime> = device_clock.to_vec();
-        let mut host_send_done: Vec<SimTime> =
-            (0..h).map(|i| host_work_floor(&self.platform, device_clock, i as u32)).collect();
+        let mut host_send_done: Vec<SimTime> = (0..h)
+            .map(|i| host_work_floor(&self.platform, device_clock, i as u32))
+            .collect();
         let mut host_last_arrival: Vec<SimTime> = vec![SimTime::ZERO; h];
         let mut sender_free: Vec<SimTime> = device_clock.to_vec();
         let mut total_bytes = 0u64;
@@ -171,7 +268,7 @@ impl NetModel {
         order.sort_by_key(|m| (m.depart, m.from, m.to));
 
         for msg in order {
-            let d = self.send(&mut st, *msg);
+            let d = self.send(st, *msg);
             total_bytes += msg.bytes;
             let hf = self.platform.host_of(msg.from) as usize;
             let ht = self.platform.host_of(msg.to) as usize;
@@ -179,6 +276,18 @@ impl NetModel {
             sender_free[msg.from as usize] = sender_free[msg.from as usize].max(d.sender_free);
             host_send_done[hf] = host_send_done[hf].max(d.host_send_done);
             host_last_arrival[ht] = host_last_arrival[ht].max(d.arrival);
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(MessageTrace {
+                    from: msg.from,
+                    to: msg.to,
+                    bytes: msg.bytes,
+                    depart: msg.depart,
+                    arrival: d.arrival,
+                    pcie_out_queue: d.pcie_out_queue,
+                    nic_queue: d.nic_queue,
+                    pcie_in_queue: d.pcie_in_queue,
+                });
+            }
         }
         // A sender is not "done" until its uploads finish even if it
         // receives nothing.
@@ -191,6 +300,7 @@ impl NetModel {
         ExchangeOutcome {
             device_done,
             host_wait,
+            sender_free,
             total_bytes,
             num_messages: sends.len() as u64,
         }
@@ -223,7 +333,12 @@ mod tests {
         // Cross-host: device 0 (host 0) -> device 2 (host 1).
         let d = m.send(
             &mut st,
-            SendDesc { from: 0, to: 2, bytes: 1_000_000, depart: SimTime::ZERO },
+            SendDesc {
+                from: 0,
+                to: 2,
+                bytes: 1_000_000,
+                depart: SimTime::ZERO,
+            },
         );
         let pcie = c.pcie_latency + 1e6 / c.pcie_bandwidth;
         let net = c.msg_overhead + 1e6 / c.net_bandwidth + c.net_latency;
@@ -238,11 +353,21 @@ mod tests {
         let mut st2 = m.new_state();
         let same = m.send(
             &mut st1,
-            SendDesc { from: 0, to: 1, bytes: 1_000_000, depart: SimTime::ZERO },
+            SendDesc {
+                from: 0,
+                to: 1,
+                bytes: 1_000_000,
+                depart: SimTime::ZERO,
+            },
         );
         let cross = m.send(
             &mut st2,
-            SendDesc { from: 0, to: 2, bytes: 1_000_000, depart: SimTime::ZERO },
+            SendDesc {
+                from: 0,
+                to: 2,
+                bytes: 1_000_000,
+                depart: SimTime::ZERO,
+            },
         );
         assert!(same.arrival < cross.arrival);
     }
@@ -251,10 +376,26 @@ mod tests {
     fn nic_serializes_messages() {
         let m = model(8);
         let mut st = m.new_state();
-        let a = m.send(&mut st, SendDesc { from: 0, to: 2, bytes: 10_000_000, depart: SimTime::ZERO });
+        let a = m.send(
+            &mut st,
+            SendDesc {
+                from: 0,
+                to: 2,
+                bytes: 10_000_000,
+                depart: SimTime::ZERO,
+            },
+        );
         // Second message from the same host must queue behind the first on
         // the NIC even though it comes from the other device.
-        let b = m.send(&mut st, SendDesc { from: 1, to: 4, bytes: 10_000_000, depart: SimTime::ZERO });
+        let b = m.send(
+            &mut st,
+            SendDesc {
+                from: 1,
+                to: 4,
+                bytes: 10_000_000,
+                depart: SimTime::ZERO,
+            },
+        );
         assert!(b.host_send_done > a.host_send_done);
         assert!(b.arrival > a.arrival);
     }
@@ -262,7 +403,12 @@ mod tests {
     #[test]
     fn gpudirect_is_faster() {
         let mut m = model(4);
-        let msg = SendDesc { from: 0, to: 2, bytes: 4_000_000, depart: SimTime::ZERO };
+        let msg = SendDesc {
+            from: 0,
+            to: 2,
+            bytes: 4_000_000,
+            depart: SimTime::ZERO,
+        };
         let staged = m.send(&mut m.new_state(), msg);
         m.direct_device = true;
         let direct = m.send(&mut m.new_state(), msg);
@@ -274,8 +420,18 @@ mod tests {
         let m = model(4);
         let clocks = vec![SimTime::ZERO; 4];
         let sends = vec![
-            SendDesc { from: 0, to: 2, bytes: 1_000_000, depart: SimTime::ZERO },
-            SendDesc { from: 2, to: 0, bytes: 8_000_000, depart: SimTime::ZERO },
+            SendDesc {
+                from: 0,
+                to: 2,
+                bytes: 1_000_000,
+                depart: SimTime::ZERO,
+            },
+            SendDesc {
+                from: 2,
+                to: 0,
+                bytes: 8_000_000,
+                depart: SimTime::ZERO,
+            },
         ];
         let out = m.exchange(&clocks, &sends);
         assert_eq!(out.total_bytes, 9_000_000);
@@ -296,6 +452,106 @@ mod tests {
     }
 
     #[test]
+    fn state_persists_across_exchanges() {
+        // Pinned semantics: `exchange_with` leaves link occupancy in the
+        // caller's state, so a second exchange queues behind the first;
+        // `exchange` starts fresh every call and never sees the backlog.
+        let m = model(4);
+        let clocks = vec![SimTime::ZERO; 4];
+        let sends = vec![SendDesc {
+            from: 0,
+            to: 2,
+            bytes: 50_000_000,
+            depart: SimTime::ZERO,
+        }];
+
+        let mut st = m.new_state();
+        let first = m.exchange_with(&mut st, &clocks, &sends, None);
+        let second = m.exchange_with(&mut st, &clocks, &sends, None);
+        assert!(
+            second.device_done[2] > first.device_done[2],
+            "second exchange must queue behind the first's link occupancy"
+        );
+
+        // The stateless convenience is unaffected by prior traffic.
+        let isolated = m.exchange(&clocks, &sends);
+        assert_eq!(isolated.device_done[2], first.device_done[2]);
+        let again = m.exchange(&clocks, &sends);
+        assert_eq!(again.device_done[2], first.device_done[2]);
+    }
+
+    #[test]
+    fn exchange_reports_sender_free_and_inbound_wait() {
+        let m = model(4);
+        let clocks = vec![SimTime::ZERO; 4];
+        // Device 0 sends a small message and receives a big one: its
+        // inbound wait (device_done - sender_free) must be positive, and
+        // its sender_free must come well before the big arrival.
+        let sends = vec![
+            SendDesc {
+                from: 0,
+                to: 2,
+                bytes: 1_000,
+                depart: SimTime::ZERO,
+            },
+            SendDesc {
+                from: 2,
+                to: 0,
+                bytes: 20_000_000,
+                depart: SimTime::ZERO,
+            },
+        ];
+        let out = m.exchange(&clocks, &sends);
+        let wait0 = out.device_done[0].saturating_sub(out.sender_free[0]);
+        assert!(wait0 > SimTime::ZERO);
+        assert!(out.sender_free[0] < out.device_done[0]);
+        // A device that neither sends nor receives keeps its clock.
+        assert_eq!(out.sender_free[1], SimTime::ZERO);
+        assert_eq!(out.device_done[1], SimTime::ZERO);
+    }
+
+    #[test]
+    fn message_trace_attributes_queueing_to_links() {
+        let m = model(8);
+        let clocks = vec![SimTime::ZERO; 8];
+        // Two cross-host messages from the same host (devices 0 and 1
+        // share host 0): the second queues on the shared NIC, not on its
+        // own idle PCIe lane.
+        let sends = vec![
+            SendDesc {
+                from: 0,
+                to: 4,
+                bytes: 10_000_000,
+                depart: SimTime::ZERO,
+            },
+            SendDesc {
+                from: 1,
+                to: 6,
+                bytes: 10_000_000,
+                depart: SimTime::ZERO,
+            },
+        ];
+        let mut trace = Vec::new();
+        let mut st = m.new_state();
+        let _ = m.exchange_with(&mut st, &clocks, &sends, Some(&mut trace));
+        assert_eq!(trace.len(), 2);
+        let a = trace.iter().find(|t| t.from == 0).unwrap();
+        let b = trace.iter().find(|t| t.from == 1).unwrap();
+        assert_eq!(a.nic_queue, SimTime::ZERO);
+        assert!(
+            b.nic_queue > SimTime::ZERO,
+            "second message queues on the shared NIC"
+        );
+        assert_eq!(
+            b.pcie_out_queue,
+            SimTime::ZERO,
+            "its own PCIe lane was idle"
+        );
+        assert_eq!(a.bytes, 10_000_000);
+        assert!(b.arrival > a.arrival);
+    }
+
+    #[test]
     fn more_partners_cost_more_overhead_at_equal_volume() {
         // Same volume split over 1 vs 7 partners from one host: the
         // per-message overhead makes many partners slower.
@@ -303,10 +559,20 @@ mod tests {
         let clocks = vec![SimTime::ZERO; 16];
         let one = m.exchange(
             &clocks,
-            &[SendDesc { from: 0, to: 14, bytes: 700_000, depart: SimTime::ZERO }],
+            &[SendDesc {
+                from: 0,
+                to: 14,
+                bytes: 700_000,
+                depart: SimTime::ZERO,
+            }],
         );
         let many: Vec<SendDesc> = (1..8)
-            .map(|i| SendDesc { from: 0, to: 2 * i + 1, bytes: 100_000, depart: SimTime::ZERO })
+            .map(|i| SendDesc {
+                from: 0,
+                to: 2 * i + 1,
+                bytes: 100_000,
+                depart: SimTime::ZERO,
+            })
             .collect();
         let spread = m.exchange(&clocks, &many);
         let t1 = one.device_done.iter().max().unwrap().as_secs_f64();

@@ -53,7 +53,11 @@ impl SyncPlan {
                 bcast_entries.push(link.read_entries(read_at_src));
             }
         }
-        SyncPlan { num_devices: p, reduce_entries, bcast_entries }
+        SyncPlan {
+            num_devices: p,
+            reduce_entries,
+            bcast_entries,
+        }
     }
 
     /// Reduce participant entries for `(holder, owner)`.

@@ -16,20 +16,29 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use dirgl_comm::{NetModel, SendDesc, SimTime};
 use dirgl_comm::SyncPlan;
+use dirgl_comm::{NetModel, SendDesc, SimTime};
 use dirgl_partition::Partition;
 
 use crate::bsp::EngineOutcome;
 use crate::config::RunConfig;
 use crate::device::DeviceRun;
 use crate::program::{Style, VertexProgram};
+use crate::trace::{EngineKind, NoopSink, RoundRecord, TraceDirection, TraceSink};
 
 enum Payload<P: VertexProgram> {
     /// Mirror deltas travelling holder → owner.
-    Reduce { holder: u32, owner: u32, data: Vec<(u32, P::Wire)> },
+    Reduce {
+        holder: u32,
+        owner: u32,
+        data: Vec<(u32, P::Wire)>,
+    },
     /// Canonical values travelling owner → holder.
-    Bcast { owner: u32, holder: u32, data: Vec<(u32, P::Wire)> },
+    Bcast {
+        owner: u32,
+        holder: u32,
+        data: Vec<(u32, P::Wire)>,
+    },
 }
 
 struct Event<P: VertexProgram> {
@@ -40,7 +49,9 @@ struct Event<P: VertexProgram> {
 
 enum EventKind<P: VertexProgram> {
     Round(u32),
-    Arrive(u32, Payload<P>),
+    /// Receiver, payload, wire bytes (bytes ride along for the trace's
+    /// received-volume attribution).
+    Arrive(u32, Payload<P>, u64),
 }
 
 impl<P: VertexProgram> PartialEq for Event<P> {
@@ -61,7 +72,7 @@ impl<P: VertexProgram> Ord for Event<P> {
     }
 }
 
-/// Runs `program` to quiescence under BASP.
+/// Runs `program` to quiescence under BASP (untraced).
 pub fn run_basp<P: VertexProgram>(
     program: &P,
     devices: &mut [DeviceRun<P>],
@@ -70,17 +81,39 @@ pub fn run_basp<P: VertexProgram>(
     net: &NetModel,
     config: &RunConfig,
 ) -> EngineOutcome {
+    run_basp_traced(program, devices, part, plan, net, config, &mut NoopSink)
+}
+
+/// Runs `program` to quiescence under BASP, emitting one
+/// [`RoundRecord`] per *local* device round into `sink`. `round` in each
+/// record is the device's own 0-based round ordinal (local rounds are not
+/// globally aligned); `wait` is the idle time the device accumulated
+/// between its previous round and this one.
+pub fn run_basp_traced<P: VertexProgram>(
+    program: &P,
+    devices: &mut [DeviceRun<P>],
+    part: &Partition,
+    plan: &SyncPlan,
+    net: &NetModel,
+    config: &RunConfig,
+    sink: &mut dyn TraceSink,
+) -> EngineOutcome {
     let p = devices.len();
     let mode = config.variant.comm;
     let divisor = config.scale_divisor;
     let balancer = config.variant.balancer;
     let pull = program.style() == Style::PullTopologyDriven;
+    let tracing = sink.enabled();
 
     let mut heap: BinaryHeap<Event<P>> = BinaryHeap::new();
     let mut seq = 0u64;
     let push_ev = |heap: &mut BinaryHeap<Event<P>>, seq: &mut u64, time, kind| {
         *seq += 1;
-        heap.push(Event { time, seq: *seq, kind });
+        heap.push(Event {
+            time,
+            seq: *seq,
+            kind,
+        });
     };
 
     let mut busy = vec![SimTime::ZERO; p];
@@ -91,6 +124,11 @@ pub fn run_basp<P: VertexProgram>(
     let mut comm_bytes = 0u64;
     let mut messages = 0u64;
     let mut net_state = net.new_state();
+
+    // Per-device trace accumulators: wait since the previous local round,
+    // and (bytes, messages) received since the previous local round.
+    let mut tr_wait = vec![SimTime::ZERO; p];
+    let mut tr_recv = vec![(0u64, 0u64); p];
 
     for d in 0..p as u32 {
         if pull || devices[d as usize].has_work() {
@@ -103,15 +141,21 @@ pub fn run_basp<P: VertexProgram>(
 
     while let Some(ev) = heap.pop() {
         match ev.kind {
-            EventKind::Arrive(d, payload) => {
+            EventKind::Arrive(d, payload, bytes) => {
                 let du = d as usize;
                 inbox[du].push(payload);
+                if tracing {
+                    tr_recv[du].0 += bytes;
+                    tr_recv[du].1 += 1;
+                }
                 if !round_pending[du] {
                     // Wake the device at whichever is later: now or when its
                     // current round ends.
                     let wake = ev.time.max(busy[du]);
                     if let Some(s) = idle_since[du].take() {
-                        devices[du].idle_time += wake.saturating_sub(s);
+                        let blocked = wake.saturating_sub(s);
+                        devices[du].idle_time += blocked;
+                        tr_wait[du] += blocked;
                     }
                     round_pending[du] = true;
                     push_ev(&mut heap, &mut seq, wake, EventKind::Round(d));
@@ -128,13 +172,20 @@ pub fn run_basp<P: VertexProgram>(
                 let mut arrivals_changed = false;
                 for payload in inbox[du].split_off(0) {
                     match payload {
-                        Payload::Reduce { holder, owner, data } => {
+                        Payload::Reduce {
+                            holder,
+                            owner,
+                            data,
+                        } => {
                             debug_assert_eq!(owner, d);
                             let link = part.link(holder, owner);
-                            arrivals_changed |=
-                                devices[du].apply_reduce(program, link, &data);
+                            arrivals_changed |= devices[du].apply_reduce(program, link, &data);
                         }
-                        Payload::Bcast { owner, holder, data } => {
+                        Payload::Bcast {
+                            owner,
+                            holder,
+                            data,
+                        } => {
                             debug_assert_eq!(holder, d);
                             let link = part.link(holder, owner);
                             arrivals_changed |=
@@ -151,16 +202,27 @@ pub fn run_basp<P: VertexProgram>(
                 // take-based async broadcast in step 5 (consumable
                 // generations keep an "unsent" ledger, so a generation the
                 // master consumes in this round's compute is still shipped).
+                let mut pre_changed = 0;
                 if !pull {
-                    devices[du].absorb_masters(program);
+                    pre_changed = devices[du].absorb_masters(program);
                 }
 
                 let capped = devices[du].rounds >= program.max_rounds();
-                let work = if pull { !converged[du] } else { devices[du].has_work() };
+                let work = if pull {
+                    !converged[du]
+                } else {
+                    devices[du].has_work()
+                };
                 if !work || capped {
                     idle_since[du] = Some(t);
                     continue;
                 }
+
+                let frontier = if tracing {
+                    devices[du].active_count()
+                } else {
+                    0
+                };
 
                 // 3. Compute one local round. Pull programs then consume
                 // the mirror values read this round: local rounds are not
@@ -181,6 +243,9 @@ pub fn run_basp<P: VertexProgram>(
                 let mut sent_any = false;
                 let mut depart = t + dt;
                 let mut sender_free = depart;
+                let mut pack = SimTime::ZERO;
+                let mut sent_bytes = 0u64;
+                let mut sent_msgs = 0u64;
                 for other in 0..p as u32 {
                     if other == d {
                         continue;
@@ -197,14 +262,22 @@ pub fn run_basp<P: VertexProgram>(
                         {
                             if !sent_any {
                                 sent_any = true;
-                                depart += devices[du].pack_time(mode, divisor);
+                                pack = devices[du].pack_time(mode, divisor);
+                                depart += pack;
                             }
                             let delivery = net.send(
                                 &mut net_state,
-                                SendDesc { from: d, to: other, bytes, depart },
+                                SendDesc {
+                                    from: d,
+                                    to: other,
+                                    bytes,
+                                    depart,
+                                },
                             );
                             comm_bytes += bytes;
                             messages += 1;
+                            sent_bytes += bytes;
+                            sent_msgs += 1;
                             sender_free = sender_free.max(delivery.sender_free);
                             push_ev(
                                 &mut heap,
@@ -212,7 +285,12 @@ pub fn run_basp<P: VertexProgram>(
                                 delivery.arrival,
                                 EventKind::Arrive(
                                     other,
-                                    Payload::Reduce { holder: d, owner: other, data },
+                                    Payload::Reduce {
+                                        holder: d,
+                                        owner: other,
+                                        data,
+                                    },
+                                    bytes,
                                 ),
                             );
                         }
@@ -221,19 +299,27 @@ pub fn run_basp<P: VertexProgram>(
                     let entries = plan.bcast(other, d);
                     if !entries.is_empty() {
                         let link = part.link(other, d);
-                        let (data, bytes) =
-                            devices[du].build_broadcast(program, link, entries, mode, divisor, true);
+                        let (data, bytes) = devices[du]
+                            .build_broadcast(program, link, entries, mode, divisor, true);
                         {
                             if !sent_any {
                                 sent_any = true;
-                                depart += devices[du].pack_time(mode, divisor);
+                                pack = devices[du].pack_time(mode, divisor);
+                                depart += pack;
                             }
                             let delivery = net.send(
                                 &mut net_state,
-                                SendDesc { from: d, to: other, bytes, depart },
+                                SendDesc {
+                                    from: d,
+                                    to: other,
+                                    bytes,
+                                    depart,
+                                },
                             );
                             comm_bytes += bytes;
                             messages += 1;
+                            sent_bytes += bytes;
+                            sent_msgs += 1;
                             sender_free = sender_free.max(delivery.sender_free);
                             push_ev(
                                 &mut heap,
@@ -241,7 +327,12 @@ pub fn run_basp<P: VertexProgram>(
                                 delivery.arrival,
                                 EventKind::Arrive(
                                     other,
-                                    Payload::Bcast { owner: d, holder: other, data },
+                                    Payload::Bcast {
+                                        owner: d,
+                                        holder: other,
+                                        data,
+                                    },
+                                    bytes,
                                 ),
                             );
                         }
@@ -251,14 +342,42 @@ pub fn run_basp<P: VertexProgram>(
                 devices[du].clear_sync_marks();
                 busy[du] = depart.max(sender_free);
 
+                if tracing {
+                    sink.record(RoundRecord {
+                        engine: EngineKind::Basp,
+                        round: devices[du].rounds - 1,
+                        device: d,
+                        direction: if pull {
+                            TraceDirection::Pull
+                        } else {
+                            TraceDirection::Push
+                        },
+                        frontier,
+                        compute: dt,
+                        pack,
+                        wait: tr_wait[du],
+                        bytes_sent: sent_bytes,
+                        bytes_received: tr_recv[du].0,
+                        messages_sent: sent_msgs,
+                        messages_received: tr_recv[du].1,
+                        absorb_changed: pre_changed + changed,
+                        clock_end: busy[du],
+                    });
+                    tr_wait[du] = SimTime::ZERO;
+                    tr_recv[du] = (0, 0);
+                }
+
                 // 6. Keep rounding while local work remains; otherwise idle.
-                let more = if pull { !converged[du] } else { devices[du].has_work() };
+                let more = if pull {
+                    !converged[du]
+                } else {
+                    devices[du].has_work()
+                };
                 if more && devices[du].rounds < program.max_rounds() {
                     // Throttled BASP: insert a gap so arrivals batch into
                     // the next round instead of each triggering redundant
                     // recomputation (the paper's §VII recommendation).
-                    let next =
-                        busy[du] + SimTime::from_secs_f64(config.basp_round_gap_secs);
+                    let next = busy[du] + SimTime::from_secs_f64(config.basp_round_gap_secs);
                     round_pending[du] = true;
                     push_ev(&mut heap, &mut seq, next, EventKind::Round(d));
                 } else {
@@ -267,6 +386,7 @@ pub fn run_basp<P: VertexProgram>(
             }
         }
     }
+    sink.finish();
 
     // Quiescent: no events left, every device idle.
     let hosts = net.platform().num_hosts() as usize;
@@ -280,12 +400,14 @@ pub fn run_basp<P: VertexProgram>(
             *w = SimTime::ZERO;
         }
     }
+    let min_rounds = devices.iter().map(|d| d.rounds).min().unwrap_or(0);
     EngineOutcome {
         clocks: busy,
         host_wait,
         comm_bytes,
         messages,
-        min_rounds: devices.iter().map(|d| d.rounds).min().unwrap_or(0),
+        rounds: min_rounds,
+        min_rounds,
         max_rounds: devices.iter().map(|d| d.rounds).max().unwrap_or(0),
     }
 }

@@ -9,18 +9,20 @@
 
 use rayon::prelude::*;
 
-use dirgl_comm::{NetModel, SendDesc, SimTime};
 use dirgl_comm::SyncPlan;
+use dirgl_comm::{NetModel, NetState, SendDesc, SimTime};
 use dirgl_partition::Partition;
 
 use crate::config::RunConfig;
 use crate::device::DeviceRun;
+use crate::trace::{EngineKind, NoopSink, RoundRecord, TraceDirection, TraceSink};
 
 /// A built sync payload awaiting application: (sender, receiver, values).
 type Payloads<W> = Vec<(u32, u32, Vec<(u32, W)>)>;
 use crate::program::{Style, VertexProgram};
 
-/// Raw outcome of a BSP run, consumed by the runtime's report assembly.
+/// Raw outcome of a BSP/BASP run, consumed by the runtime's report
+/// assembly.
 pub struct EngineOutcome {
     /// Final per-device clocks; the max is the execution time.
     pub clocks: Vec<SimTime>,
@@ -30,9 +32,14 @@ pub struct EngineOutcome {
     pub comm_bytes: u64,
     /// Messages sent.
     pub messages: u64,
-    /// Minimum local rounds across devices (== global rounds under BSP).
+    /// Headline round count: global rounds under BSP, minimum local
+    /// rounds under BASP (matching the paper's "rounds" metric).
+    pub rounds: u32,
+    /// Minimum per-device local round count. Under BSP a device with no
+    /// active work skips its compute kernel, so this can be *below* the
+    /// global round count.
     pub min_rounds: u32,
-    /// Maximum local rounds across devices.
+    /// Maximum per-device local round count.
     pub max_rounds: u32,
 }
 
@@ -48,7 +55,7 @@ pub(crate) fn termination_check_cost(net: &NetModel) -> SimTime {
     SimTime::from_secs_f64(c.msg_overhead + c.net_latency * hops)
 }
 
-/// Runs `program` to convergence under BSP.
+/// Runs `program` to convergence under BSP (untraced).
 pub fn run_bsp<P: VertexProgram>(
     program: &P,
     devices: &mut [DeviceRun<P>],
@@ -56,6 +63,21 @@ pub fn run_bsp<P: VertexProgram>(
     plan: &SyncPlan,
     net: &NetModel,
     config: &RunConfig,
+) -> EngineOutcome {
+    run_bsp_traced(program, devices, part, plan, net, config, &mut NoopSink)
+}
+
+/// Runs `program` to convergence under BSP, emitting one
+/// [`RoundRecord`] per (round, device) into `sink`. With a disabled sink
+/// (the default [`NoopSink`]) no records are assembled.
+pub fn run_bsp_traced<P: VertexProgram>(
+    program: &P,
+    devices: &mut [DeviceRun<P>],
+    part: &Partition,
+    plan: &SyncPlan,
+    net: &NetModel,
+    config: &RunConfig,
+    sink: &mut dyn TraceSink,
 ) -> EngineOutcome {
     let p = devices.len();
     let mode = config.variant.comm;
@@ -67,17 +89,36 @@ pub fn run_bsp<P: VertexProgram>(
         Style::PullTopologyDriven | Style::PushTopologyDriven
     );
     let total_vertices: u64 = devices.iter().map(|d| d.lg.num_masters as u64).sum();
-    let term_cost = termination_check_cost(net)
-        + SimTime::from_secs_f64(config.runtime_round_overhead_secs);
+    let term_cost =
+        termination_check_cost(net) + SimTime::from_secs_f64(config.runtime_round_overhead_secs);
+    let tracing = sink.enabled();
 
     let mut clocks = vec![SimTime::ZERO; p];
     let mut host_wait = vec![SimTime::ZERO; net.platform().num_hosts() as usize];
     let mut comm_bytes = 0u64;
     let mut messages = 0u64;
     let mut rounds = 0u32;
+    // Congestion carries across rounds: one link state for the whole run.
+    let mut net_state = net.new_state();
+
+    // Per-round, per-device trace accumulators (only touched when tracing).
+    let mut tr_frontier = vec![0u64; p];
+    let mut tr_pack = vec![SimTime::ZERO; p];
+    let mut tr_wait = vec![SimTime::ZERO; p];
+    let mut tr_sent = vec![(0u64, 0u64); p]; // (bytes, messages)
+    let mut tr_recv = vec![(0u64, 0u64); p];
 
     loop {
         program.on_round_start(rounds);
+        if tracing {
+            for (d, f) in devices.iter().zip(tr_frontier.iter_mut()) {
+                *f = d.active_count();
+            }
+            tr_pack.iter_mut().for_each(|t| *t = SimTime::ZERO);
+            tr_wait.iter_mut().for_each(|t| *t = SimTime::ZERO);
+            tr_sent.iter_mut().for_each(|c| *c = (0, 0));
+            tr_recv.iter_mut().for_each(|c| *c = (0, 0));
+        }
         // --- Direction decision (hybrid programs): a global per-round
         // choice, like Gunrock's direction-optimizing alpha test.
         let use_pull = hybrid && {
@@ -124,7 +165,11 @@ pub fn run_bsp<P: VertexProgram>(
                     devices[holder as usize].build_reduce(program, link, entries, mode, divisor);
                 if !packed[holder as usize] {
                     packed[holder as usize] = true;
-                    clocks[holder as usize] += devices[holder as usize].pack_time(mode, divisor);
+                    let pack = devices[holder as usize].pack_time(mode, divisor);
+                    clocks[holder as usize] += pack;
+                    if tracing {
+                        tr_pack[holder as usize] += pack;
+                    }
                 }
                 sends.push(SendDesc {
                     from: holder,
@@ -136,15 +181,29 @@ pub fn run_bsp<P: VertexProgram>(
             }
         }
         exchange_and_apply(
-            devices, net, &mut clocks, &mut host_wait, &mut comm_bytes, &mut messages, sends,
+            net,
+            &mut net_state,
+            &mut clocks,
+            &mut host_wait,
+            &mut comm_bytes,
+            &mut messages,
+            &sends,
+            tracing.then_some(&mut tr_wait),
         );
+        if tracing {
+            tally_sends(&sends, &mut tr_sent, &mut tr_recv);
+        }
         for (holder, owner, payload) in payloads {
             let link = part.link(holder, owner);
             devices[owner as usize].apply_reduce(program, link, &payload);
         }
 
         // --- Absorb: masters fold accumulators once per round.
-        let changed: u32 = devices.par_iter_mut().map(|d| d.absorb_masters(program)).sum();
+        let absorbed: Vec<u32> = devices
+            .par_iter_mut()
+            .map(|d| d.absorb_masters(program))
+            .collect();
+        let changed: u32 = absorbed.iter().sum();
 
         // --- Broadcast exchange: masters -> mirrors.
         let mut sends: Vec<SendDesc> = Vec::new();
@@ -160,11 +219,15 @@ pub fn run_bsp<P: VertexProgram>(
                     continue;
                 }
                 let link = part.link(holder, owner);
-                let (payload, bytes) =
-                    devices[owner as usize].build_broadcast(program, link, entries, mode, divisor, false);
+                let (payload, bytes) = devices[owner as usize]
+                    .build_broadcast(program, link, entries, mode, divisor, false);
                 if !packed[owner as usize] {
                     packed[owner as usize] = true;
-                    clocks[owner as usize] += devices[owner as usize].pack_time(mode, divisor);
+                    let pack = devices[owner as usize].pack_time(mode, divisor);
+                    clocks[owner as usize] += pack;
+                    if tracing {
+                        tr_pack[owner as usize] += pack;
+                    }
                 }
                 sends.push(SendDesc {
                     from: owner,
@@ -176,8 +239,18 @@ pub fn run_bsp<P: VertexProgram>(
             }
         }
         exchange_and_apply(
-            devices, net, &mut clocks, &mut host_wait, &mut comm_bytes, &mut messages, sends,
+            net,
+            &mut net_state,
+            &mut clocks,
+            &mut host_wait,
+            &mut comm_bytes,
+            &mut messages,
+            &sends,
+            tracing.then_some(&mut tr_wait),
         );
+        if tracing {
+            tally_sends(&sends, &mut tr_sent, &mut tr_recv);
+        }
         for (owner, holder, payload) in payloads {
             let link = part.link(holder, owner);
             devices[holder as usize].apply_broadcast(program, link, &payload, false);
@@ -187,6 +260,31 @@ pub fn run_bsp<P: VertexProgram>(
         devices.iter_mut().for_each(|d| d.clear_sync_marks());
         for c in clocks.iter_mut() {
             *c += term_cost;
+        }
+        if tracing {
+            let direction = if use_pull || program.style() == Style::PullTopologyDriven {
+                TraceDirection::Pull
+            } else {
+                TraceDirection::Push
+            };
+            for d in 0..p {
+                sink.record(RoundRecord {
+                    engine: EngineKind::Bsp,
+                    round: rounds,
+                    device: d as u32,
+                    direction,
+                    frontier: tr_frontier[d],
+                    compute: times[d],
+                    pack: tr_pack[d],
+                    wait: tr_wait[d],
+                    bytes_sent: tr_sent[d].0,
+                    bytes_received: tr_recv[d].0,
+                    messages_sent: tr_sent[d].1,
+                    messages_received: tr_recv[d].1,
+                    absorb_changed: absorbed[d],
+                    clock_end: clocks[d],
+                });
+            }
         }
         rounds += 1;
 
@@ -200,32 +298,51 @@ pub fn run_bsp<P: VertexProgram>(
             break;
         }
     }
+    sink.finish();
 
     EngineOutcome {
         clocks,
         host_wait,
         comm_bytes,
         messages,
-        min_rounds: rounds,
-        max_rounds: rounds,
+        rounds,
+        min_rounds: devices.iter().map(|d| d.rounds).min().unwrap_or(0),
+        max_rounds: devices.iter().map(|d| d.rounds).max().unwrap_or(0),
+    }
+}
+
+/// Adds one exchange's sends to per-device (bytes, messages) tallies.
+fn tally_sends(sends: &[SendDesc], sent: &mut [(u64, u64)], recv: &mut [(u64, u64)]) {
+    for s in sends {
+        sent[s.from as usize].0 += s.bytes;
+        sent[s.from as usize].1 += 1;
+        recv[s.to as usize].0 += s.bytes;
+        recv[s.to as usize].1 += 1;
     }
 }
 
 /// Runs one exchange through the network model and folds its timing into
-/// the running clocks/waits.
-fn exchange_and_apply<P: VertexProgram>(
-    _devices: &mut [DeviceRun<P>],
+/// the running clocks/waits. Link occupancy persists in `st` across calls.
+#[allow(clippy::too_many_arguments)]
+fn exchange_and_apply(
     net: &NetModel,
+    st: &mut NetState,
     clocks: &mut [SimTime],
     host_wait: &mut [SimTime],
     comm_bytes: &mut u64,
     messages: &mut u64,
-    sends: Vec<SendDesc>,
+    sends: &[SendDesc],
+    device_wait: Option<&mut Vec<SimTime>>,
 ) {
     if sends.is_empty() {
         return;
     }
-    let outcome = net.exchange(clocks, &sends);
+    let outcome = net.exchange_with(st, clocks, sends, None);
+    if let Some(wait) = device_wait {
+        for (d, w) in wait.iter_mut().enumerate() {
+            *w += outcome.device_done[d].saturating_sub(outcome.sender_free[d]);
+        }
+    }
     clocks.copy_from_slice(&outcome.device_done);
     for (w, o) in host_wait.iter_mut().zip(&outcome.host_wait) {
         *w += *o;

@@ -39,22 +39,38 @@ pub struct Variant {
 impl Variant {
     /// Var1 (baseline): TWC + AS + Sync.
     pub fn var1() -> Variant {
-        Variant { balancer: Balancer::Twc, comm: CommMode::AllShared, model: ExecModel::Sync }
+        Variant {
+            balancer: Balancer::Twc,
+            comm: CommMode::AllShared,
+            model: ExecModel::Sync,
+        }
     }
 
     /// Var2: ALB + AS + Sync.
     pub fn var2() -> Variant {
-        Variant { balancer: Balancer::Alb, comm: CommMode::AllShared, model: ExecModel::Sync }
+        Variant {
+            balancer: Balancer::Alb,
+            comm: CommMode::AllShared,
+            model: ExecModel::Sync,
+        }
     }
 
     /// Var3: ALB + UO + Sync.
     pub fn var3() -> Variant {
-        Variant { balancer: Balancer::Alb, comm: CommMode::UpdatedOnly, model: ExecModel::Sync }
+        Variant {
+            balancer: Balancer::Alb,
+            comm: CommMode::UpdatedOnly,
+            model: ExecModel::Sync,
+        }
     }
 
     /// Var4 (D-IrGL default): ALB + UO + Async.
     pub fn var4() -> Variant {
-        Variant { balancer: Balancer::Alb, comm: CommMode::UpdatedOnly, model: ExecModel::Async }
+        Variant {
+            balancer: Balancer::Alb,
+            comm: CommMode::UpdatedOnly,
+            model: ExecModel::Async,
+        }
     }
 
     /// All four, in paper order.
@@ -141,11 +157,21 @@ mod tests {
     #[test]
     fn variant_presets_match_the_paper() {
         let v1 = Variant::var1();
-        assert_eq!((v1.balancer, v1.comm, v1.model), (Balancer::Twc, CommMode::AllShared, ExecModel::Sync));
+        assert_eq!(
+            (v1.balancer, v1.comm, v1.model),
+            (Balancer::Twc, CommMode::AllShared, ExecModel::Sync)
+        );
         let v4 = Variant::var4();
-        assert_eq!((v4.balancer, v4.comm, v4.model), (Balancer::Alb, CommMode::UpdatedOnly, ExecModel::Async));
+        assert_eq!(
+            (v4.balancer, v4.comm, v4.model),
+            (Balancer::Alb, CommMode::UpdatedOnly, ExecModel::Async)
+        );
         assert_eq!(Variant::var2().label(), "Var2");
-        let custom = Variant { balancer: Balancer::Twc, comm: CommMode::UpdatedOnly, model: ExecModel::Sync };
+        let custom = Variant {
+            balancer: Balancer::Twc,
+            comm: CommMode::UpdatedOnly,
+            model: ExecModel::Sync,
+        };
         assert_eq!(custom.label(), "TWC+UO+Sync");
     }
 

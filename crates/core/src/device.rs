@@ -55,8 +55,10 @@ impl<P: VertexProgram> DeviceRun<P> {
         for lv in 0..n {
             let gv = lg.l2g[lv as usize];
             state.push(program.init_state(gv, ctx));
-            if !matches!(program.style(), Style::PullTopologyDriven | Style::PushTopologyDriven)
-                && program.initially_active(gv, ctx)
+            if !matches!(
+                program.style(),
+                Style::PullTopologyDriven | Style::PushTopologyDriven
+            ) && program.initially_active(gv, ctx)
             {
                 active.set(lv);
             }
@@ -210,7 +212,12 @@ impl<P: VertexProgram> DeviceRun<P> {
     /// ([`VertexProgram::pull_ready`]) scans its local in-edges for a
     /// settled parent. The frontier is consumed; newly settled vertices
     /// activate through the normal absorb/broadcast path.
-    pub fn compute_bottom_up(&mut self, program: &P, balancer: Balancer, work_scale: u64) -> SimTime {
+    pub fn compute_bottom_up(
+        &mut self,
+        program: &P,
+        balancer: Balancer,
+        work_scale: u64,
+    ) -> SimTime {
         self.active.clear_all();
         // Scan with early exit: each unsettled vertex probes its in-edges
         // until the first settled parent (in a synchronous round every
@@ -240,7 +247,9 @@ impl<P: VertexProgram> DeviceRun<P> {
             self.state[lv as usize] = st;
             probes.push(probed);
         }
-        let kr = self.kernel.launch(balancer, probes.iter().copied(), work_scale);
+        let kr = self
+            .kernel
+            .launch(balancer, probes.iter().copied(), work_scale);
         self.work_items += kr.work.total_work;
         let t = SimTime::from_secs_f64(kr.time);
         self.compute_time += t;
@@ -262,8 +271,11 @@ impl<P: VertexProgram> DeviceRun<P> {
         let mut changed = 0;
         match program.style() {
             Style::PushDataDriven | Style::HybridPushPull | Style::PushTopologyDriven => {
-                let updated: Vec<u32> =
-                    self.updated.iter_set().take_while(|&lv| lv < self.lg.num_masters).collect();
+                let updated: Vec<u32> = self
+                    .updated
+                    .iter_set()
+                    .take_while(|&lv| lv < self.lg.num_masters)
+                    .collect();
                 for lv in updated {
                     if program.absorb(&mut self.state[lv as usize]) {
                         self.active.set(lv);
@@ -302,15 +314,23 @@ impl<P: VertexProgram> DeviceRun<P> {
                 payload.push((e, program.take_delta(&mut self.state[lv as usize])));
             }
         }
-        let bytes =
-            message::message_bytes(mode, entries.len() as u64, payload.len() as u64, message::VAL_BYTES)
-                * divisor;
+        let bytes = message::message_bytes(
+            mode,
+            entries.len() as u64,
+            payload.len() as u64,
+            message::VAL_BYTES,
+        ) * divisor;
         (payload, bytes)
     }
 
     /// Applies a reduce payload on the master side, accumulating deltas and
     /// marking recipients updated. Returns true if anything changed.
-    pub fn apply_reduce(&mut self, program: &P, link: &PairLink, payload: &[(u32, P::Wire)]) -> bool {
+    pub fn apply_reduce(
+        &mut self,
+        program: &P,
+        link: &PairLink,
+        payload: &[(u32, P::Wire)],
+    ) -> bool {
         let mut any = false;
         for &(e, v) in payload {
             let lv = link.master_side[e as usize];
@@ -345,9 +365,12 @@ impl<P: VertexProgram> DeviceRun<P> {
                 payload.push((e, v));
             }
         }
-        let bytes =
-            message::message_bytes(mode, entries.len() as u64, payload.len() as u64, message::VAL_BYTES)
-                * divisor;
+        let bytes = message::message_bytes(
+            mode,
+            entries.len() as u64,
+            payload.len() as u64,
+            message::VAL_BYTES,
+        ) * divisor;
         (payload, bytes)
     }
 
@@ -419,7 +442,8 @@ impl<P: VertexProgram> DeviceRun<P> {
         match mode {
             CommMode::AllShared => SimTime::ZERO,
             CommMode::UpdatedOnly => SimTime::from_secs_f64(
-                self.kernel.scan_time(self.lg.num_vertices() as u64 * divisor),
+                self.kernel
+                    .scan_time(self.lg.num_vertices() as u64 * divisor),
             ),
         }
     }

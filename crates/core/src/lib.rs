@@ -8,6 +8,9 @@
 //! * [`config::Variant`] — the four optimization variants of §IV-C
 //!   (TWC/ALB × AS/UO × Sync/Async);
 //! * [`bsp`] / [`basp`] — the two execution models of §III-B;
+//! * [`trace`] — the per-round, per-device observability layer: both
+//!   engines emit [`trace::RoundRecord`]s through a [`trace::TraceSink`]
+//!   (no-op by default, collecting for tests, JSON-lines for benches);
 //! * [`runtime::Runtime`] — partition, load (with device-memory OOM
 //!   checking), execute, and report;
 //! * [`report::ExecutionReport`] — the Max Compute / Min Wait / Device
@@ -21,8 +24,12 @@ pub mod device;
 pub mod program;
 pub mod report;
 pub mod runtime;
+pub mod trace;
 
 pub use config::{ExecModel, RunConfig, Variant};
 pub use program::{InitCtx, Style, VertexProgram};
-pub use report::ExecutionReport;
+pub use report::{ExecutionReport, RoundSummary};
 pub use runtime::{RunError, RunOutput, Runtime};
+pub use trace::{
+    CollectingSink, EngineKind, JsonLinesSink, NoopSink, RoundRecord, TraceDirection, TraceSink,
+};

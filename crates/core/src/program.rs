@@ -66,7 +66,11 @@ pub struct InitCtx<'a> {
 impl<'a> InitCtx<'a> {
     /// Context without auxiliary data.
     pub fn new(num_vertices: u32, out_degrees: &'a [u32]) -> InitCtx<'a> {
-        InitCtx { num_vertices, out_degrees, aux: None }
+        InitCtx {
+            num_vertices,
+            out_degrees,
+            aux: None,
+        }
     }
 }
 

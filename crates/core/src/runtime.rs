@@ -5,12 +5,13 @@ use dirgl_gpusim::{OomError, Platform};
 use dirgl_graph::csr::Csr;
 use dirgl_partition::Partition;
 
-use crate::basp::run_basp;
-use crate::bsp::{run_bsp, EngineOutcome};
+use crate::basp::run_basp_traced;
+use crate::bsp::{run_bsp_traced, EngineOutcome};
 use crate::config::{ExecModel, RunConfig};
 use crate::device::DeviceRun;
 use crate::program::{InitCtx, VertexProgram};
-use crate::report::ExecutionReport;
+use crate::report::{ExecutionReport, RoundSummary};
+use crate::trace::{ForkSink, NoopSink, TraceSink};
 
 /// A run failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,6 +65,17 @@ impl Runtime {
     /// undirected view (cc, kcore). Reported time excludes partitioning and
     /// loading, matching §IV-A.
     pub fn run<P: VertexProgram>(&self, graph: &Csr, program: &P) -> Result<RunOutput, RunError> {
+        self.run_traced(graph, program, &mut NoopSink)
+    }
+
+    /// [`Runtime::run`] with per-round trace emission into `sink`. An
+    /// enabled sink also populates [`ExecutionReport::rounds_detail`].
+    pub fn run_traced<P: VertexProgram>(
+        &self,
+        graph: &Csr,
+        program: &P,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunOutput, RunError> {
         let sym;
         let g = if program.needs_symmetric() {
             sym = graph.symmetrize();
@@ -71,8 +83,13 @@ impl Runtime {
         } else {
             graph
         };
-        let part = Partition::build(g, self.config.policy, self.platform.num_devices(), self.config.seed);
-        self.run_partitioned(g, part, program)
+        let part = Partition::build(
+            g,
+            self.config.policy,
+            self.platform.num_devices(),
+            self.config.seed,
+        );
+        self.run_partitioned_traced(g, part, program, sink)
     }
 
     /// Runs on an existing partition (harnesses reuse partitions across
@@ -83,7 +100,20 @@ impl Runtime {
         part: Partition,
         program: &P,
     ) -> Result<RunOutput, RunError> {
-        self.run_partitioned_aux(g, part, program, None).map(|(out, _)| out)
+        self.run_partitioned_aux(g, part, program, None)
+            .map(|(out, _)| out)
+    }
+
+    /// [`Runtime::run_partitioned`] with per-round trace emission.
+    pub fn run_partitioned_traced<P: VertexProgram>(
+        &self,
+        g: &Csr,
+        part: Partition,
+        program: &P,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunOutput, RunError> {
+        self.run_partitioned_aux_traced(g, part, program, None, sink)
+            .map(|(out, _)| out)
     }
 
     /// [`Runtime::run_partitioned`] with optional per-vertex auxiliary data
@@ -93,9 +123,25 @@ impl Runtime {
     pub fn run_partitioned_aux<P: VertexProgram>(
         &self,
         g: &Csr,
+        part: Partition,
+        program: &P,
+        aux: Option<&[u64]>,
+    ) -> Result<(RunOutput, Vec<P::State>), RunError> {
+        self.run_partitioned_aux_traced(g, part, program, aux, &mut NoopSink)
+    }
+
+    /// [`Runtime::run_partitioned_aux`] with per-round trace emission: the
+    /// engine delivers one [`crate::trace::RoundRecord`] per (round,
+    /// device) to `sink`, and when the sink is enabled the report's
+    /// [`ExecutionReport::rounds_detail`] is populated from the same
+    /// records.
+    pub fn run_partitioned_aux_traced<P: VertexProgram>(
+        &self,
+        g: &Csr,
         mut part: Partition,
         program: &P,
         aux: Option<&[u64]>,
+        sink: &mut dyn TraceSink,
     ) -> Result<(RunOutput, Vec<P::State>), RunError> {
         let divisor = self.config.scale_divisor;
         let plan = SyncPlan::build(&part, true, true);
@@ -109,7 +155,11 @@ impl Runtime {
             if need > capacity {
                 return Err(RunError::Oom {
                     device: lg.device,
-                    err: OomError { requested: need, in_use: 0, capacity },
+                    err: OomError {
+                        requested: need,
+                        in_use: 0,
+                        capacity,
+                    },
                 });
             }
             memory.push(need);
@@ -117,7 +167,11 @@ impl Runtime {
 
         // --- Initialize device state.
         let out_degrees: Vec<u32> = (0..g.num_vertices()).map(|v| g.out_degree(v)).collect();
-        let ctx = InitCtx { num_vertices: g.num_vertices(), out_degrees: &out_degrees, aux };
+        let ctx = InitCtx {
+            num_vertices: g.num_vertices(),
+            out_degrees: &out_degrees,
+            aux,
+        };
         let locals = std::mem::take(&mut part.locals);
         let mut devices: Vec<DeviceRun<P>> = locals
             .into_iter()
@@ -140,9 +194,40 @@ impl Runtime {
         } else {
             ExecModel::Sync
         };
-        let outcome: EngineOutcome = match model {
-            ExecModel::Sync => run_bsp(program, &mut devices, &part, &plan, &net, &self.config),
-            ExecModel::Async => run_basp(program, &mut devices, &part, &plan, &net, &self.config),
+        // Enabled sinks are forked so the same records both reach the
+        // caller and feed the report's round summaries; the disabled
+        // (no-op) path keeps zero per-round assembly cost.
+        let mut exec = |engine_sink: &mut dyn TraceSink| -> EngineOutcome {
+            match model {
+                ExecModel::Sync => run_bsp_traced(
+                    program,
+                    &mut devices,
+                    &part,
+                    &plan,
+                    &net,
+                    &self.config,
+                    engine_sink,
+                ),
+                ExecModel::Async => run_basp_traced(
+                    program,
+                    &mut devices,
+                    &part,
+                    &plan,
+                    &net,
+                    &self.config,
+                    engine_sink,
+                ),
+            }
+        };
+        let (outcome, rounds_detail) = if sink.enabled() {
+            let mut fork = ForkSink {
+                outer: sink,
+                collected: Default::default(),
+            };
+            let o = exec(&mut fork);
+            (o, RoundSummary::from_records(&fork.collected.records))
+        } else {
+            (exec(sink), Vec::new())
         };
 
         // --- Gather outputs and states from masters.
@@ -163,15 +248,22 @@ impl Runtime {
         }
 
         let report = ExecutionReport {
-            total_time: outcome.clocks.iter().copied().max().unwrap_or(SimTime::ZERO),
+            total_time: outcome
+                .clocks
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(SimTime::ZERO),
             compute_per_device: devices.iter().map(|d| d.compute_time).collect(),
             wait_per_host: outcome.host_wait,
             comm_bytes: outcome.comm_bytes,
             messages: outcome.messages,
-            rounds: outcome.min_rounds,
+            rounds: outcome.rounds,
+            min_rounds: outcome.min_rounds,
             max_rounds: outcome.max_rounds,
             work_items: devices.iter().map(|d| d.work_items).sum(),
             memory_per_device: devices.iter().map(|d| d.peak_memory).collect(),
+            rounds_detail,
         };
         Ok((RunOutput { report, values }, states))
     }

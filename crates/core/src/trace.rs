@@ -1,0 +1,316 @@
+//! Per-round, per-device execution traces — the observability layer.
+//!
+//! Both engines emit one [`RoundRecord`] per (round, device) through a
+//! [`TraceSink`]: what the device computed, packed, sent, received, waited
+//! for and absorbed in that round, plus the frontier it started from and
+//! (for hybrid programs) the direction it chose. This is the per-phase
+//! attribution the paper's methodology is built on (compute vs.
+//! communication vs. wait, §III-B/§III-D) made inspectable per round, so a
+//! convergence or timing regression reads as a narrative ("device 2 stalled
+//! on round 7 waiting for the NIC") instead of a bare assert.
+//!
+//! Three sinks cover the use cases:
+//!
+//! * [`NoopSink`] — the default; reports `enabled() == false`, letting the
+//!   engines skip record assembly entirely (no overhead on normal runs);
+//! * [`CollectingSink`] — in-memory, for tests and report summaries;
+//! * [`JsonLinesSink`] — streams one JSON object per record, for the bench
+//!   binaries' `--trace <path>` flag.
+
+use std::io::Write;
+
+use dirgl_comm::SimTime;
+
+/// Which engine produced a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Bulk-synchronous: `round` is the global round number.
+    Bsp,
+    /// Bulk-asynchronous: `round` is the device's local round ordinal.
+    Basp,
+}
+
+impl EngineKind {
+    /// Lower-case name as printed in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Bsp => "bsp",
+            EngineKind::Basp => "basp",
+        }
+    }
+}
+
+/// Compute direction a round ran in (hybrid programs switch per round).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceDirection {
+    /// Frontier pushed along out-edges.
+    Push,
+    /// Vertices pulled over in-edges (topology-driven pull or the hybrid
+    /// bottom-up phase).
+    Pull,
+}
+
+impl TraceDirection {
+    /// Lower-case name as printed in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceDirection::Push => "push",
+            TraceDirection::Pull => "pull",
+        }
+    }
+}
+
+/// Everything one device did in one (global or local) round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundRecord {
+    /// Engine that produced the record.
+    pub engine: EngineKind,
+    /// 0-based round: global under BSP, the device's local ordinal under
+    /// BASP.
+    pub round: u32,
+    /// Device index.
+    pub device: u32,
+    /// Direction the compute phase ran in.
+    pub direction: TraceDirection,
+    /// Active vertices on this device when the round started.
+    pub frontier: u64,
+    /// Kernel time of the compute phase.
+    pub compute: SimTime,
+    /// Device-side extraction (pack) time charged this round.
+    pub pack: SimTime,
+    /// Time this device spent blocked on inbound messages this round.
+    pub wait: SimTime,
+    /// Wire bytes this device sent this round.
+    pub bytes_sent: u64,
+    /// Wire bytes applied on this device this round.
+    pub bytes_received: u64,
+    /// Messages this device sent this round.
+    pub messages_sent: u64,
+    /// Messages applied on this device this round.
+    pub messages_received: u64,
+    /// Masters whose canonical value changed in this round's absorb.
+    pub absorb_changed: u32,
+    /// The device's virtual clock when the round ended.
+    pub clock_end: SimTime,
+}
+
+impl RoundRecord {
+    /// The record as one JSON object (hand-written: the workspace has no
+    /// serde runtime).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"engine\":\"{}\",\"round\":{},\"device\":{},",
+                "\"direction\":\"{}\",\"frontier\":{},",
+                "\"compute_s\":{:.9},\"pack_s\":{:.9},\"wait_s\":{:.9},",
+                "\"bytes_sent\":{},\"bytes_received\":{},",
+                "\"messages_sent\":{},\"messages_received\":{},",
+                "\"absorb_changed\":{},\"clock_end_s\":{:.9}}}"
+            ),
+            self.engine.name(),
+            self.round,
+            self.device,
+            self.direction.name(),
+            self.frontier,
+            self.compute.as_secs_f64(),
+            self.pack.as_secs_f64(),
+            self.wait.as_secs_f64(),
+            self.bytes_sent,
+            self.bytes_received,
+            self.messages_sent,
+            self.messages_received,
+            self.absorb_changed,
+            self.clock_end.as_secs_f64(),
+        )
+    }
+}
+
+/// Receiver of per-round records.
+///
+/// The engines consult [`TraceSink::enabled`] once per round and skip all
+/// record assembly when it returns false, so the default [`NoopSink`] costs
+/// one virtual call per round and nothing else.
+pub trait TraceSink {
+    /// Whether the engines should assemble and deliver records at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Delivers one record.
+    fn record(&mut self, rec: RoundRecord);
+
+    /// Called once when the run completes (writers flush here).
+    fn finish(&mut self) {}
+}
+
+/// Discards everything; `enabled()` is false so engines skip assembly.
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _rec: RoundRecord) {}
+}
+
+/// Accumulates records in memory (tests, report summaries).
+#[derive(Default)]
+pub struct CollectingSink {
+    /// Records in delivery order.
+    pub records: Vec<RoundRecord>,
+}
+
+impl CollectingSink {
+    /// Empty sink.
+    pub fn new() -> CollectingSink {
+        CollectingSink::default()
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn record(&mut self, rec: RoundRecord) {
+        self.records.push(rec);
+    }
+}
+
+/// Streams records as JSON-lines to any writer.
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+    /// Optional `"run"` label stamped into every record (bench binaries set
+    /// one per configuration so a multi-run trace file stays attributable).
+    label: Option<String>,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Sink writing to `out`.
+    pub fn new(out: W) -> JsonLinesSink<W> {
+        JsonLinesSink { out, label: None }
+    }
+
+    /// Sets the `"run"` label stamped into subsequent records.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = Some(label.into());
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn record(&mut self, rec: RoundRecord) {
+        let line = match &self.label {
+            Some(label) => {
+                let body = rec.to_json();
+                // Splice the label in as the first field.
+                format!("{{\"run\":\"{}\",{}", label, &body[1..])
+            }
+            None => rec.to_json(),
+        };
+        // Trace emission is best-effort: an unwritable sink must not abort
+        // a simulation that is otherwise succeeding.
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn finish(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Forwards to an outer sink while also collecting (the runtime uses this
+/// to build report summaries without stealing the caller's records).
+pub(crate) struct ForkSink<'a> {
+    pub outer: &'a mut dyn TraceSink,
+    pub collected: CollectingSink,
+}
+
+impl TraceSink for ForkSink<'_> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, rec: RoundRecord) {
+        if self.outer.enabled() {
+            self.outer.record(rec.clone());
+        }
+        self.collected.record(rec);
+    }
+
+    fn finish(&mut self) {
+        self.outer.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RoundRecord {
+        RoundRecord {
+            engine: EngineKind::Bsp,
+            round: 3,
+            device: 1,
+            direction: TraceDirection::Push,
+            frontier: 42,
+            compute: SimTime::from_secs_f64(0.5),
+            pack: SimTime::ZERO,
+            wait: SimTime::from_secs_f64(0.25),
+            bytes_sent: 1024,
+            bytes_received: 512,
+            messages_sent: 2,
+            messages_received: 1,
+            absorb_changed: 7,
+            clock_end: SimTime::from_secs_f64(1.0),
+        }
+    }
+
+    #[test]
+    fn json_has_every_field_once() {
+        let j = record().to_json();
+        for key in [
+            "engine",
+            "round",
+            "device",
+            "direction",
+            "frontier",
+            "compute_s",
+            "pack_s",
+            "wait_s",
+            "bytes_sent",
+            "bytes_received",
+            "messages_sent",
+            "messages_received",
+            "absorb_changed",
+            "clock_end_s",
+        ] {
+            assert_eq!(j.matches(&format!("\"{key}\":")).count(), 1, "{key} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn noop_is_disabled_collector_collects() {
+        assert!(!NoopSink.enabled());
+        let mut c = CollectingSink::new();
+        assert!(c.enabled());
+        c.record(record());
+        assert_eq!(c.records.len(), 1);
+    }
+
+    #[test]
+    fn json_sink_writes_lines_with_label() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonLinesSink::new(&mut buf);
+            sink.record(record());
+            sink.set_label("bfs/rmat25");
+            sink.record(record());
+            sink.finish();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].contains("\"run\""));
+        assert!(lines[1].starts_with("{\"run\":\"bfs/rmat25\","));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+}

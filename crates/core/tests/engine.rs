@@ -1,8 +1,11 @@
 //! Engine-level tests with a controlled min-propagation program on graphs
 //! whose behaviour is known in closed form.
 
-use dirgl_comm::CommMode;
-use dirgl_core::{ExecModel, InitCtx, RunConfig, Runtime, Style, Variant, VertexProgram};
+use dirgl_comm::{CommMode, SimTime};
+use dirgl_core::{
+    CollectingSink, EngineKind, ExecModel, InitCtx, RunConfig, Runtime, Style, Variant,
+    VertexProgram,
+};
 use dirgl_gpusim::{Balancer, Platform};
 use dirgl_graph::csr::{Csr, CsrBuilder, VertexId};
 use dirgl_partition::Policy;
@@ -29,7 +32,10 @@ impl VertexProgram for MinProp {
         Style::PushDataDriven
     }
     fn init_state(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> St {
-        St { dist: if gv == self.source { 0 } else { u32::MAX }, acc: u32::MAX }
+        St {
+            dist: if gv == self.source { 0 } else { u32::MAX },
+            acc: u32::MAX,
+        }
     }
     fn initially_active(&self, gv: VertexId, _ctx: &InitCtx<'_>) -> bool {
         gv == self.source
@@ -83,7 +89,9 @@ fn path(n: u32) -> Csr {
 }
 
 fn run(g: &Csr, cfg: RunConfig, devices: u32) -> dirgl_core::RunOutput {
-    Runtime::new(Platform::bridges(devices), cfg).run(g, &MinProp { source: 0 }).unwrap()
+    Runtime::new(Platform::bridges(devices), cfg)
+        .run(g, &MinProp { source: 0 })
+        .unwrap()
 }
 
 #[test]
@@ -120,7 +128,11 @@ fn as_sends_every_round_uo_only_updates() {
         &g,
         RunConfig::new(
             Policy::Iec,
-            Variant { balancer: Balancer::Alb, comm: CommMode::AllShared, model: ExecModel::Sync },
+            Variant {
+                balancer: Balancer::Alb,
+                comm: CommMode::AllShared,
+                model: ExecModel::Sync,
+            },
         ),
         4,
     );
@@ -163,7 +175,11 @@ fn throttle_reduces_basp_rounds() {
 fn work_items_scale_with_divisor() {
     let g = path(9);
     let small = run(&g, RunConfig::new(Policy::Oec, Variant::var3()).scale(1), 2);
-    let big = run(&g, RunConfig::new(Policy::Oec, Variant::var3()).scale(1000), 2);
+    let big = run(
+        &g,
+        RunConfig::new(Policy::Oec, Variant::var3()).scale(1000),
+        2,
+    );
     assert_eq!(small.values, big.values);
     assert_eq!(big.report.work_items, 1000 * small.report.work_items);
 }
@@ -206,6 +222,146 @@ fn empty_graph_terminates_immediately() {
     assert!(out.report.rounds <= 1);
     assert_eq!(out.values[0], 0.0); // the source itself
     assert!(out.values[1..].iter().all(|&d| d == u32::MAX as f64));
+}
+
+fn run_traced(g: &Csr, cfg: RunConfig, devices: u32) -> (dirgl_core::RunOutput, CollectingSink) {
+    let mut sink = CollectingSink::new();
+    let out = Runtime::new(Platform::bridges(devices), cfg)
+        .run_traced(g, &MinProp { source: 0 }, &mut sink)
+        .unwrap();
+    (out, sink)
+}
+
+#[test]
+fn bsp_trace_has_one_record_per_round_and_device() {
+    let g = path(17);
+    let (out, sink) = run_traced(&g, RunConfig::new(Policy::Oec, Variant::var3()), 4);
+    assert_eq!(out.report.rounds, 17);
+
+    // One record per (round, device), every round complete.
+    assert_eq!(sink.records.len(), 17 * 4);
+    for round in 0..17u32 {
+        let mut devs: Vec<u32> = sink
+            .records
+            .iter()
+            .filter(|r| r.round == round)
+            .map(|r| r.device)
+            .collect();
+        devs.sort_unstable();
+        assert_eq!(devs, vec![0, 1, 2, 3], "round {round}");
+    }
+    assert!(sink.records.iter().all(|r| r.engine == EngineKind::Bsp));
+
+    // Per-round traffic sums to the run totals, on both ends of the wire.
+    let sent: u64 = sink.records.iter().map(|r| r.bytes_sent).sum();
+    let received: u64 = sink.records.iter().map(|r| r.bytes_received).sum();
+    assert_eq!(sent, out.report.comm_bytes);
+    assert_eq!(received, out.report.comm_bytes);
+    let msgs: u64 = sink.records.iter().map(|r| r.messages_sent).sum();
+    assert_eq!(msgs, out.report.messages);
+
+    // Inbound blocking is attributed per device: receivers of the wave's
+    // messages wait; the total is nonzero on a multi-device path.
+    assert!(sink.records.iter().any(|r| r.wait > SimTime::ZERO));
+
+    // Per-device clocks never run backwards across rounds.
+    for d in 0..4u32 {
+        let clocks: Vec<SimTime> = sink
+            .records
+            .iter()
+            .filter(|r| r.device == d)
+            .map(|r| r.clock_end)
+            .collect();
+        assert!(clocks.windows(2).all(|w| w[0] <= w[1]), "device {d}");
+    }
+
+    // The report's round summaries come from the same records.
+    assert_eq!(out.report.rounds_detail.len(), 17);
+    assert_eq!(
+        out.report
+            .rounds_detail
+            .iter()
+            .map(|s| s.bytes)
+            .sum::<u64>(),
+        out.report.comm_bytes
+    );
+    assert!(out.report.rounds_detail.iter().all(|s| s.devices == 4));
+}
+
+#[test]
+fn basp_trace_has_one_record_per_local_round() {
+    let g = path(17);
+    let (out, sink) = run_traced(&g, RunConfig::new(Policy::Oec, Variant::var4()), 4);
+    assert!(sink.records.iter().all(|r| r.engine == EngineKind::Basp));
+
+    // Per device: record ordinals are its contiguous local rounds 0..n,
+    // and the per-device counts reproduce the report's min/max.
+    let mut per_device = [0u32; 4];
+    for d in 0..4u32 {
+        let ordinals: Vec<u32> = sink
+            .records
+            .iter()
+            .filter(|r| r.device == d)
+            .map(|r| r.round)
+            .collect();
+        for (i, r) in ordinals.iter().enumerate() {
+            assert_eq!(*r as usize, i, "device {d}");
+        }
+        per_device[d as usize] = ordinals.len() as u32;
+    }
+    assert_eq!(
+        per_device.iter().copied().min().unwrap(),
+        out.report.min_rounds
+    );
+    assert_eq!(
+        per_device.iter().copied().max().unwrap(),
+        out.report.max_rounds
+    );
+
+    // Traffic totals agree with the outcome on both ends.
+    let sent: u64 = sink.records.iter().map(|r| r.bytes_sent).sum();
+    assert_eq!(sent, out.report.comm_bytes);
+    let msgs: u64 = sink.records.iter().map(|r| r.messages_sent).sum();
+    assert_eq!(msgs, out.report.messages);
+
+    // Devices holding later path segments idle before their first round:
+    // wait is attributed to the device that blocked.
+    assert!(sink
+        .records
+        .iter()
+        .any(|r| r.device > 0 && r.wait > SimTime::ZERO));
+
+    // Tracing must not perturb the simulation itself.
+    let plain = run(&g, RunConfig::new(Policy::Oec, Variant::var4()), 4);
+    assert_eq!(plain.values, out.values);
+    assert_eq!(plain.report.total_time, out.report.total_time);
+}
+
+#[test]
+fn basp_reports_true_min_and_max_local_rounds_under_skew() {
+    // Device 0 gets the whole path (degree-weighted contiguous blocks);
+    // device 1 gets only isolated vertices, never activates, and runs 0
+    // local rounds — the per-device spread BASP is about.
+    let n = 8u32;
+    let isolated = 150u32;
+    let mut b = CsrBuilder::new(n + isolated);
+    for i in 0..n - 1 {
+        b.add(i, i + 1);
+    }
+    let g = b.build();
+    let out = run(&g, RunConfig::new(Policy::Oec, Variant::var4()), 2);
+    assert_eq!(
+        out.values[..n as usize],
+        (0..n).map(f64::from).collect::<Vec<_>>()[..]
+    );
+    assert!(
+        out.report.max_rounds > out.report.min_rounds,
+        "skewed BASP run must show a local-round spread: min {} max {}",
+        out.report.min_rounds,
+        out.report.max_rounds
+    );
+    assert_eq!(out.report.min_rounds, 0);
+    assert!(out.report.max_rounds >= n - 1);
 }
 
 #[test]

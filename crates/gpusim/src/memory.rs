@@ -43,13 +43,21 @@ pub struct MemoryTracker {
 impl MemoryTracker {
     /// A tracker with the given capacity in bytes.
     pub fn new(capacity: u64) -> MemoryTracker {
-        MemoryTracker { capacity, in_use: 0, peak: 0 }
+        MemoryTracker {
+            capacity,
+            in_use: 0,
+            peak: 0,
+        }
     }
 
     /// Attempts to allocate `bytes`; fails without side effects on OOM.
     pub fn alloc(&mut self, bytes: u64) -> Result<(), OomError> {
         if self.in_use.saturating_add(bytes) > self.capacity {
-            return Err(OomError { requested: bytes, in_use: self.in_use, capacity: self.capacity });
+            return Err(OomError {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
         }
         self.in_use += bytes;
         self.peak = self.peak.max(self.in_use);
@@ -99,7 +107,14 @@ mod tests {
         let mut m = MemoryTracker::new(100);
         m.alloc(80).unwrap();
         let err = m.alloc(30).unwrap_err();
-        assert_eq!(err, OomError { requested: 30, in_use: 80, capacity: 100 });
+        assert_eq!(
+            err,
+            OomError {
+                requested: 30,
+                in_use: 80,
+                capacity: 100
+            }
+        );
         assert_eq!(m.in_use(), 80);
         // Exactly filling works.
         m.alloc(20).unwrap();

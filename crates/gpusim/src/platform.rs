@@ -73,7 +73,10 @@ pub struct Platform {
 impl Platform {
     /// `n` identical devices on `cluster` (devices fill hosts in order).
     pub fn homogeneous(n: u32, spec: GpuSpec, cluster: ClusterSpec) -> Platform {
-        Platform { gpus: vec![spec; n as usize], cluster }
+        Platform {
+            gpus: vec![spec; n as usize],
+            cluster,
+        }
     }
 
     /// The Bridges setup of the paper: `n` P100s, two per host.
@@ -85,7 +88,10 @@ impl Platform {
     pub fn tuxedo() -> Platform {
         let mut gpus = vec![GpuSpec::k80(); 4];
         gpus.extend(vec![GpuSpec::gtx1080(); 2]);
-        Platform { gpus, cluster: ClusterSpec::tuxedo() }
+        Platform {
+            gpus,
+            cluster: ClusterSpec::tuxedo(),
+        }
     }
 
     /// The first `n` Tuxedo GPUs (the paper sweeps 1, 2, 4, 6).

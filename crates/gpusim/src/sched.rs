@@ -77,7 +77,12 @@ pub struct WorkDistribution {
 ///
 /// `degrees` yields the degree of every *active* vertex; `work_scale` is
 /// the dataset's paper-equivalence divisor.
-pub fn distribute<I>(balancer: Balancer, degrees: I, work_scale: u64, num_blocks: u32) -> WorkDistribution
+pub fn distribute<I>(
+    balancer: Balancer,
+    degrees: I,
+    work_scale: u64,
+    num_blocks: u32,
+) -> WorkDistribution
 where
     I: IntoIterator<Item = u32>,
 {
@@ -121,7 +126,11 @@ where
         }
     };
 
-    WorkDistribution { total_work: total, max_block_load, active_vertices: active }
+    WorkDistribution {
+        total_work: total,
+        max_block_load,
+        active_vertices: active,
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +160,11 @@ mod tests {
         assert!(twc.max_block_load > 1_000_000.0);
         // ALB: the giant spreads; max block close to total/B.
         let fair = twc.total_work as f64 / B as f64;
-        assert!(alb.max_block_load < 1.6 * fair, "alb={} fair={fair}", alb.max_block_load);
+        assert!(
+            alb.max_block_load < 1.6 * fair,
+            "alb={} fair={fair}",
+            alb.max_block_load
+        );
         assert!(twc.max_block_load > 5.0 * alb.max_block_load);
     }
 

@@ -32,7 +32,11 @@ pub struct EdgeList {
 impl EdgeList {
     /// Creates an empty edge list over `num_vertices` vertices.
     pub fn new(num_vertices: u32) -> Self {
-        EdgeList { num_vertices, edges: Vec::new(), weights: None }
+        EdgeList {
+            num_vertices,
+            edges: Vec::new(),
+            weights: None,
+        }
     }
 
     /// Number of edges.
@@ -159,7 +163,11 @@ impl CsrBuilder {
         }
         let mut cursor: Vec<u64> = offsets[..n].to_vec();
         let mut targets = vec![INVALID_VERTEX; m];
-        let mut weights = if self.weighted { vec![0u32; m] } else { Vec::new() };
+        let mut weights = if self.weighted {
+            vec![0u32; m]
+        } else {
+            Vec::new()
+        };
         for i in 0..m {
             let s = self.srcs[i] as usize;
             let at = cursor[s] as usize;
@@ -172,7 +180,11 @@ impl CsrBuilder {
         Csr {
             offsets: offsets.into_boxed_slice(),
             targets: targets.into_boxed_slice(),
-            weights: if self.weighted { Some(weights.into_boxed_slice()) } else { None },
+            weights: if self.weighted {
+                Some(weights.into_boxed_slice())
+            } else {
+                None
+            },
         }
     }
 }

@@ -98,8 +98,7 @@ impl DatasetId {
     ];
 
     /// The three small inputs (single-host experiments, Tables II/III).
-    pub const SMALL: [DatasetId; 3] =
-        [DatasetId::Rmat23, DatasetId::Orkut, DatasetId::Indochina04];
+    pub const SMALL: [DatasetId; 3] = [DatasetId::Rmat23, DatasetId::Orkut, DatasetId::Indochina04];
 
     /// The three medium inputs (Figures 3, 4, 5, 7, 8).
     pub const MEDIUM: [DatasetId; 3] =
@@ -237,7 +236,10 @@ impl DatasetId {
     pub fn load_undirected_scaled(self, extra_divisor: u64) -> Dataset {
         let directed = self.load_scaled(extra_divisor);
         let sym = half_edges(&directed.graph).symmetrize();
-        Dataset { graph: sym, ..directed }
+        Dataset {
+            graph: sym,
+            ..directed
+        }
     }
 
     /// Loads at `default_divisor() * extra_divisor` — bench binaries expose
@@ -278,18 +280,26 @@ impl DatasetId {
                 // Diameter stays at the paper value (min 6 so the chain is
                 // non-degenerate; Table I lists indochina04 as 2).
                 let diam = p.approx_diameter.max(6).min(n / 8);
-                WebCrawlConfig::new(n, m, dout, din, diam).seed(seed).generate()
+                WebCrawlConfig::new(n, m, dout, din, diam)
+                    .seed(seed)
+                    .generate()
             }
         };
         let graph = randomize_weights(&graph, crate::weights::DEFAULT_MAX_WEIGHT, seed ^ 0xFFFF);
-        Dataset { id: self, graph, divisor, paper: p }
+        Dataset {
+            id: self,
+            graph,
+            divisor,
+            paper: p,
+        }
     }
 }
 
 /// Deterministically keeps every other edge of each adjacency list (a
 /// topology-preserving half-sample used by the undirected view).
 fn half_edges(g: &Csr) -> Csr {
-    let mut b = crate::csr::CsrBuilder::with_capacity(g.num_vertices(), g.num_edges() as usize / 2 + 1);
+    let mut b =
+        crate::csr::CsrBuilder::with_capacity(g.num_vertices(), g.num_edges() as usize / 2 + 1);
     for u in 0..g.num_vertices() {
         for (i, (v, w)) in g.edges(u).enumerate() {
             // Keep the first edge of every list (connectivity) and every
@@ -328,9 +338,18 @@ mod tests {
     #[test]
     fn catalog_partitions_into_size_classes() {
         assert_eq!(DatasetId::ALL.len(), 9);
-        let small = DatasetId::ALL.iter().filter(|d| d.size_class() == SizeClass::Small).count();
-        let medium = DatasetId::ALL.iter().filter(|d| d.size_class() == SizeClass::Medium).count();
-        let large = DatasetId::ALL.iter().filter(|d| d.size_class() == SizeClass::Large).count();
+        let small = DatasetId::ALL
+            .iter()
+            .filter(|d| d.size_class() == SizeClass::Small)
+            .count();
+        let medium = DatasetId::ALL
+            .iter()
+            .filter(|d| d.size_class() == SizeClass::Medium)
+            .count();
+        let large = DatasetId::ALL
+            .iter()
+            .filter(|d| d.size_class() == SizeClass::Large)
+            .count();
         assert_eq!((small, medium, large), (3, 3, 3));
     }
 
@@ -379,7 +398,10 @@ mod tests {
         // (half-sampled then doubled), not twice it.
         let e = undirected.graph.num_edges() as f64;
         let target = directed.graph.num_edges() as f64;
-        assert!(e < 1.25 * target && e > 0.6 * target, "e={e} target={target}");
+        assert!(
+            e < 1.25 * target && e > 0.6 * target,
+            "e={e} target={target}"
+        );
         // And it is actually symmetric.
         assert_eq!(undirected.graph.symmetrize(), undirected.graph);
     }

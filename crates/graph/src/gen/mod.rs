@@ -40,7 +40,9 @@ pub(crate) fn powerlaw_degrees(
     assert!(n > 0);
     let n_us = n as usize;
     // Unnormalized curve.
-    let mut raw: Vec<f64> = (0..n_us).map(|r| 1.0 / ((r as f64) + 1.0).powf(alpha)).collect();
+    let mut raw: Vec<f64> = (0..n_us)
+        .map(|r| 1.0 / ((r as f64) + 1.0).powf(alpha))
+        .collect();
     // Scale head to max_degree.
     let head = raw[0];
     let head_scale = max_degree as f64 / head;
@@ -61,7 +63,11 @@ pub(crate) fn powerlaw_degrees(
         // accounts for the pinned head so the total still hits the target.
         let head_val = raw[0];
         let tail_sum = cur_sum - head_val;
-        let shrink = if tail_sum > 0.0 { ((target - head_val) / tail_sum).max(0.0) } else { 0.0 };
+        let shrink = if tail_sum > 0.0 {
+            ((target - head_val) / tail_sum).max(0.0)
+        } else {
+            0.0
+        };
         for x in raw.iter_mut().skip(1) {
             *x *= shrink;
         }
@@ -100,7 +106,10 @@ mod tests {
         let sum: u64 = degs.iter().map(|&d| d as u64).sum();
         let max = *degs.iter().max().unwrap();
         // Within 10% of requested totals.
-        assert!((sum as f64 - 200_000.0).abs() / 200_000.0 < 0.1, "sum={sum}");
+        assert!(
+            (sum as f64 - 200_000.0).abs() / 200_000.0 < 0.1,
+            "sum={sum}"
+        );
         assert!((max as f64 - 5_000.0).abs() / 5_000.0 < 0.1, "max={max}");
     }
 

@@ -32,7 +32,15 @@ pub struct RmatConfig {
 impl RmatConfig {
     /// Graph500 parameters at the given scale and edge factor.
     pub fn new(scale: u32, edge_factor: u32) -> Self {
-        RmatConfig { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19, seed: 1, dedup: true }
+        RmatConfig {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 1,
+            dedup: true,
+        }
     }
 
     /// Sets the RNG seed (builder style).
@@ -119,7 +127,10 @@ mod tests {
         // Dedup removes some of the 32768 generated edges but most survive.
         assert!(g.num_edges() > 20_000, "edges={}", g.num_edges());
         // Power-law: max degree far above the mean.
-        let max_deg = (0..g.num_vertices()).map(|v| g.out_degree(v)).max().unwrap();
+        let max_deg = (0..g.num_vertices())
+            .map(|v| g.out_degree(v))
+            .max()
+            .unwrap();
         let mean = g.num_edges() as f64 / g.num_vertices() as f64;
         assert!(max_deg as f64 > 8.0 * mean, "max={max_deg} mean={mean}");
     }

@@ -80,10 +80,20 @@ impl SocialConfig {
             .unwrap_or(0);
         let core_n = n - chain_len;
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let out_degs =
-            powerlaw_degrees(core_n, self.num_edges, self.max_out_degree, self.alpha, &mut rng);
-        let in_degs =
-            powerlaw_degrees(core_n, self.num_edges, self.max_in_degree, self.alpha, &mut rng);
+        let out_degs = powerlaw_degrees(
+            core_n,
+            self.num_edges,
+            self.max_out_degree,
+            self.alpha,
+            &mut rng,
+        );
+        let in_degs = powerlaw_degrees(
+            core_n,
+            self.num_edges,
+            self.max_in_degree,
+            self.alpha,
+            &mut rng,
+        );
 
         // Destination sampling table: cumulative in-degree weights. Alias
         // tables would be faster; a binary search over the prefix sums is
@@ -176,8 +186,16 @@ mod tests {
         assert_eq!(g.num_vertices(), 20_000);
         // Dedup collapses some edges on the hot destinations; shape holds.
         assert!(st.num_edges > 250_000, "edges={}", st.num_edges);
-        assert!(st.max_out_degree as f64 > 2_000.0, "dout={}", st.max_out_degree);
-        assert!(st.max_in_degree as f64 > 6_000.0, "din={}", st.max_in_degree);
+        assert!(
+            st.max_out_degree as f64 > 2_000.0,
+            "dout={}",
+            st.max_out_degree
+        );
+        assert!(
+            st.max_in_degree as f64 > 6_000.0,
+            "din={}",
+            st.max_in_degree
+        );
         assert!(st.max_in_degree > st.max_out_degree);
     }
 
@@ -191,7 +209,10 @@ mod tests {
 
     #[test]
     fn planted_diameter() {
-        let g = SocialConfig::new(10_000, 150_000, 800, 1_500).diameter(21).seed(11).generate();
+        let g = SocialConfig::new(10_000, 150_000, 800, 1_500)
+            .diameter(21)
+            .seed(11)
+            .generate();
         let st = GraphStats::compute(&g);
         assert!(
             (18..=26).contains(&st.approx_diameter),

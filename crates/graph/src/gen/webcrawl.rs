@@ -65,8 +65,10 @@ impl WebCrawlConfig {
     /// Generates the edge list.
     pub fn generate_edges(&self) -> EdgeList {
         let n = self.num_vertices;
-        assert!(n as u64 > self.target_diameter as u64 + NUM_HUBS as u64 + 64,
-            "graph too small for requested diameter");
+        assert!(
+            n as u64 > self.target_diameter as u64 + NUM_HUBS as u64 + 64,
+            "graph too small for requested diameter"
+        );
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut el = EdgeList::new(n);
         el.edges.reserve(self.num_edges as usize + n as usize);
@@ -148,7 +150,7 @@ impl WebCrawlConfig {
         }
 
         // --- Long-tail chain: hub 0 -> core_n -> core_n+1 -> ... ---
-        el.edges.push((hubs[0] , core_n));
+        el.edges.push((hubs[0], core_n));
         for i in core_n..n - 1 {
             el.edges.push((i, i + 1));
             site_of[i as usize] = core_n;
@@ -160,8 +162,13 @@ impl WebCrawlConfig {
         if self.num_edges > structural {
             let fill = self.num_edges - structural;
             // Source selection is skewed: busy pages link more.
-            let out_degs =
-                powerlaw_degrees(core_n, fill, (self.max_out_degree / 4).max(8), 0.6, &mut rng);
+            let out_degs = powerlaw_degrees(
+                core_n,
+                fill,
+                (self.max_out_degree / 4).max(8),
+                0.6,
+                &mut rng,
+            );
             'outer: for (v, &d) in out_degs.iter().enumerate() {
                 let v = v as u32;
                 if v < NUM_HUBS as u32 {
@@ -204,7 +211,11 @@ mod tests {
         let g = cfg.generate();
         let st = GraphStats::compute(&g);
         assert_eq!(g.num_vertices(), 30_000);
-        assert!(st.num_edges as f64 > 0.75 * 750_000.0, "edges={}", st.num_edges);
+        assert!(
+            st.num_edges as f64 > 0.75 * 750_000.0,
+            "edges={}",
+            st.num_edges
+        );
         assert!(
             (st.max_out_degree as f64 - 7_000.0).abs() < 700.0,
             "dout={}",
@@ -248,7 +259,10 @@ mod tests {
                 }
             }
         }
-        assert!(reached as f64 > 0.99 * g.num_vertices() as f64, "reached={reached}");
+        assert!(
+            reached as f64 > 0.99 * g.num_vertices() as f64,
+            "reached={reached}"
+        );
     }
 
     #[test]

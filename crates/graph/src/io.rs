@@ -127,7 +127,11 @@ pub fn read_edge_list<R: BufRead>(r: R, num_vertices: Option<u32>) -> io::Result
         edges.push((s, d));
     }
     let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_id + 1 });
-    Ok(EdgeList { num_vertices: n, edges, weights })
+    Ok(EdgeList {
+        num_vertices: n,
+        edges,
+        weights,
+    })
 }
 
 #[cfg(test)]

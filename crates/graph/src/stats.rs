@@ -33,7 +33,11 @@ impl GraphStats {
         GraphStats {
             num_vertices: n,
             num_edges: g.num_edges(),
-            avg_degree: if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                g.num_edges() as f64 / n as f64
+            },
             max_out_degree: max_out,
             max_in_degree: max_in,
             approx_diameter: approx_diameter(g),

@@ -62,17 +62,24 @@ pub struct LuxRuntime {
 impl LuxRuntime {
     /// Creates a Lux runtime on `platform`.
     pub fn new(platform: Platform, scale_divisor: u64) -> LuxRuntime {
-        LuxRuntime { platform, scale_divisor }
+        LuxRuntime {
+            platform,
+            scale_divisor,
+        }
     }
 
     fn config(&self) -> RunConfig {
         let mut cfg = RunConfig::new(
             Policy::Iec,
-            Variant { balancer: Balancer::Tb, comm: CommMode::AllShared, model: ExecModel::Sync },
+            Variant {
+                balancer: Balancer::Tb,
+                comm: CommMode::AllShared,
+                model: ExecModel::Sync,
+            },
         )
         .scale(self.scale_divisor);
-        cfg.runtime_round_overhead_secs = LEGION_BASE_OVERHEAD
-            + LEGION_PER_DEVICE_OVERHEAD * self.platform.num_devices() as f64;
+        cfg.runtime_round_overhead_secs =
+            LEGION_BASE_OVERHEAD + LEGION_PER_DEVICE_OVERHEAD * self.platform.num_devices() as f64;
         cfg
     }
 

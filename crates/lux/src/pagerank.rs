@@ -28,7 +28,10 @@ pub struct LuxPageRank {
 impl LuxPageRank {
     /// `rounds` power iterations at α = 0.85.
     pub fn new(rounds: u32) -> LuxPageRank {
-        LuxPageRank { alpha: 0.85, rounds }
+        LuxPageRank {
+            alpha: 0.85,
+            rounds,
+        }
     }
 }
 

@@ -39,9 +39,18 @@ impl Partition {
         let ma = assign_masters(g, policy, num_devices, seed);
         let grid = (policy == Policy::Cvc).then(|| Grid::for_devices(num_devices));
         let ind = (policy == Policy::Hvc).then(|| in_degrees(g));
-        let avg = if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 };
-        let rule =
-            EdgeRule::new(policy, &ma.owner, grid, ind.as_deref(), default_hvc_threshold(avg));
+        let avg = if n == 0 {
+            0.0
+        } else {
+            g.num_edges() as f64 / n as f64
+        };
+        let rule = EdgeRule::new(
+            policy,
+            &ma.owner,
+            grid,
+            ind.as_deref(),
+            default_hvc_threshold(avg),
+        );
 
         // --- Edge assignment: bucket every edge onto its device. ---
         let mut dev_edges: Vec<Vec<(VertexId, VertexId, u32)>> = vec![Vec::new(); p];
@@ -64,9 +73,7 @@ impl Partition {
             .into_par_iter()
             .zip(masters_per_dev.into_par_iter())
             .enumerate()
-            .map(|(d, (edges, masters))| {
-                build_local(d as u32, edges, masters, owner, weighted)
-            })
+            .map(|(d, (edges, masters))| build_local(d as u32, edges, masters, owner, weighted))
             .collect();
 
         // --- Exchange links: align mirror lists with master local ids. ---
@@ -88,7 +95,14 @@ impl Partition {
             }
         }
 
-        Partition { policy, num_devices, grid, num_global_vertices: n, locals, links }
+        Partition {
+            policy,
+            num_devices,
+            grid,
+            num_global_vertices: n,
+            locals,
+            links,
+        }
     }
 
     /// Reassembles a partition from previously serialized parts,
@@ -103,7 +117,10 @@ impl Partition {
         links: Vec<PairLink>,
     ) -> Result<Partition, String> {
         if locals.len() != num_devices as usize {
-            return Err(format!("expected {num_devices} locals, got {}", locals.len()));
+            return Err(format!(
+                "expected {num_devices} locals, got {}",
+                locals.len()
+            ));
         }
         if links.len() != (num_devices * num_devices) as usize {
             return Err("link table size mismatch".into());
@@ -116,7 +133,14 @@ impl Partition {
                 return Err("more masters than vertices".into());
             }
         }
-        Ok(Partition { policy, num_devices, grid, num_global_vertices, locals, links })
+        Ok(Partition {
+            policy,
+            num_devices,
+            grid,
+            num_global_vertices,
+            locals,
+            links,
+        })
     }
 
     /// The exchange link for mirrors held on `holder` whose masters live on
@@ -253,9 +277,14 @@ mod tests {
     #[test]
     fn all_policies_satisfy_invariants() {
         let g = RmatConfig::new(9, 8).seed(4).generate();
-        for policy in
-            [Policy::Oec, Policy::Iec, Policy::Hvc, Policy::Cvc, Policy::Random, Policy::MetisLike]
-        {
+        for policy in [
+            Policy::Oec,
+            Policy::Iec,
+            Policy::Hvc,
+            Policy::Cvc,
+            Policy::Random,
+            Policy::MetisLike,
+        ] {
             for p in [1, 2, 4, 8] {
                 let part = Partition::build(&g, policy, p, 42);
                 check_partition_invariants(&g, &part);
@@ -342,7 +371,9 @@ mod tests {
 
     #[test]
     fn webcrawl_locality_gives_edge_cuts_low_replication() {
-        let g = WebCrawlConfig::new(8_000, 120_000, 400, 400, 20).seed(5).generate();
+        let g = WebCrawlConfig::new(8_000, 120_000, 400, 400, 20)
+            .seed(5)
+            .generate();
         let iec = Partition::build(&g, Policy::Iec, 8, 0).replication_factor();
         let random = Partition::build(&g, Policy::Random, 8, 0).replication_factor();
         // Contiguous blocks exploit crawl locality; random destroys it.

@@ -30,7 +30,13 @@ impl<'a> EdgeRule<'a> {
         if policy == Policy::Hvc {
             assert!(in_degrees.is_some(), "HVC needs in-degrees");
         }
-        EdgeRule { policy, owner, grid, in_degrees, hvc_threshold }
+        EdgeRule {
+            policy,
+            owner,
+            grid,
+            in_degrees,
+            hvc_threshold,
+        }
     }
 
     /// The device that stores edge `(u, v)`.

@@ -120,7 +120,10 @@ pub fn read_partition<R: Read>(mut r: R) -> io::Result<Partition> {
     let num_devices = r_u32(&mut r)?;
     let num_global_vertices = r_u32(&mut r)?;
     let grid = if r_u32(&mut r)? == 1 {
-        Some(Grid { pr: r_u32(&mut r)?, pc: r_u32(&mut r)? })
+        Some(Grid {
+            pr: r_u32(&mut r)?,
+            pc: r_u32(&mut r)?,
+        })
     } else {
         None
     };
@@ -132,7 +135,11 @@ pub fn read_partition<R: Read>(mut r: R) -> io::Result<Partition> {
         let master_device = r_vec_u32(&mut r)?;
         let csr = read_csr(&mut r)?;
         let in_csr = csr.transpose();
-        let g2l = l2g.iter().enumerate().map(|(lv, &gv)| (gv, lv as u32)).collect();
+        let g2l = l2g
+            .iter()
+            .enumerate()
+            .map(|(lv, &gv)| (gv, lv as u32))
+            .collect();
         locals.push(LocalGraph {
             device,
             num_masters,
@@ -149,7 +156,10 @@ pub fn read_partition<R: Read>(mut r: R) -> io::Result<Partition> {
         let master_side = r_vec_u32(&mut r)?;
         let flags = r_vec_u32(&mut r)?;
         if mirror_side.len() != master_side.len() || mirror_side.len() != flags.len() {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "misaligned link"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "misaligned link",
+            ));
         }
         links.push(PairLink {
             mirror_side,
@@ -158,8 +168,15 @@ pub fn read_partition<R: Read>(mut r: R) -> io::Result<Partition> {
             mirror_has_in: flags.iter().map(|&f| f & 2 != 0).collect(),
         });
     }
-    Partition::from_parts(policy, num_devices, grid, num_global_vertices, locals, links)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    Partition::from_parts(
+        policy,
+        num_devices,
+        grid,
+        num_global_vertices,
+        locals,
+        links,
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

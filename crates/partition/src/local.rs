@@ -117,7 +117,10 @@ mod tests {
             // Mirrors must have at least one local edge (they only exist
             // because an edge endpoint landed here).
             for lv in lg.num_masters..lg.num_vertices() {
-                assert!(lg.has_out_edges(lv) || lg.has_in_edges(lv), "dangling mirror");
+                assert!(
+                    lg.has_out_edges(lv) || lg.has_in_edges(lv),
+                    "dangling mirror"
+                );
             }
         }
     }

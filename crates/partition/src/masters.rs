@@ -133,12 +133,7 @@ pub fn bfs_grow(g: &Csr, parts: u32, seed: u64) -> Vec<u32> {
 /// where most of its (undirected) neighbors live, subject to a weight
 /// ceiling of `(1 + epsilon) × mean`. A simplified single-threaded version
 /// of Slota et al.'s constrained label propagation.
-pub fn label_propagation(
-    g: &Csr,
-    parts: u32,
-    iterations: u32,
-    epsilon: f64,
-) -> Vec<u32> {
+pub fn label_propagation(g: &Csr, parts: u32, iterations: u32, epsilon: f64) -> Vec<u32> {
     let n = g.num_vertices() as usize;
     // Seed from a degree-balanced blocked assignment.
     let weights: Vec<u32> = (0..n as u32).map(|v| g.out_degree(v) + 1).collect();
@@ -165,9 +160,7 @@ pub fn label_propagation(
                 counts[owner[u as usize] as usize] += 1;
             }
             let cur = owner[v as usize];
-            let Some((best, &cnt)) =
-                counts.iter().enumerate().max_by_key(|&(_, &c)| c)
-            else {
+            let Some((best, &cnt)) = counts.iter().enumerate().max_by_key(|&(_, &c)| c) else {
                 continue;
             };
             let best = best as u32;
@@ -203,18 +196,24 @@ pub fn assign_masters(g: &Csr, policy: Policy, num_devices: u32, seed: u64) -> M
         }
         Policy::Hvc => {
             let ind = in_degrees(g);
-            let w: Vec<u32> =
-                (0..n).map(|v| g.out_degree(v as u32).saturating_add(ind[v])).collect();
+            let w: Vec<u32> = (0..n)
+                .map(|v| g.out_degree(v as u32).saturating_add(ind[v]))
+                .collect();
             blocked(&w, num_devices)
         }
         Policy::Random => {
-            let owner =
-                (0..n as u32).map(|v| (hash_vertex(v, seed) % num_devices as u64) as u32).collect();
-            MasterAssignment { owner, block_starts: Vec::new() }
+            let owner = (0..n as u32)
+                .map(|v| (hash_vertex(v, seed) % num_devices as u64) as u32)
+                .collect();
+            MasterAssignment {
+                owner,
+                block_starts: Vec::new(),
+            }
         }
-        Policy::MetisLike => {
-            MasterAssignment { owner: bfs_grow(g, num_devices, seed), block_starts: Vec::new() }
-        }
+        Policy::MetisLike => MasterAssignment {
+            owner: bfs_grow(g, num_devices, seed),
+            block_starts: Vec::new(),
+        },
         Policy::Xtrapulp => MasterAssignment {
             owner: label_propagation(g, num_devices, 3, 0.1),
             block_starts: Vec::new(),
@@ -230,7 +229,10 @@ fn blocked(weights: &[u32], parts: u32) -> MasterAssignment {
             owner[v as usize] = p as u32;
         }
     }
-    MasterAssignment { owner, block_starts: starts }
+    MasterAssignment {
+        owner,
+        block_starts: starts,
+    }
 }
 
 #[cfg(test)]
@@ -302,7 +304,9 @@ mod tests {
 
     #[test]
     fn label_propagation_improves_locality_under_balance() {
-        let g = dirgl_graph::WebCrawlConfig::new(4_000, 60_000, 300, 200, 12).seed(9).generate();
+        let g = dirgl_graph::WebCrawlConfig::new(4_000, 60_000, 300, 200, 12)
+            .seed(9)
+            .generate();
         let owner = label_propagation(&g, 4, 3, 0.1);
         assert!(owner.iter().all(|&o| o < 4));
         // Balance constraint: per-partition degree weight within the
@@ -347,7 +351,9 @@ mod tests {
     fn bfs_grow_produces_connected_ish_clusters() {
         // A web crawl has site locality for BFS-grow to exploit; an R-MAT
         // expander would not.
-        let g = dirgl_graph::WebCrawlConfig::new(4_000, 60_000, 300, 200, 12).seed(5).generate();
+        let g = dirgl_graph::WebCrawlConfig::new(4_000, 60_000, 300, 200, 12)
+            .seed(5)
+            .generate();
         let owner = bfs_grow(&g, 4, 1);
         assert!(owner.iter().all(|&o| o < 4));
         // Locality: a healthy fraction of edges stay internal (random

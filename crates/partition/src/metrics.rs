@@ -39,7 +39,10 @@ impl PartitionMetrics {
     /// Device-memory bytes per device for a program with `label_bytes` per
     /// proxy (pull programs also hold the transposed CSR).
     pub fn memory_per_device(part: &Partition, label_bytes: u64, needs_pull: bool) -> Vec<u64> {
-        part.locals.iter().map(|l| l.device_bytes(label_bytes, needs_pull)).collect()
+        part.locals
+            .iter()
+            .map(|l| l.device_bytes(label_bytes, needs_pull))
+            .collect()
     }
 
     /// max/mean of per-device memory — Table IV's **memory balance**.
@@ -115,7 +118,9 @@ mod tests {
         // allocated on a GPU is proportional to the number of edges assigned
         // to it." On an edge-dominated graph the two max/mean metrics agree
         // closely for every D-IrGL policy.
-        let g = dirgl_graph::WebCrawlConfig::new(8_000, 320_000, 800, 600, 12).seed(2).generate();
+        let g = dirgl_graph::WebCrawlConfig::new(8_000, 320_000, 800, 600, 12)
+            .seed(2)
+            .generate();
         for policy in Policy::DIRGL {
             let part = Partition::build(&g, policy, 8, 3);
             let m = PartitionMetrics::compute(&part);

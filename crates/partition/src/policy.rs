@@ -57,7 +57,10 @@ impl Policy {
     /// master's device (push-style programs then never read at mirrors, so
     /// broadcast is elided — §III-D1).
     pub fn out_edges_at_master(self) -> bool {
-        matches!(self, Policy::Oec | Policy::Random | Policy::MetisLike | Policy::Xtrapulp)
+        matches!(
+            self,
+            Policy::Oec | Policy::Random | Policy::MetisLike | Policy::Xtrapulp
+        )
     }
 
     /// True when the policy guarantees every in-edge of a vertex is on the

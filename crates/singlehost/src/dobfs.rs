@@ -29,7 +29,9 @@ impl DoBfs {
 
     /// From the paper's source convention.
     pub fn from_max_out_degree(g: &Csr) -> DoBfs {
-        DoBfs { source: g.max_out_degree_vertex() }
+        DoBfs {
+            source: g.max_out_degree_vertex(),
+        }
     }
 
     fn inner(&self) -> dirgl_apps::Bfs {
@@ -108,7 +110,13 @@ mod tests {
     #[test]
     fn pull_ready_only_for_unreached() {
         let b = DoBfs::new(0);
-        assert!(b.pull_ready(&BfsState { dist: UNREACHED, acc: UNREACHED }));
-        assert!(!b.pull_ready(&BfsState { dist: 3, acc: UNREACHED }));
+        assert!(b.pull_ready(&BfsState {
+            dist: UNREACHED,
+            acc: UNREACHED
+        }));
+        assert!(!b.pull_ready(&BfsState {
+            dist: 3,
+            acc: UNREACHED
+        }));
     }
 }

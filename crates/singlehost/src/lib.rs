@@ -45,7 +45,10 @@ pub struct GunrockSim {
 impl GunrockSim {
     /// Creates the framework simulator.
     pub fn new(platform: Platform, scale_divisor: u64) -> GunrockSim {
-        GunrockSim { platform, scale_divisor }
+        GunrockSim {
+            platform,
+            scale_divisor,
+        }
     }
 
     fn runtime(&self) -> Runtime {
@@ -72,7 +75,9 @@ impl GunrockSim {
 
     /// Direction-optimizing BFS from the max-out-degree source.
     pub fn run_bfs(&self, g: &Csr) -> Result<RunOutput, RunError> {
-        self.runtime().run(g, &DoBfs::from_max_out_degree(g)).map(Self::inflate_memory)
+        self.runtime()
+            .run(g, &DoBfs::from_max_out_degree(g))
+            .map(Self::inflate_memory)
     }
 
     /// Label-propagation connected components (with Gunrock's
@@ -83,7 +88,9 @@ impl GunrockSim {
 
     /// Delta-stepping-style sssp (modelled as the shared push program).
     pub fn run_sssp(&self, g: &Csr) -> Result<RunOutput, RunError> {
-        self.runtime().run(g, &Sssp::from_max_out_degree(g)).map(Self::inflate_memory)
+        self.runtime()
+            .run(g, &Sssp::from_max_out_degree(g))
+            .map(Self::inflate_memory)
     }
 }
 
@@ -98,7 +105,10 @@ pub struct GrouteSim {
 impl GrouteSim {
     /// Creates the framework simulator.
     pub fn new(platform: Platform, scale_divisor: u64) -> GrouteSim {
-        GrouteSim { platform, scale_divisor }
+        GrouteSim {
+            platform,
+            scale_divisor,
+        }
     }
 
     fn runtime(&self) -> Runtime {
@@ -118,7 +128,8 @@ impl GrouteSim {
 
     /// Asynchronous data-driven BFS.
     pub fn run_bfs(&self, g: &Csr) -> Result<RunOutput, RunError> {
-        self.runtime().run(g, &dirgl_apps::Bfs::from_max_out_degree(g))
+        self.runtime()
+            .run(g, &dirgl_apps::Bfs::from_max_out_degree(g))
     }
 
     /// Connected components (pointer jumping approximated by asynchronous
@@ -191,8 +202,12 @@ mod tests {
         // Social-style graph: almost everything is reached in 2-3 hops, so
         // the bottom-up rounds scan far fewer edges than top-down frontier
         // expansion over the hub fan-outs.
-        let g = dirgl_graph::SocialConfig::new(8_000, 160_000, 1_500, 2_500).seed(3).generate();
-        let hybrid = GunrockSim::new(Platform::tuxedo_n(4), 1).run_bfs(&g).unwrap();
+        let g = dirgl_graph::SocialConfig::new(8_000, 160_000, 1_500, 2_500)
+            .seed(3)
+            .generate();
+        let hybrid = GunrockSim::new(Platform::tuxedo_n(4), 1)
+            .run_bfs(&g)
+            .unwrap();
         // Same framework config with plain push bfs.
         let plain = Runtime::new(
             Platform::tuxedo_n(4),

@@ -9,8 +9,10 @@
 use dirgl::prelude::*;
 
 fn run(graph: &Csr, variant: Variant, label: &str) {
-    let runtime =
-        Runtime::new(Platform::bridges(16), RunConfig::new(Policy::Cvc, variant).scale(1024));
+    let runtime = Runtime::new(
+        Platform::bridges(16),
+        RunConfig::new(Policy::Cvc, variant).scale(1024),
+    );
     let app = Bfs::from_max_out_degree(graph);
     let out = runtime.run(graph, &app).unwrap();
     let r = &out.report;
@@ -26,13 +28,17 @@ fn run(graph: &Csr, variant: Variant, label: &str) {
 
 fn main() {
     println!("high-diameter web crawl (uk14-style, diameter ~300):");
-    let crawl = WebCrawlConfig::new(30_000, 900_000, 1_000, 800, 300).seed(3).generate();
+    let crawl = WebCrawlConfig::new(30_000, 900_000, 1_000, 800, 300)
+        .seed(3)
+        .generate();
     let crawl = dirgl::graph::weights::randomize_weights(&crawl, 100, 3);
     run(&crawl, Variant::var3(), "Var3 (Sync)");
     run(&crawl, Variant::var4(), "Var4 (Async)");
 
     println!("\nlow-diameter social network (diameter ~5):");
-    let social = SocialConfig::new(30_000, 900_000, 2_000, 4_000).seed(3).generate();
+    let social = SocialConfig::new(30_000, 900_000, 2_000, 4_000)
+        .seed(3)
+        .generate();
     let social = dirgl::graph::weights::randomize_weights(&social, 100, 3);
     run(&social, Variant::var3(), "Var3 (Sync)");
     run(&social, Variant::var4(), "Var4 (Async)");

@@ -10,7 +10,10 @@ use dirgl::apps::bc::reference_bc;
 use dirgl::prelude::*;
 
 fn main() {
-    let graph = SocialConfig::new(6_000, 120_000, 800, 1_500).diameter(8).seed(5).generate();
+    let graph = SocialConfig::new(6_000, 120_000, 800, 1_500)
+        .diameter(8)
+        .seed(5)
+        .generate();
     let source = graph.max_out_degree_vertex();
     println!(
         "social analogue: |V|={} |E|={}; bc from hub vertex {source}",
@@ -31,8 +34,7 @@ fn main() {
             out.backward.total_time, out.backward.rounds
         );
         // Top-5 central vertices.
-        let mut ranked: Vec<(usize, f64)> =
-            out.scores.iter().copied().enumerate().collect();
+        let mut ranked: Vec<(usize, f64)> = out.scores.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         println!("  top-5 by dependency score:");
         for (v, s) in ranked.iter().take(5) {

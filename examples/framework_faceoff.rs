@@ -18,7 +18,10 @@ fn check(values: &[f64], want: &[f64]) -> &'static str {
 
 fn main() {
     // An orkut-style social network.
-    let graph = SocialConfig::new(12_000, 900_000, 130, 130).diameter(6).seed(9).generate();
+    let graph = SocialConfig::new(12_000, 900_000, 130, 130)
+        .diameter(6)
+        .seed(9)
+        .generate();
     let graph = dirgl::graph::weights::randomize_weights(&graph, 100, 9);
     let platform = Platform::tuxedo();
     println!(
@@ -30,9 +33,14 @@ fn main() {
 
     // --- BFS: Gunrock's direction optimization vs the rest.
     let src = graph.max_out_degree_vertex();
-    let bfs_ref: Vec<f64> = reference::bfs(&graph, src).iter().map(|&d| d as f64).collect();
+    let bfs_ref: Vec<f64> = reference::bfs(&graph, src)
+        .iter()
+        .map(|&d| d as f64)
+        .collect();
     println!("bfs:");
-    let gunrock = GunrockSim::new(platform.clone(), 1).run_bfs(&graph).unwrap();
+    let gunrock = GunrockSim::new(platform.clone(), 1)
+        .run_bfs(&graph)
+        .unwrap();
     println!(
         "  Gunrock (direction-opt): {}  [{}]",
         gunrock.report.total_time,
@@ -54,8 +62,10 @@ fn main() {
     );
 
     // --- CC: all four frameworks, plus memory (Table III in miniature).
-    let cc_ref: Vec<f64> =
-        reference::cc(&graph.symmetrize()).iter().map(|&c| c as f64).collect();
+    let cc_ref: Vec<f64> = reference::cc(&graph.symmetrize())
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
     println!("\ncc (time / max memory across GPUs):");
     let gunrock = GunrockSim::new(platform.clone(), 1).run_cc(&graph).unwrap();
     println!(
@@ -78,8 +88,9 @@ fn main() {
         lux.report.max_memory() as f64 / 1e9,
         check(&lux.values, &cc_ref)
     );
-    let dirgl =
-        Runtime::new(platform.clone(), RunConfig::var4(Policy::Cvc)).run(&graph, &Cc).unwrap();
+    let dirgl = Runtime::new(platform.clone(), RunConfig::var4(Policy::Cvc))
+        .run(&graph, &Cc)
+        .unwrap();
     println!(
         "  D-IrGL:  {} / {:.3} GB  [{}]",
         dirgl.report.total_time,

@@ -11,7 +11,9 @@ use dirgl::prelude::*;
 
 fn main() {
     // A uk07-style web crawl: site locality, a high in-degree hub tail.
-    let graph = WebCrawlConfig::new(40_000, 1_200_000, 1_500, 1_000, 40).seed(7).generate();
+    let graph = WebCrawlConfig::new(40_000, 1_200_000, 1_500, 1_000, 40)
+        .seed(7)
+        .generate();
     let graph = dirgl::graph::weights::randomize_weights(&graph, 100, 7);
     let st = GraphStats::compute(&graph);
     println!(
@@ -29,8 +31,10 @@ fn main() {
             let part = Partition::build(&graph, policy, devices, 1);
             let metrics = PartitionMetrics::compute(&part);
             let plan = SyncPlan::build(&part, true, true);
-            let max_partners =
-                (0..devices).map(|d| plan.partner_count(d)).max().unwrap_or(0);
+            let max_partners = (0..devices)
+                .map(|d| plan.partner_count(d))
+                .max()
+                .unwrap_or(0);
 
             let runtime = Runtime::new(Platform::bridges(devices), RunConfig::var4(policy));
             let app = Sssp::from_max_out_degree(&graph);

@@ -34,12 +34,19 @@ fn main() {
     println!("  max compute    : {}", r.max_compute());
     println!("  min wait       : {}", r.min_wait());
     println!("  device comm    : {}", r.device_comm());
-    println!("  comm volume    : {:.3} GB over {} messages", r.comm_gb(), r.messages);
+    println!(
+        "  comm volume    : {:.3} GB over {} messages",
+        r.comm_gb(),
+        r.messages
+    );
     println!("  rounds         : {}", r.rounds);
 
     // 5. Results are real, not simulated: verify against a sequential BFS.
     let want = reference::bfs(&graph, bfs.source);
     let ok = out.values.iter().zip(&want).all(|(g, w)| *g == *w as f64);
-    println!("  verified vs sequential reference: {}", if ok { "OK" } else { "MISMATCH" });
+    println!(
+        "  verified vs sequential reference: {}",
+        if ok { "OK" } else { "MISMATCH" }
+    );
     assert!(ok);
 }

@@ -45,7 +45,9 @@ pub use singlehost_sim as singlehost;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
-    pub use dirgl_apps::{betweenness_centrality, reference, Bfs, Cc, KCore, PageRank, PageRankPush, Sssp};
+    pub use dirgl_apps::{
+        betweenness_centrality, reference, Bfs, Cc, KCore, PageRank, PageRankPush, Sssp,
+    };
     pub use dirgl_comm::{CommMode, SimTime};
     pub use dirgl_core::{ExecModel, ExecutionReport, RunConfig, RunError, Runtime, Variant};
     pub use dirgl_gpusim::{Balancer, ClusterSpec, GpuSpec, Platform};

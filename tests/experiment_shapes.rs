@@ -23,11 +23,21 @@ fn cvc_wins_at_scale() {
     let mut cells = 0;
     for bench in [BenchId::Bfs, BenchId::Cc, BenchId::Sssp] {
         let cvc = total(&run_dirgl(
-            bench, &ld, &mut cache, &Platform::bridges(64), Policy::Cvc, Variant::var4(),
+            bench,
+            &ld,
+            &mut cache,
+            &Platform::bridges(64),
+            Policy::Cvc,
+            Variant::var4(),
         ));
         for policy in [Policy::Oec, Policy::Iec, Policy::Hvc] {
             let other = total(&run_dirgl(
-                bench, &ld, &mut cache, &Platform::bridges(64), policy, Variant::var4(),
+                bench,
+                &ld,
+                &mut cache,
+                &Platform::bridges(64),
+                policy,
+                Variant::var4(),
             ));
             cells += 1;
             if cvc <= other * 1.05 {
@@ -49,11 +59,21 @@ fn updated_only_cuts_volume() {
     let mut cache = PartitionCache::new();
     for bench in [BenchId::Bfs, BenchId::Sssp] {
         let var2 = run_dirgl(
-            bench, &ld, &mut cache, &Platform::bridges(32), Policy::Iec, Variant::var2(),
+            bench,
+            &ld,
+            &mut cache,
+            &Platform::bridges(32),
+            Policy::Iec,
+            Variant::var2(),
         )
         .unwrap();
         let var3 = run_dirgl(
-            bench, &ld, &mut cache, &Platform::bridges(32), Policy::Iec, Variant::var3(),
+            bench,
+            &ld,
+            &mut cache,
+            &Platform::bridges(32),
+            Policy::Iec,
+            Variant::var3(),
         )
         .unwrap();
         assert!(
@@ -77,10 +97,24 @@ fn alb_helps_exactly_where_the_paper_says() {
     let mut cache = PartitionCache::new();
     let platform = Platform::bridges(32);
     // pagerank: Var1 (TWC) has far higher compute than Var2 (ALB).
-    let v1 = run_dirgl(BenchId::Pagerank, &ld, &mut cache, &platform, Policy::Iec, Variant::var1())
-        .unwrap();
-    let v2 = run_dirgl(BenchId::Pagerank, &ld, &mut cache, &platform, Policy::Iec, Variant::var2())
-        .unwrap();
+    let v1 = run_dirgl(
+        BenchId::Pagerank,
+        &ld,
+        &mut cache,
+        &platform,
+        Policy::Iec,
+        Variant::var1(),
+    )
+    .unwrap();
+    let v2 = run_dirgl(
+        BenchId::Pagerank,
+        &ld,
+        &mut cache,
+        &platform,
+        Policy::Iec,
+        Variant::var2(),
+    )
+    .unwrap();
     assert!(
         v1.report.max_compute().as_secs_f64() > 1.5 * v2.report.max_compute().as_secs_f64(),
         "pagerank TWC compute {} vs ALB {}",
@@ -88,13 +122,30 @@ fn alb_helps_exactly_where_the_paper_says() {
         v2.report.max_compute()
     );
     // bfs (push, low max out-degree): the two are close.
-    let b1 = run_dirgl(BenchId::Bfs, &ld, &mut cache, &platform, Policy::Iec, Variant::var1())
-        .unwrap();
-    let b2 = run_dirgl(BenchId::Bfs, &ld, &mut cache, &platform, Policy::Iec, Variant::var2())
-        .unwrap();
-    let ratio = b1.report.max_compute().as_secs_f64()
-        / b2.report.max_compute().as_secs_f64().max(1e-12);
-    assert!((0.7..1.6).contains(&ratio), "bfs TWC/ALB compute ratio {ratio}");
+    let b1 = run_dirgl(
+        BenchId::Bfs,
+        &ld,
+        &mut cache,
+        &platform,
+        Policy::Iec,
+        Variant::var1(),
+    )
+    .unwrap();
+    let b2 = run_dirgl(
+        BenchId::Bfs,
+        &ld,
+        &mut cache,
+        &platform,
+        Policy::Iec,
+        Variant::var2(),
+    )
+    .unwrap();
+    let ratio =
+        b1.report.max_compute().as_secs_f64() / b2.report.max_compute().as_secs_f64().max(1e-12);
+    assert!(
+        (0.7..1.6).contains(&ratio),
+        "bfs TWC/ALB compute ratio {ratio}"
+    );
 }
 
 /// §V-B1 (Figs. 3/5): D-IrGL's baseline Var1 always beats Lux, and Lux's
@@ -105,7 +156,12 @@ fn lux_trails_and_flattens() {
     let mut cache = PartitionCache::new();
     for gpus in [16u32, 64] {
         let var1 = run_dirgl(
-            BenchId::Cc, &ld, &mut cache, &Platform::bridges(gpus), Policy::Iec, Variant::var1(),
+            BenchId::Cc,
+            &ld,
+            &mut cache,
+            &Platform::bridges(gpus),
+            Policy::Iec,
+            Variant::var1(),
         )
         .unwrap();
         let lux = LuxRuntime::new(Platform::bridges(gpus), ld.ds.divisor)
@@ -135,7 +191,12 @@ fn lux_memory_constant_dirgl_smallest() {
     assert_eq!(lux_a.report.max_memory(), lux_b.report.max_memory());
     let mut cache = PartitionCache::new();
     let dirgl = run_dirgl(
-        BenchId::Cc, &a, &mut cache, &Platform::tuxedo(), Policy::Cvc, Variant::var4(),
+        BenchId::Cc,
+        &a,
+        &mut cache,
+        &Platform::tuxedo(),
+        Policy::Cvc,
+        Variant::var4(),
     )
     .unwrap();
     assert!(dirgl.report.max_memory() < lux_a.report.max_memory());
@@ -154,10 +215,16 @@ fn static_tracks_memory_not_dynamic() {
     for policy in Policy::DIRGL {
         let part = cache.get(&ld, BenchId::Bfs, policy, 32);
         let st = PartitionMetrics::compute(&part).static_balance;
-        let out =
-            run_dirgl(BenchId::Bfs, &ld, &mut cache, &platform, policy, Variant::var4()).unwrap();
-        max_static_memory_gap =
-            max_static_memory_gap.max((st - out.report.memory_balance()).abs());
+        let out = run_dirgl(
+            BenchId::Bfs,
+            &ld,
+            &mut cache,
+            &platform,
+            policy,
+            Variant::var4(),
+        )
+        .unwrap();
+        max_static_memory_gap = max_static_memory_gap.max((st - out.report.memory_balance()).abs());
         max_static_dynamic_gap =
             max_static_dynamic_gap.max((st - out.report.dynamic_balance()).abs());
     }

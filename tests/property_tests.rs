@@ -5,6 +5,7 @@ use proptest::prelude::*;
 
 use dirgl::comm::{as_message_bytes, uo_message_bytes, DenseBitset, SimTime, VAL_BYTES};
 use dirgl::graph::csr::EdgeList;
+use dirgl::graph::weights::randomize_weights;
 use dirgl::prelude::*;
 
 /// Strategy: a random small digraph as (n, edges).
@@ -92,6 +93,46 @@ proptest! {
         let want = reference::bfs(&g, app.source);
         for (v, (got, w)) in out.values.iter().zip(&want).enumerate() {
             prop_assert!(*got == *w as f64, "vertex {v}: {got} vs {w}");
+        }
+    }
+
+    /// BSP (Var3) and BASP (Var4) converge to identical outputs for bfs,
+    /// cc and sssp on random weighted R-MAT graphs across all four paper
+    /// partition policies — asynchrony may reorder and redo work but must
+    /// never change the fixed point.
+    #[test]
+    fn bsp_and_basp_agree_on_rmat(
+        scale in 7u32..9,
+        seed in 0u64..1_000,
+        policy in prop::sample::select(vec![
+            Policy::Oec, Policy::Iec, Policy::Hvc, Policy::Cvc,
+        ]),
+        devices in 2u32..6,
+    ) {
+        let g = randomize_weights(
+            &RmatConfig::new(scale, 8).seed(seed).generate(),
+            60,
+            seed,
+        );
+        let run = |variant: Variant| -> [Vec<f64>; 3] {
+            let rt = Runtime::new(
+                Platform::bridges(devices),
+                RunConfig::new(policy, variant),
+            );
+            let bfs = rt.run(&g, &Bfs::from_max_out_degree(&g)).unwrap().values;
+            let cc = rt.run(&g, &Cc).unwrap().values;
+            let sssp = rt.run(&g, &Sssp::from_max_out_degree(&g)).unwrap().values;
+            [bfs, cc, sssp]
+        };
+        let bsp = run(Variant::var3());
+        let basp = run(Variant::var4());
+        for (name, (sync, async_)) in
+            ["bfs", "cc", "sssp"].iter().zip(bsp.iter().zip(basp.iter()))
+        {
+            prop_assert_eq!(
+                sync, async_,
+                "{} diverged under {:?} on {} devices", name, policy, devices
+            );
         }
     }
 

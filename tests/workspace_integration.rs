@@ -5,7 +5,9 @@ use dirgl::comm::SyncPlan;
 use dirgl::prelude::*;
 
 fn graph() -> Csr {
-    let g = WebCrawlConfig::new(6_000, 120_000, 400, 300, 30).seed(17).generate();
+    let g = WebCrawlConfig::new(6_000, 120_000, 400, 300, 30)
+        .seed(17)
+        .generate();
     dirgl::graph::weights::randomize_weights(&g, 100, 17)
 }
 
@@ -112,7 +114,10 @@ fn dataset_catalog_runs_end_to_end() {
 #[test]
 fn all_frameworks_agree_on_components() {
     let g = graph();
-    let want: Vec<f64> = reference::cc(&g.symmetrize()).iter().map(|&c| c as f64).collect();
+    let want: Vec<f64> = reference::cc(&g.symmetrize())
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
     let dirgl = Runtime::new(Platform::tuxedo(), RunConfig::var4(Policy::Hvc))
         .run(&g, &Cc)
         .unwrap();

@@ -1,0 +1,100 @@
+//! Offline shim for `rayon`: the `par_*` entry points return ordinary
+//! sequential `std` iterators, so every adapter (`map`, `zip`, `enumerate`,
+//! `collect`, `sum`, ...) is the std one and results are bit-identical to a
+//! rayon build (the simulation is deterministic either way); only wall-clock
+//! parallelism is lost.
+
+/// Drop-in for `rayon::prelude::*`.
+pub mod prelude {
+    /// Sequential stand-in for rayon's `IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// The (sequential) iterator returned.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Consumes `self` into an iterator ("parallel" in real rayon).
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for rayon's `par_iter`/`par_iter_mut` on slices.
+    pub trait ParallelSlice<T> {
+        /// Shared iteration.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Mutable iteration.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    impl<T> ParallelSlice<T> for Vec<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// Sequential stand-in for rayon's parallel sorts.
+    pub trait ParallelSort<T: Ord> {
+        /// Unstable sort (delegates to `sort_unstable`).
+        fn par_sort_unstable(&mut self);
+        /// Stable sort (delegates to `sort`).
+        fn par_sort(&mut self);
+    }
+
+    impl<T: Ord> ParallelSort<T> for [T] {
+        fn par_sort_unstable(&mut self) {
+            self.sort_unstable();
+        }
+        fn par_sort(&mut self) {
+            self.sort();
+        }
+    }
+
+    impl<T: Ord> ParallelSort<T> for Vec<T> {
+        fn par_sort_unstable(&mut self) {
+            self.as_mut_slice().sort_unstable();
+        }
+        fn par_sort(&mut self) {
+            self.as_mut_slice().sort();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_surface_matches_sequential() {
+        let mut v = vec![3, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, [1, 2, 3]);
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, [2, 4, 6]);
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, [2, 3, 4]);
+        let zipped: Vec<(i32, i32)> = v
+            .clone()
+            .into_par_iter()
+            .zip(doubled.into_par_iter())
+            .collect();
+        assert_eq!(zipped, [(2, 2), (3, 4), (4, 6)]);
+    }
+}

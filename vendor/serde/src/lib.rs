@@ -1,0 +1,11 @@
+//! Offline shim for `serde`: marker traits plus the no-op derive macros.
+//! See `vendor/README.md` for scope and how to switch back to the registry
+//! crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

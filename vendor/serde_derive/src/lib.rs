@@ -1,0 +1,16 @@
+//! Offline shim for `serde_derive`: the derives accept the same attribute
+//! grammar as the real crate but expand to nothing. The workspace only uses
+//! `Serialize`/`Deserialize` as markers (all machine-readable output is
+//! hand-written JSON), so empty expansions are sufficient.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
