@@ -298,8 +298,10 @@ pub fn betweenness_centrality(
         runtime.platform.num_devices(),
         runtime.config.seed,
     );
-    let (fwd_out, fwd_states) =
-        runtime.run_partitioned_aux(g, fwd_part, &BcForward { source }, None)?;
+    let (fwd_out, fwd_states) = runtime
+        .runner(g, &BcForward { source })
+        .partition(fwd_part)
+        .execute_with_states()?;
     let max_level = fwd_states
         .iter()
         .map(|s| if s.dist == UNREACHED { 0 } else { s.dist })
@@ -318,8 +320,11 @@ pub fn betweenness_centrality(
         runtime.platform.num_devices(),
         runtime.config.seed,
     );
-    let (bwd_out, bwd_states) =
-        runtime.run_partitioned_aux(&rev, bwd_part, &BcBackward::new(max_level), Some(&aux))?;
+    let (bwd_out, bwd_states) = runtime
+        .runner(&rev, &BcBackward::new(max_level))
+        .partition(bwd_part)
+        .aux(&aux)
+        .execute_with_states()?;
 
     let mut scores: Vec<f64> = bwd_states.iter().map(|s| s.delta as f64).collect();
     // Brandes excludes the source from its own dependency accumulation.

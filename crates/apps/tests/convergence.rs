@@ -52,7 +52,10 @@ fn bfs_matches_reference_across_policies_and_engines() {
         .collect();
     for policy in POLICIES {
         for variant in [Variant::var1(), Variant::var4()] {
-            let out = runtime(policy, variant, 4).run(&g, &app).unwrap();
+            let out = runtime(policy, variant, 4)
+                .runner(&g, &app)
+                .execute()
+                .unwrap();
             exact_match(
                 &out.values,
                 &want,
@@ -72,7 +75,10 @@ fn sssp_matches_dijkstra_across_policies_and_engines() {
         .collect();
     for policy in POLICIES {
         for variant in [Variant::var3(), Variant::var4()] {
-            let out = runtime(policy, variant, 4).run(&g, &app).unwrap();
+            let out = runtime(policy, variant, 4)
+                .runner(&g, &app)
+                .execute()
+                .unwrap();
             exact_match(
                 &out.values,
                 &want,
@@ -91,7 +97,10 @@ fn cc_matches_reference_across_policies_and_engines() {
         .collect();
     for policy in POLICIES {
         for variant in [Variant::var2(), Variant::var4()] {
-            let out = runtime(policy, variant, 4).run(&g, &Cc).unwrap();
+            let out = runtime(policy, variant, 4)
+                .runner(&g, &Cc)
+                .execute()
+                .unwrap();
             exact_match(
                 &out.values,
                 &want,
@@ -111,7 +120,10 @@ fn kcore_matches_peeling_across_policies_and_engines() {
             .collect();
         for policy in POLICIES {
             for variant in [Variant::var1(), Variant::var4()] {
-                let out = runtime(policy, variant, 4).run(&g, &KCore::new(k)).unwrap();
+                let out = runtime(policy, variant, 4)
+                    .runner(&g, &KCore::new(k))
+                    .execute()
+                    .unwrap();
                 exact_match(
                     &out.values,
                     &want,
@@ -138,7 +150,7 @@ fn pagerank_matches_reference_within_tolerance() {
                 Platform::bridges(4),
                 dirgl_core::RunConfig::new(policy, variant).scale(1024),
             );
-            let out = rt.run(&g, &app).unwrap();
+            let out = rt.runner(&g, &app).execute().unwrap();
             let mut worst = 0.0f64;
             for (g_, w) in out.values.iter().zip(&want) {
                 worst = worst.max((g_ - w).abs() / w.max(0.15));
@@ -157,10 +169,12 @@ fn single_device_equals_multi_device() {
     let g = rmat();
     let app = Bfs::from_max_out_degree(&g);
     let one = runtime(Policy::Oec, Variant::var4(), 1)
-        .run(&g, &app)
+        .runner(&g, &app)
+        .execute()
         .unwrap();
     let many = runtime(Policy::Cvc, Variant::var4(), 8)
-        .run(&g, &app)
+        .runner(&g, &app)
+        .execute()
         .unwrap();
     exact_match(&many.values, &one.values, "1-vs-8 devices");
 }
@@ -170,8 +184,8 @@ fn runs_are_deterministic() {
     let g = webcrawl();
     let app = Sssp::from_max_out_degree(&g);
     let rt = runtime(Policy::Cvc, Variant::var4(), 6);
-    let a = rt.run(&g, &app).unwrap();
-    let b = rt.run(&g, &app).unwrap();
+    let a = rt.runner(&g, &app).execute().unwrap();
+    let b = rt.runner(&g, &app).execute().unwrap();
     assert_eq!(a.values, b.values);
     assert_eq!(a.report.total_time, b.report.total_time);
     assert_eq!(a.report.comm_bytes, b.report.comm_bytes);
@@ -182,7 +196,8 @@ fn runs_are_deterministic() {
 fn report_decomposition_is_consistent() {
     let g = rmat();
     let out = runtime(Policy::Cvc, Variant::var3(), 8)
-        .run(&g, &Cc)
+        .runner(&g, &Cc)
+        .execute()
         .unwrap();
     let r = &out.report;
     assert!(r.total_time.as_secs_f64() > 0.0);
@@ -206,7 +221,10 @@ fn pagerank_push_matches_pull_and_reference() {
                 Platform::bridges(4),
                 dirgl_core::RunConfig::new(policy, variant).scale(1024),
             );
-            let out = rt.run(&g, &dirgl_apps::PageRankPush::new()).unwrap();
+            let out = rt
+                .runner(&g, &dirgl_apps::PageRankPush::new())
+                .execute()
+                .unwrap();
             let mut worst = 0.0f64;
             for (g_, w) in out.values.iter().zip(&want) {
                 worst = worst.max((g_ - w).abs() / w.max(0.15));

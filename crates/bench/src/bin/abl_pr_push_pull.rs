@@ -41,9 +41,13 @@ fn main() {
                 let cfg = RunConfig::new(Policy::Iec, variant).scale(ld.ds.divisor);
                 let rt = Runtime::new(platform.clone(), cfg);
                 let out = if push {
-                    rt.run_partitioned(&ld.ds.graph, part, &PageRankPush::new())
+                    rt.runner(&ld.ds.graph, &PageRankPush::new())
+                        .partition(part)
+                        .execute()
                 } else {
-                    rt.run_partitioned(&ld.ds.graph, part, &PageRank::new())
+                    rt.runner(&ld.ds.graph, &PageRank::new())
+                        .partition(part)
+                        .execute()
                 }
                 .unwrap();
                 cells.push(fmt_time(out.report.total_time));

@@ -37,7 +37,7 @@ fn main() {
             // completeness.
             for policy in Policy::DIRGL {
                 let part = cache.get(&ld, bench, policy, gpus);
-                let static_balance = PartitionMetrics::compute(&part).static_balance;
+                let static_balance = PartitionMetrics::compute(part).static_balance;
                 let row = dirgl_bench::run_dirgl(
                     bench,
                     &ld,

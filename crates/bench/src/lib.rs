@@ -197,18 +197,20 @@ impl PartitionCache {
     }
 
     /// Partition for `(dataset, policy, devices)`, building on first use.
+    /// Returns a borrow: runs go through
+    /// [`dirgl_core::Runner::partition`], which copies only the per-device
+    /// local graphs, never the exchange links.
     pub fn get(
         &mut self,
         ld: &LoadedDataset,
         bench: BenchId,
         policy: Policy,
         devices: u32,
-    ) -> Partition {
+    ) -> &Partition {
         let key = (ld.ds.id, policy, devices, bench.symmetric());
         self.map
             .entry(key)
             .or_insert_with(|| Partition::build(ld.graph_for(bench), policy, devices, 0x5EED))
-            .clone()
     }
 }
 
@@ -278,15 +280,27 @@ pub fn run_dirgl_cfg_traced(
     let g = ld.graph_for(bench);
     let rt = Runtime::new(platform.clone(), cfg);
     match bench {
-        BenchId::Bfs => {
-            rt.run_partitioned_traced(g, part, &Bfs::from_max_out_degree(&ld.ds.graph), sink)
-        }
-        BenchId::Cc => rt.run_partitioned_traced(g, part, &Cc, sink),
-        BenchId::Kcore => rt.run_partitioned_traced(g, part, &KCore::new(KCORE_K), sink),
-        BenchId::Pagerank => rt.run_partitioned_traced(g, part, &PageRank::new(), sink),
-        BenchId::Sssp => {
-            rt.run_partitioned_traced(g, part, &Sssp::from_max_out_degree(&ld.ds.graph), sink)
-        }
+        BenchId::Bfs => rt
+            .runner(g, &Bfs::from_max_out_degree(&ld.ds.graph))
+            .partition(part)
+            .trace(sink)
+            .execute(),
+        BenchId::Cc => rt.runner(g, &Cc).partition(part).trace(sink).execute(),
+        BenchId::Kcore => rt
+            .runner(g, &KCore::new(KCORE_K))
+            .partition(part)
+            .trace(sink)
+            .execute(),
+        BenchId::Pagerank => rt
+            .runner(g, &PageRank::new())
+            .partition(part)
+            .trace(sink)
+            .execute(),
+        BenchId::Sssp => rt
+            .runner(g, &Sssp::from_max_out_degree(&ld.ds.graph))
+            .partition(part)
+            .trace(sink)
+            .execute(),
     }
 }
 
@@ -409,12 +423,12 @@ mod tests {
     }
 
     #[test]
-    fn partition_cache_reuses_and_clones() {
+    fn partition_cache_reuses() {
         let ld = LoadedDataset::load(DatasetId::Rmat23, 64);
         let mut cache = PartitionCache::new();
-        let a = cache.get(&ld, BenchId::Bfs, Policy::Cvc, 4);
-        let b = cache.get(&ld, BenchId::Bfs, Policy::Cvc, 4);
-        assert_eq!(a.total_edges(), b.total_edges());
+        let a = cache.get(&ld, BenchId::Bfs, Policy::Cvc, 4).total_edges();
+        let b = cache.get(&ld, BenchId::Bfs, Policy::Cvc, 4).total_edges();
+        assert_eq!(a, b);
         assert_eq!(cache.map.len(), 1);
         let _ = cache.get(&ld, BenchId::Cc, Policy::Cvc, 4);
         assert_eq!(cache.map.len(), 2);

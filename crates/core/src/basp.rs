@@ -12,9 +12,21 @@
 //!   (bfs/clueweb12 gets faster);
 //! * devices compute with stale labels and redo work — local round counts
 //!   and work items rise (bfs/uk14 gets slower).
+//!
+//! Host parallelism: round events that fall on the *same* virtual instant
+//! (the common case — devices start together and the round gap keeps them
+//! aligned) are popped as one batch. The device-local half of each round
+//! (drain, absorb, compute, payload build) fans out across the worker
+//! pool; everything that orders the simulation — network sends, sequence
+//! numbers, heap pushes, trace records — then runs sequentially in the
+//! original pop order. Two same-instant rounds can never observe each
+//! other's output (their arrivals carry strictly larger sequence numbers),
+//! so the batched schedule is bit-identical to the sequential one.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+use rayon::prelude::*;
 
 use dirgl_comm::SyncPlan;
 use dirgl_comm::{NetModel, SendDesc, SimTime};
@@ -24,7 +36,7 @@ use crate::bsp::EngineOutcome;
 use crate::config::RunConfig;
 use crate::device::DeviceRun;
 use crate::program::{Style, VertexProgram};
-use crate::trace::{EngineKind, NoopSink, RoundRecord, TraceDirection, TraceSink};
+use crate::trace::{EngineKind, RoundRecord, TraceDirection, TraceSink};
 
 enum Payload<P: VertexProgram> {
     /// Mirror deltas travelling holder → owner.
@@ -72,24 +84,51 @@ impl<P: VertexProgram> Ord for Event<P> {
     }
 }
 
-/// Runs `program` to quiescence under BASP (untraced).
-pub fn run_basp<P: VertexProgram>(
+/// Device-local outcome of one round, produced by the parallel phase and
+/// consumed by the sequential injection phase.
+struct LocalRound<P: VertexProgram> {
+    /// Post-round convergence flag (pull programs).
+    conv: bool,
+    /// The round ended before computing (no work, or round-capped).
+    idle: bool,
+    /// Active vertices when compute started (tracing only).
+    frontier: u64,
+    /// Kernel time of the compute phase.
+    dt: SimTime,
+    /// Pack time; zero when nothing was sent.
+    pack: SimTime,
+    /// Masters changed across the pre- and post-compute absorbs.
+    absorb_changed: u32,
+    /// Outgoing `(destination, payload, bytes)` in partner order.
+    msgs: Vec<(u32, Payload<P>, u64)>,
+}
+
+/// One unit of parallel phase-A work: batch index, device id, the device's
+/// exclusive slot, its drained mail, and its going-in convergence flag.
+type PhaseAWork<'a, P> = (usize, u32, &'a mut DeviceRun<P>, Vec<Payload<P>>, bool);
+
+/// Deprecated alias of [`run_basp`] from when the sink-taking variant was
+/// a separate entry point.
+#[deprecated(since = "0.2.0", note = "use `run_basp`, which now takes the sink")]
+pub fn run_basp_traced<P: VertexProgram>(
     program: &P,
     devices: &mut [DeviceRun<P>],
     part: &Partition,
     plan: &SyncPlan,
     net: &NetModel,
     config: &RunConfig,
+    sink: &mut dyn TraceSink,
 ) -> EngineOutcome {
-    run_basp_traced(program, devices, part, plan, net, config, &mut NoopSink)
+    run_basp(program, devices, part, plan, net, config, sink)
 }
 
 /// Runs `program` to quiescence under BASP, emitting one
 /// [`RoundRecord`] per *local* device round into `sink`. `round` in each
 /// record is the device's own 0-based round ordinal (local rounds are not
 /// globally aligned); `wait` is the idle time the device accumulated
-/// between its previous round and this one.
-pub fn run_basp_traced<P: VertexProgram>(
+/// between its previous round and this one. With a disabled sink (e.g.
+/// [`crate::trace::NoopSink`]) no records are assembled.
+pub fn run_basp<P: VertexProgram>(
     program: &P,
     devices: &mut [DeviceRun<P>],
     part: &Partition,
@@ -162,226 +201,286 @@ pub fn run_basp_traced<P: VertexProgram>(
                 }
             }
             EventKind::Round(d) => {
-                let du = d as usize;
-                round_pending[du] = false;
                 let t = ev.time;
-
-                // 1. Drain arrived messages. Only payloads that actually
-                // change state un-converge the device: header-only sync
-                // messages must not cause compute chatter.
-                let mut arrivals_changed = false;
-                for payload in inbox[du].split_off(0) {
-                    match payload {
-                        Payload::Reduce {
-                            holder,
-                            owner,
-                            data,
-                        } => {
-                            debug_assert_eq!(owner, d);
-                            let link = part.link(holder, owner);
-                            arrivals_changed |= devices[du].apply_reduce(program, link, &data);
-                        }
-                        Payload::Bcast {
-                            owner,
-                            holder,
-                            data,
-                        } => {
-                            debug_assert_eq!(holder, d);
-                            let link = part.link(holder, owner);
-                            arrivals_changed |=
-                                devices[du].apply_broadcast(program, link, &data, true);
-                        }
+                // Batch every Round event sharing this exact instant (an
+                // interleaved same-time Arrive ends the batch: its effect
+                // must stay ordered between the rounds around it).
+                let mut batch: Vec<u32> = vec![d];
+                while let Some(top) = heap.peek() {
+                    if top.time != t || !matches!(top.kind, EventKind::Round(_)) {
+                        break;
+                    }
+                    match heap.pop() {
+                        Some(Event {
+                            kind: EventKind::Round(d2),
+                            ..
+                        }) => batch.push(d2),
+                        _ => unreachable!("peeked a Round event"),
                     }
                 }
-                if arrivals_changed {
-                    converged[du] = false;
-                }
-                // 2. Pre-compute absorb (data-driven): reduced deltas may
-                // activate masters. Idempotent against an empty accumulator.
-                // Canonical mass produced here reaches mirrors through the
-                // take-based async broadcast in step 5 (consumable
-                // generations keep an "unsent" ledger, so a generation the
-                // master consumes in this round's compute is still shipped).
-                let mut pre_changed = 0;
-                if !pull {
-                    pre_changed = devices[du].absorb_masters(program);
+                for &bd in &batch {
+                    round_pending[bd as usize] = false;
                 }
 
-                let capped = devices[du].rounds >= program.max_rounds();
-                let work = if pull {
-                    !converged[du]
-                } else {
-                    devices[du].has_work()
+                // Phase A: the device-local round — drain arrivals, absorb,
+                // compute, build outgoing payloads. Nothing here reads or
+                // writes another device or the simulation's shared order
+                // (net state, seq, heap), so batched devices fan out across
+                // the pool.
+                let phase_a = |dev: &mut DeviceRun<P>,
+                               d: u32,
+                               mail: Vec<Payload<P>>,
+                               mut conv: bool|
+                 -> LocalRound<P> {
+                    // 1. Drain arrived messages. Only payloads that actually
+                    // change state un-converge the device: header-only sync
+                    // messages must not cause compute chatter.
+                    let mut arrivals_changed = false;
+                    for payload in mail {
+                        match payload {
+                            Payload::Reduce {
+                                holder,
+                                owner,
+                                data,
+                            } => {
+                                debug_assert_eq!(owner, d);
+                                let link = part.link(holder, owner);
+                                arrivals_changed |= dev.apply_reduce(program, link, &data);
+                            }
+                            Payload::Bcast {
+                                owner,
+                                holder,
+                                data,
+                            } => {
+                                debug_assert_eq!(holder, d);
+                                let link = part.link(holder, owner);
+                                arrivals_changed |= dev.apply_broadcast(program, link, &data, true);
+                            }
+                        }
+                    }
+                    if arrivals_changed {
+                        conv = false;
+                    }
+                    // 2. Pre-compute absorb (data-driven): reduced deltas may
+                    // activate masters. Idempotent against an empty accumulator.
+                    // Canonical mass produced here reaches mirrors through the
+                    // take-based async broadcast in step 5 (consumable
+                    // generations keep an "unsent" ledger, so a generation the
+                    // master consumes in this round's compute is still shipped).
+                    let mut pre_changed = 0;
+                    if !pull {
+                        pre_changed = dev.absorb_masters(program);
+                    }
+
+                    let capped = dev.rounds >= program.max_rounds();
+                    let work = if pull { !conv } else { dev.has_work() };
+                    if !work || capped {
+                        return LocalRound {
+                            conv,
+                            idle: true,
+                            frontier: 0,
+                            dt: SimTime::ZERO,
+                            pack: SimTime::ZERO,
+                            absorb_changed: 0,
+                            msgs: Vec::new(),
+                        };
+                    }
+
+                    let frontier = if tracing { dev.active_count() } else { 0 };
+
+                    // 3. Compute one local round. Pull programs then consume
+                    // the mirror values read this round: local rounds are not
+                    // globally aligned, so an unconsumed mirror residual would
+                    // be re-read by the next local round (mass duplication).
+                    let dt = dev.compute(program, balancer, divisor);
+                    if pull {
+                        dev.consume_mirrors_after_pull(program);
+                    }
+
+                    // 4. Absorb (masters fold local accumulations).
+                    let changed = dev.absorb_masters(program);
+                    if pull {
+                        conv = changed == 0;
+                    }
+
+                    // 5a. Build outgoing payloads (timing and injection
+                    // happen in the sequential phase below). Every
+                    // computing round syncs with every partner, as
+                    // Gluon(-Async) does; an empty payload still costs the
+                    // presence-bitset header.
+                    let mut msgs: Vec<(u32, Payload<P>, u64)> = Vec::new();
+                    for other in 0..p as u32 {
+                        if other == d {
+                            continue;
+                        }
+                        // Reduce: this device's mirror deltas to their masters.
+                        let entries = plan.reduce(d, other);
+                        if !entries.is_empty() {
+                            let link = part.link(d, other);
+                            let (data, bytes) =
+                                dev.build_reduce(program, link, entries, mode, divisor);
+                            msgs.push((
+                                other,
+                                Payload::Reduce {
+                                    holder: d,
+                                    owner: other,
+                                    data,
+                                },
+                                bytes,
+                            ));
+                        }
+                        // Broadcast: this device's updated masters to mirrors.
+                        let entries = plan.bcast(other, d);
+                        if !entries.is_empty() {
+                            let link = part.link(other, d);
+                            let (data, bytes) =
+                                dev.build_broadcast(program, link, entries, mode, divisor, true);
+                            msgs.push((
+                                other,
+                                Payload::Bcast {
+                                    owner: d,
+                                    holder: other,
+                                    data,
+                                },
+                                bytes,
+                            ));
+                        }
+                    }
+                    dev.after_broadcast_round(program);
+                    dev.clear_sync_marks();
+                    let pack = if msgs.is_empty() {
+                        SimTime::ZERO
+                    } else {
+                        dev.pack_time(mode, divisor)
+                    };
+                    LocalRound {
+                        conv,
+                        idle: false,
+                        frontier,
+                        dt,
+                        pack,
+                        absorb_changed: pre_changed + changed,
+                        msgs,
+                    }
                 };
-                if !work || capped {
-                    idle_since[du] = Some(t);
-                    continue;
-                }
 
-                let frontier = if tracing {
-                    devices[du].active_count()
+                let outs: Vec<(u32, LocalRound<P>)> = if batch.len() == 1 {
+                    let du = d as usize;
+                    let mail = std::mem::take(&mut inbox[du]);
+                    vec![(d, phase_a(&mut devices[du], d, mail, converged[du]))]
                 } else {
-                    0
+                    // Select disjoint `&mut` device slots in ascending index
+                    // order, then fan out. Results return to pop order via
+                    // the carried batch index.
+                    let mut order: Vec<usize> = (0..batch.len()).collect();
+                    order.sort_unstable_by_key(|&i| batch[i]);
+                    let mut work: Vec<PhaseAWork<P>> = Vec::with_capacity(batch.len());
+                    let mut rest: &mut [DeviceRun<P>] = devices;
+                    let mut base = 0usize;
+                    for &i in &order {
+                        let du = batch[i] as usize;
+                        let r = std::mem::take(&mut rest);
+                        let (_, tail) = r.split_at_mut(du - base);
+                        let (dev, tail2) = tail.split_first_mut().expect("device in range");
+                        rest = tail2;
+                        base = du + 1;
+                        work.push((
+                            i,
+                            batch[i],
+                            dev,
+                            std::mem::take(&mut inbox[du]),
+                            converged[du],
+                        ));
+                    }
+                    let mut outs: Vec<(usize, u32, LocalRound<P>)> = work
+                        .into_par_iter()
+                        .map(|(bi, bd, dev, mail, conv)| (bi, bd, phase_a(dev, bd, mail, conv)))
+                        .collect();
+                    outs.sort_unstable_by_key(|o| o.0);
+                    outs.into_iter().map(|(_, bd, a)| (bd, a)).collect()
                 };
 
-                // 3. Compute one local round. Pull programs then consume
-                // the mirror values read this round: local rounds are not
-                // globally aligned, so an unconsumed mirror residual would
-                // be re-read by the next local round (mass duplication).
-                let dt = devices[du].compute(program, balancer, divisor);
-                if pull {
-                    devices[du].consume_mirrors_after_pull(program);
-                }
-
-                // 4. Absorb (masters fold local accumulations).
-                let changed = devices[du].absorb_masters(program);
-                if pull {
-                    converged[du] = changed == 0;
-                }
-
-                // 5. Build and inject outgoing messages.
-                let mut sent_any = false;
-                let mut depart = t + dt;
-                let mut sender_free = depart;
-                let mut pack = SimTime::ZERO;
-                let mut sent_bytes = 0u64;
-                let mut sent_msgs = 0u64;
-                for other in 0..p as u32 {
-                    if other == d {
+                // Phase B: inject sends into the shared network/heap state
+                // and emit trace records, sequentially in pop order —
+                // sequence numbers, link occupancy and the JSONL stream
+                // come out exactly as in an unbatched run.
+                for (bd, a) in outs {
+                    let du = bd as usize;
+                    converged[du] = a.conv;
+                    if a.idle {
+                        idle_since[du] = Some(t);
                         continue;
                     }
-                    // Reduce: this device's mirror deltas to their masters.
-                    let entries = plan.reduce(d, other);
-                    if !entries.is_empty() {
-                        let link = part.link(d, other);
-                        // Every computing round syncs with every partner,
-                        // as Gluon(-Async) does; an empty payload still
-                        // costs the presence-bitset header.
-                        let (data, bytes) =
-                            devices[du].build_reduce(program, link, entries, mode, divisor);
-                        {
-                            if !sent_any {
-                                sent_any = true;
-                                pack = devices[du].pack_time(mode, divisor);
-                                depart += pack;
-                            }
-                            let delivery = net.send(
-                                &mut net_state,
-                                SendDesc {
-                                    from: d,
-                                    to: other,
-                                    bytes,
-                                    depart,
-                                },
-                            );
-                            comm_bytes += bytes;
-                            messages += 1;
-                            sent_bytes += bytes;
-                            sent_msgs += 1;
-                            sender_free = sender_free.max(delivery.sender_free);
-                            push_ev(
-                                &mut heap,
-                                &mut seq,
-                                delivery.arrival,
-                                EventKind::Arrive(
-                                    other,
-                                    Payload::Reduce {
-                                        holder: d,
-                                        owner: other,
-                                        data,
-                                    },
-                                    bytes,
-                                ),
-                            );
-                        }
+                    let mut depart = t + a.dt;
+                    let mut sender_free = depart;
+                    depart += a.pack;
+                    let mut sent_bytes = 0u64;
+                    let mut sent_msgs = 0u64;
+                    for (other, payload, bytes) in a.msgs {
+                        let delivery = net.send(
+                            &mut net_state,
+                            SendDesc {
+                                from: bd,
+                                to: other,
+                                bytes,
+                                depart,
+                            },
+                        );
+                        comm_bytes += bytes;
+                        messages += 1;
+                        sent_bytes += bytes;
+                        sent_msgs += 1;
+                        sender_free = sender_free.max(delivery.sender_free);
+                        push_ev(
+                            &mut heap,
+                            &mut seq,
+                            delivery.arrival,
+                            EventKind::Arrive(other, payload, bytes),
+                        );
                     }
-                    // Broadcast: this device's updated masters to mirrors.
-                    let entries = plan.bcast(other, d);
-                    if !entries.is_empty() {
-                        let link = part.link(other, d);
-                        let (data, bytes) = devices[du]
-                            .build_broadcast(program, link, entries, mode, divisor, true);
-                        {
-                            if !sent_any {
-                                sent_any = true;
-                                pack = devices[du].pack_time(mode, divisor);
-                                depart += pack;
-                            }
-                            let delivery = net.send(
-                                &mut net_state,
-                                SendDesc {
-                                    from: d,
-                                    to: other,
-                                    bytes,
-                                    depart,
-                                },
-                            );
-                            comm_bytes += bytes;
-                            messages += 1;
-                            sent_bytes += bytes;
-                            sent_msgs += 1;
-                            sender_free = sender_free.max(delivery.sender_free);
-                            push_ev(
-                                &mut heap,
-                                &mut seq,
-                                delivery.arrival,
-                                EventKind::Arrive(
-                                    other,
-                                    Payload::Bcast {
-                                        owner: d,
-                                        holder: other,
-                                        data,
-                                    },
-                                    bytes,
-                                ),
-                            );
-                        }
+                    busy[du] = depart.max(sender_free);
+
+                    if tracing {
+                        sink.record(RoundRecord {
+                            engine: EngineKind::Basp,
+                            round: devices[du].rounds - 1,
+                            device: bd,
+                            direction: if pull {
+                                TraceDirection::Pull
+                            } else {
+                                TraceDirection::Push
+                            },
+                            frontier: a.frontier,
+                            compute: a.dt,
+                            pack: a.pack,
+                            wait: tr_wait[du],
+                            bytes_sent: sent_bytes,
+                            bytes_received: tr_recv[du].0,
+                            messages_sent: sent_msgs,
+                            messages_received: tr_recv[du].1,
+                            absorb_changed: a.absorb_changed,
+                            clock_end: busy[du],
+                        });
+                        tr_wait[du] = SimTime::ZERO;
+                        tr_recv[du] = (0, 0);
                     }
-                }
-                devices[du].after_broadcast_round(program);
-                devices[du].clear_sync_marks();
-                busy[du] = depart.max(sender_free);
 
-                if tracing {
-                    sink.record(RoundRecord {
-                        engine: EngineKind::Basp,
-                        round: devices[du].rounds - 1,
-                        device: d,
-                        direction: if pull {
-                            TraceDirection::Pull
-                        } else {
-                            TraceDirection::Push
-                        },
-                        frontier,
-                        compute: dt,
-                        pack,
-                        wait: tr_wait[du],
-                        bytes_sent: sent_bytes,
-                        bytes_received: tr_recv[du].0,
-                        messages_sent: sent_msgs,
-                        messages_received: tr_recv[du].1,
-                        absorb_changed: pre_changed + changed,
-                        clock_end: busy[du],
-                    });
-                    tr_wait[du] = SimTime::ZERO;
-                    tr_recv[du] = (0, 0);
-                }
-
-                // 6. Keep rounding while local work remains; otherwise idle.
-                let more = if pull {
-                    !converged[du]
-                } else {
-                    devices[du].has_work()
-                };
-                if more && devices[du].rounds < program.max_rounds() {
-                    // Throttled BASP: insert a gap so arrivals batch into
-                    // the next round instead of each triggering redundant
-                    // recomputation (the paper's §VII recommendation).
-                    let next = busy[du] + SimTime::from_secs_f64(config.basp_round_gap_secs);
-                    round_pending[du] = true;
-                    push_ev(&mut heap, &mut seq, next, EventKind::Round(d));
-                } else {
-                    idle_since[du] = Some(busy[du]);
+                    // 6. Keep rounding while local work remains; otherwise idle.
+                    let more = if pull {
+                        !converged[du]
+                    } else {
+                        devices[du].has_work()
+                    };
+                    if more && devices[du].rounds < program.max_rounds() {
+                        // Throttled BASP: insert a gap so arrivals batch into
+                        // the next round instead of each triggering redundant
+                        // recomputation (the paper's §VII recommendation).
+                        let next = busy[du] + SimTime::from_secs_f64(config.basp_round_gap_secs);
+                        round_pending[du] = true;
+                        push_ev(&mut heap, &mut seq, next, EventKind::Round(bd));
+                    } else {
+                        idle_since[du] = Some(busy[du]);
+                    }
                 }
             }
         }

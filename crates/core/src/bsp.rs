@@ -6,6 +6,12 @@
 //! no explicit global barrier — stragglers propagate through message
 //! arrival times, exactly as in MPI-based Gluon — but round *content* is
 //! globally aligned, which is what makes BSP deterministic.
+//!
+//! Host parallelism: the compute, payload-build, apply and absorb phases
+//! all fan out per device across the worker pool. Everything order- or
+//! clock-sensitive — pack charging, `SendDesc` stamping, the network
+//! exchange, trace emission — stays sequential in device-major order, so
+//! the result is bit-identical at any thread count.
 
 use rayon::prelude::*;
 
@@ -15,10 +21,18 @@ use dirgl_partition::Partition;
 
 use crate::config::RunConfig;
 use crate::device::DeviceRun;
-use crate::trace::{EngineKind, NoopSink, RoundRecord, TraceDirection, TraceSink};
+use crate::trace::{EngineKind, RoundRecord, TraceDirection, TraceSink};
 
-/// A built sync payload awaiting application: (sender, receiver, values).
+/// A built sync payload awaiting application: (builder, partner, values).
 type Payloads<W> = Vec<(u32, u32, Vec<(u32, W)>)>;
+/// Per-builder output of a parallel payload-build stage: the pack time to
+/// charge (zero when the builder has no partners this round) and one
+/// `(partner, payload, bytes)` entry per partner, in ascending partner
+/// order.
+type Built<W> = Vec<(SimTime, Vec<(u32, Vec<(u32, W)>, u64)>)>;
+/// One receiving device's payloads, grouped in ascending-builder order:
+/// `(builder, values)` pairs.
+type Grouped<W> = Vec<(u32, Vec<(u32, W)>)>;
 use crate::program::{Style, VertexProgram};
 
 /// Raw outcome of a BSP/BASP run, consumed by the runtime's report
@@ -32,8 +46,14 @@ pub struct EngineOutcome {
     pub comm_bytes: u64,
     /// Messages sent.
     pub messages: u64,
-    /// Headline round count: global rounds under BSP, minimum local
-    /// rounds under BASP (matching the paper's "rounds" metric).
+    /// Headline round count. Under BSP this is the number of global
+    /// rounds. Under BASP there are no global rounds, so this equals
+    /// [`EngineOutcome::min_rounds`], the minimum per-device local round
+    /// count — the conservative "every device got at least this far"
+    /// statistic. (BASP's work inflation from stale reads shows up in
+    /// [`EngineOutcome::max_rounds`], not here.) This field is the single
+    /// source of truth for that convention; `ExecutionReport::rounds`
+    /// copies it verbatim.
     pub rounds: u32,
     /// Minimum per-device local round count. Under BSP a device with no
     /// active work skips its compute kernel, so this can be *below* the
@@ -55,22 +75,25 @@ pub(crate) fn termination_check_cost(net: &NetModel) -> SimTime {
     SimTime::from_secs_f64(c.msg_overhead + c.net_latency * hops)
 }
 
-/// Runs `program` to convergence under BSP (untraced).
-pub fn run_bsp<P: VertexProgram>(
+/// Deprecated alias of [`run_bsp`] from when the sink-taking variant was a
+/// separate entry point.
+#[deprecated(since = "0.2.0", note = "use `run_bsp`, which now takes the sink")]
+pub fn run_bsp_traced<P: VertexProgram>(
     program: &P,
     devices: &mut [DeviceRun<P>],
     part: &Partition,
     plan: &SyncPlan,
     net: &NetModel,
     config: &RunConfig,
+    sink: &mut dyn TraceSink,
 ) -> EngineOutcome {
-    run_bsp_traced(program, devices, part, plan, net, config, &mut NoopSink)
+    run_bsp(program, devices, part, plan, net, config, sink)
 }
 
 /// Runs `program` to convergence under BSP, emitting one
 /// [`RoundRecord`] per (round, device) into `sink`. With a disabled sink
-/// (the default [`NoopSink`]) no records are assembled.
-pub fn run_bsp_traced<P: VertexProgram>(
+/// (e.g. [`crate::trace::NoopSink`]) no records are assembled.
+pub fn run_bsp<P: VertexProgram>(
     program: &P,
     devices: &mut [DeviceRun<P>],
     part: &Partition,
@@ -142,44 +165,44 @@ pub fn run_bsp_traced<P: VertexProgram>(
             *c += *t;
         }
 
-        // --- Reduce exchange: mirrors -> masters.
-        let mut sends: Vec<SendDesc> = Vec::new();
-        let mut payloads: Payloads<P::Wire> = Vec::new();
-        let mut packed = vec![false; p];
-        for holder in 0..p as u32 {
-            for owner in 0..p as u32 {
-                if holder == owner {
-                    continue;
-                }
-                let entries = plan.reduce(holder, owner);
-                if entries.is_empty() {
-                    continue;
-                }
-                let link = part.link(holder, owner);
-                // Even an empty payload is sent: under BSP every host
-                // waits to hear from each of its partners every round, so
-                // UO messages carry at least the presence bitset. This
-                // per-partner cost is what makes CVC's restricted partner
-                // sets matter (SIII-D1).
-                let (payload, bytes) =
-                    devices[holder as usize].build_reduce(program, link, entries, mode, divisor);
-                if !packed[holder as usize] {
-                    packed[holder as usize] = true;
-                    let pack = devices[holder as usize].pack_time(mode, divisor);
-                    clocks[holder as usize] += pack;
-                    if tracing {
-                        tr_pack[holder as usize] += pack;
+        // --- Reduce exchange: mirrors -> masters. Every holder builds all
+        // of its partner payloads on its own device state, so the build
+        // fans out per holder; pack charging and send stamping follow
+        // sequentially in holder-major order (identical clocks and
+        // `SendDesc` order to a sequential build).
+        let built: Built<P::Wire> = devices
+            .par_iter_mut()
+            .enumerate()
+            .map(|(h, dev)| {
+                let holder = h as u32;
+                let mut out = Vec::new();
+                for owner in 0..p as u32 {
+                    if holder == owner {
+                        continue;
                     }
+                    let entries = plan.reduce(holder, owner);
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    let link = part.link(holder, owner);
+                    // Even an empty payload is sent: under BSP every host
+                    // waits to hear from each of its partners every round,
+                    // so UO messages carry at least the presence bitset.
+                    // This per-partner cost is what makes CVC's restricted
+                    // partner sets matter (SIII-D1).
+                    let (payload, bytes) = dev.build_reduce(program, link, entries, mode, divisor);
+                    out.push((owner, payload, bytes));
                 }
-                sends.push(SendDesc {
-                    from: holder,
-                    to: owner,
-                    bytes,
-                    depart: clocks[holder as usize],
-                });
-                payloads.push((holder, owner, payload));
-            }
-        }
+                let pack = if out.is_empty() {
+                    SimTime::ZERO
+                } else {
+                    dev.pack_time(mode, divisor)
+                };
+                (pack, out)
+            })
+            .collect();
+        let (sends, payloads) =
+            stamp_sends::<P>(&mut clocks, built, tracing.then_some(&mut tr_pack));
         exchange_and_apply(
             net,
             &mut net_state,
@@ -193,10 +216,10 @@ pub fn run_bsp_traced<P: VertexProgram>(
         if tracing {
             tally_sends(&sends, &mut tr_sent, &mut tr_recv);
         }
-        for (holder, owner, payload) in payloads {
-            let link = part.link(holder, owner);
-            devices[owner as usize].apply_reduce(program, link, &payload);
-        }
+        apply_grouped(devices, payloads, |dev, builder, payload| {
+            let link = part.link(builder, dev.dev);
+            dev.apply_reduce(program, link, payload);
+        });
 
         // --- Absorb: masters fold accumulators once per round.
         let absorbed: Vec<u32> = devices
@@ -205,39 +228,37 @@ pub fn run_bsp_traced<P: VertexProgram>(
             .collect();
         let changed: u32 = absorbed.iter().sum();
 
-        // --- Broadcast exchange: masters -> mirrors.
-        let mut sends: Vec<SendDesc> = Vec::new();
-        let mut payloads: Payloads<P::Wire> = Vec::new();
-        let mut packed = vec![false; p];
-        for owner in 0..p as u32 {
-            for holder in 0..p as u32 {
-                if holder == owner {
-                    continue;
-                }
-                let entries = plan.bcast(holder, owner);
-                if entries.is_empty() {
-                    continue;
-                }
-                let link = part.link(holder, owner);
-                let (payload, bytes) = devices[owner as usize]
-                    .build_broadcast(program, link, entries, mode, divisor, false);
-                if !packed[owner as usize] {
-                    packed[owner as usize] = true;
-                    let pack = devices[owner as usize].pack_time(mode, divisor);
-                    clocks[owner as usize] += pack;
-                    if tracing {
-                        tr_pack[owner as usize] += pack;
+        // --- Broadcast exchange: masters -> mirrors (same parallel
+        // build / sequential stamp split, owner-major).
+        let built: Built<P::Wire> = devices
+            .par_iter_mut()
+            .enumerate()
+            .map(|(o, dev)| {
+                let owner = o as u32;
+                let mut out = Vec::new();
+                for holder in 0..p as u32 {
+                    if holder == owner {
+                        continue;
                     }
+                    let entries = plan.bcast(holder, owner);
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    let link = part.link(holder, owner);
+                    let (payload, bytes) =
+                        dev.build_broadcast(program, link, entries, mode, divisor, false);
+                    out.push((holder, payload, bytes));
                 }
-                sends.push(SendDesc {
-                    from: owner,
-                    to: holder,
-                    bytes,
-                    depart: clocks[owner as usize],
-                });
-                payloads.push((owner, holder, payload));
-            }
-        }
+                let pack = if out.is_empty() {
+                    SimTime::ZERO
+                } else {
+                    dev.pack_time(mode, divisor)
+                };
+                (pack, out)
+            })
+            .collect();
+        let (sends, payloads) =
+            stamp_sends::<P>(&mut clocks, built, tracing.then_some(&mut tr_pack));
         exchange_and_apply(
             net,
             &mut net_state,
@@ -251,10 +272,10 @@ pub fn run_bsp_traced<P: VertexProgram>(
         if tracing {
             tally_sends(&sends, &mut tr_sent, &mut tr_recv);
         }
-        for (owner, holder, payload) in payloads {
-            let link = part.link(holder, owner);
-            devices[holder as usize].apply_broadcast(program, link, &payload, false);
-        }
+        apply_grouped(devices, payloads, |dev, builder, payload| {
+            let link = part.link(dev.dev, builder);
+            dev.apply_broadcast(program, link, payload, false);
+        });
 
         // --- Round end: clear update tracking, pay the termination check.
         devices.iter_mut().for_each(|d| d.clear_sync_marks());
@@ -309,6 +330,64 @@ pub fn run_bsp_traced<P: VertexProgram>(
         min_rounds: devices.iter().map(|d| d.rounds).min().unwrap_or(0),
         max_rounds: devices.iter().map(|d| d.rounds).max().unwrap_or(0),
     }
+}
+
+/// Sequential half of a payload build: walks builders in device order,
+/// charges each non-idle builder's pack time, and stamps every send with
+/// the builder's post-pack clock — exactly what the former inline loop
+/// produced.
+fn stamp_sends<P: VertexProgram>(
+    clocks: &mut [SimTime],
+    built: Built<P::Wire>,
+    mut tr_pack: Option<&mut Vec<SimTime>>,
+) -> (Vec<SendDesc>, Payloads<P::Wire>) {
+    let mut sends: Vec<SendDesc> = Vec::new();
+    let mut payloads: Payloads<P::Wire> = Vec::new();
+    for (builder, (pack, list)) in built.into_iter().enumerate() {
+        if list.is_empty() {
+            continue;
+        }
+        clocks[builder] += pack;
+        if let Some(tp) = tr_pack.as_deref_mut() {
+            tp[builder] += pack;
+        }
+        for (partner, payload, bytes) in list {
+            sends.push(SendDesc {
+                from: builder as u32,
+                to: partner,
+                bytes,
+                depart: clocks[builder],
+            });
+            payloads.push((builder as u32, partner, payload));
+        }
+    }
+    (sends, payloads)
+}
+
+/// Applies payloads in parallel across receiving devices. Each receiver
+/// sees its payloads in the same (ascending-builder) order a sequential
+/// apply loop would deliver them, so accumulation order per device — and
+/// with it every float result — is unchanged.
+fn apply_grouped<P: VertexProgram>(
+    devices: &mut [DeviceRun<P>],
+    payloads: Payloads<P::Wire>,
+    apply: impl Fn(&mut DeviceRun<P>, u32, &[(u32, P::Wire)]) + Sync,
+) {
+    if payloads.is_empty() {
+        return;
+    }
+    let mut per_dev: Vec<Grouped<P::Wire>> = (0..devices.len()).map(|_| Vec::new()).collect();
+    for (builder, partner, payload) in payloads {
+        per_dev[partner as usize].push((builder, payload));
+    }
+    devices
+        .par_iter_mut()
+        .zip(per_dev.into_par_iter())
+        .for_each(|(dev, items)| {
+            for (builder, payload) in items {
+                apply(dev, builder, &payload);
+            }
+        });
 }
 
 /// Adds one exchange's sends to per-device (bytes, messages) tallies.

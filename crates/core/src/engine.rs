@@ -1,0 +1,41 @@
+//! One entry point over both execution models.
+//!
+//! [`run_engine`] dispatches a prepared device set to [`crate::bsp`] or
+//! [`crate::basp`] by [`ExecutionModel`], with the trace sink always in the
+//! signature (pass a [`crate::trace::NoopSink`] for untraced runs — a
+//! disabled sink skips all record assembly, so the untraced path costs
+//! nothing). This replaces the former four-way
+//! `run_bsp`/`run_bsp_traced`/`run_basp`/`run_basp_traced` split.
+
+use dirgl_comm::{NetModel, SyncPlan};
+use dirgl_partition::Partition;
+
+use crate::basp::run_basp;
+use crate::bsp::{run_bsp, EngineOutcome};
+use crate::config::RunConfig;
+use crate::device::DeviceRun;
+use crate::program::VertexProgram;
+use crate::trace::TraceSink;
+
+/// Which engine executes the run — a clearer-named alias of
+/// [`crate::config::ExecModel`] for dispatch call sites.
+pub use crate::config::ExecModel as ExecutionModel;
+
+/// Runs `program` on the prepared `devices` under the chosen execution
+/// model, emitting per-round records into `sink`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_engine<P: VertexProgram>(
+    model: ExecutionModel,
+    program: &P,
+    devices: &mut [DeviceRun<P>],
+    part: &Partition,
+    plan: &SyncPlan,
+    net: &NetModel,
+    config: &RunConfig,
+    sink: &mut dyn TraceSink,
+) -> EngineOutcome {
+    match model {
+        ExecutionModel::Sync => run_bsp(program, devices, part, plan, net, config, sink),
+        ExecutionModel::Async => run_basp(program, devices, part, plan, net, config, sink),
+    }
+}

@@ -7,7 +7,8 @@
 //!   data-driven or pull topology-driven, §III-E);
 //! * [`config::Variant`] — the four optimization variants of §IV-C
 //!   (TWC/ALB × AS/UO × Sync/Async);
-//! * [`bsp`] / [`basp`] — the two execution models of §III-B;
+//! * [`bsp`] / [`basp`] — the two execution models of §III-B, dispatched
+//!   through [`engine::run_engine`] by [`engine::ExecutionModel`];
 //! * [`trace`] — the per-round, per-device observability layer: both
 //!   engines emit [`trace::RoundRecord`]s through a [`trace::TraceSink`]
 //!   (no-op by default, collecting for tests, JSON-lines for benches);
@@ -21,15 +22,18 @@ pub mod basp;
 pub mod bsp;
 pub mod config;
 pub mod device;
+pub mod engine;
 pub mod program;
 pub mod report;
 pub mod runtime;
 pub mod trace;
 
+pub use bsp::EngineOutcome;
 pub use config::{ExecModel, RunConfig, Variant};
+pub use engine::{run_engine, ExecutionModel};
 pub use program::{InitCtx, Style, VertexProgram};
 pub use report::{ExecutionReport, RoundSummary};
-pub use runtime::{RunError, RunOutput, Runtime};
+pub use runtime::{PartitionArg, RunError, RunOutput, Runner, Runtime};
 pub use trace::{
     CollectingSink, EngineKind, JsonLinesSink, NoopSink, RoundRecord, TraceDirection, TraceSink,
 };

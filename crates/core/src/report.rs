@@ -81,8 +81,10 @@ pub struct ExecutionReport {
     pub comm_bytes: u64,
     /// Messages sent.
     pub messages: u64,
-    /// Global rounds (BSP) or the *minimum* local rounds across devices
-    /// (BASP — the statistic the paper quotes for bfs/uk14).
+    /// Headline round count, copied verbatim from
+    /// [`crate::bsp::EngineOutcome::rounds`] (the single place that
+    /// convention is defined): global rounds under BSP, minimum local
+    /// rounds under BASP.
     pub rounds: u32,
     /// Minimum local rounds across devices. Under BSP a device whose
     /// partition never activates skips its kernel, so this can be below

@@ -1,14 +1,29 @@
 //! The runtime: partition → load (with OOM check) → execute → report.
+//!
+//! All execution goes through one builder-style entry point,
+//! [`Runtime::runner`]:
+//!
+//! ```text
+//! rt.runner(&graph, &program)      // partition built from the config
+//!     .partition(&part)            // ...or reuse an existing partition
+//!     .aux(&aux)                   // optional per-vertex init data
+//!     .trace(&mut sink)            // optional per-round trace emission
+//!     .execute()                   // -> RunOutput
+//! ```
+//!
+//! ([`Runner::execute_with_states`] additionally gathers the final master
+//! *states* per global vertex, for multi-phase drivers like betweenness
+//! centrality.) The former six `run*` entry points remain as deprecated
+//! shims over this builder.
 
 use dirgl_comm::{NetModel, SimTime, SyncPlan};
 use dirgl_gpusim::{OomError, Platform};
 use dirgl_graph::csr::Csr;
 use dirgl_partition::Partition;
 
-use crate::basp::run_basp_traced;
-use crate::bsp::{run_bsp_traced, EngineOutcome};
-use crate::config::{ExecModel, RunConfig};
+use crate::config::RunConfig;
 use crate::device::DeviceRun;
+use crate::engine::run_engine;
 use crate::program::{InitCtx, VertexProgram};
 use crate::report::{ExecutionReport, RoundSummary};
 use crate::trace::{ForkSink, NoopSink, TraceSink};
@@ -53,117 +68,145 @@ pub struct Runtime {
     pub config: RunConfig,
 }
 
-impl Runtime {
-    /// Creates a runtime.
-    pub fn new(platform: Platform, config: RunConfig) -> Runtime {
-        Runtime { platform, config }
+/// How a [`Runner`] receives its partition: borrowed (harnesses reusing a
+/// cached partition across variants pay one per-run copy of the local
+/// graphs, never of the exchange links) or owned (local graphs are moved
+/// straight into the devices).
+pub enum PartitionArg<'a> {
+    /// Reuse a caller-held partition.
+    Borrowed(&'a Partition),
+    /// Consume a partition built for this run.
+    Owned(Partition),
+}
+
+impl<'a> From<&'a Partition> for PartitionArg<'a> {
+    fn from(p: &'a Partition) -> PartitionArg<'a> {
+        PartitionArg::Borrowed(p)
+    }
+}
+
+impl From<Partition> for PartitionArg<'_> {
+    fn from(p: Partition) -> PartitionArg<'static> {
+        PartitionArg::Owned(p)
+    }
+}
+
+/// One configured execution, built by [`Runtime::runner`].
+///
+/// Defaults: partition freshly built per the runtime's policy (after
+/// symmetrizing the input when the program needs the undirected view), no
+/// auxiliary init data, no tracing.
+pub struct Runner<'a, P: VertexProgram> {
+    rt: &'a Runtime,
+    graph: &'a Csr,
+    program: &'a P,
+    part: Option<PartitionArg<'a>>,
+    aux: Option<&'a [u64]>,
+    sink: Option<&'a mut dyn TraceSink>,
+}
+
+impl<'a, P: VertexProgram> Runner<'a, P> {
+    /// Runs on an existing partition instead of building one. The graph is
+    /// used as given (no symmetrization): a caller-supplied partition is
+    /// taken to already match the intended graph view, as the former
+    /// `run_partitioned` contract did.
+    pub fn partition(mut self, part: impl Into<PartitionArg<'a>>) -> Self {
+        self.part = Some(part.into());
+        self
     }
 
-    /// Runs `program` on `graph` to convergence.
-    ///
-    /// Symmetrizes the input first when the benchmark requires the
-    /// undirected view (cc, kcore). Reported time excludes partitioning and
+    /// Supplies per-vertex auxiliary data to the program's initialization
+    /// (e.g. betweenness centrality's forward-pass counts).
+    pub fn aux(mut self, aux: &'a [u64]) -> Self {
+        self.aux = Some(aux);
+        self
+    }
+
+    /// Emits one [`crate::trace::RoundRecord`] per (round, device) into
+    /// `sink`; an enabled sink also populates
+    /// [`ExecutionReport::rounds_detail`].
+    pub fn trace(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Executes to convergence. Reported time excludes partitioning and
     /// loading, matching §IV-A.
-    pub fn run<P: VertexProgram>(&self, graph: &Csr, program: &P) -> Result<RunOutput, RunError> {
-        self.run_traced(graph, program, &mut NoopSink)
+    pub fn execute(self) -> Result<RunOutput, RunError> {
+        self.execute_with_states().map(|(out, _)| out)
     }
 
-    /// [`Runtime::run`] with per-round trace emission into `sink`. An
-    /// enabled sink also populates [`ExecutionReport::rounds_detail`].
-    pub fn run_traced<P: VertexProgram>(
-        &self,
-        graph: &Csr,
-        program: &P,
-        sink: &mut dyn TraceSink,
-    ) -> Result<RunOutput, RunError> {
+    /// [`Runner::execute`], additionally gathering the final master state
+    /// of every global vertex — the building block of multi-phase drivers
+    /// (betweenness centrality).
+    pub fn execute_with_states(self) -> Result<(RunOutput, Vec<P::State>), RunError> {
+        let Runner {
+            rt,
+            graph,
+            program,
+            part,
+            aux,
+            sink,
+        } = self;
+        let config = &rt.config;
+        let divisor = config.scale_divisor;
+
+        // --- Resolve the graph view and partition.
         let sym;
-        let g = if program.needs_symmetric() {
-            sym = graph.symmetrize();
-            &sym
-        } else {
-            graph
-        };
-        let part = Partition::build(
-            g,
-            self.config.policy,
-            self.platform.num_devices(),
-            self.config.seed,
-        );
-        self.run_partitioned_traced(g, part, program, sink)
-    }
+        let (g, mut owned_part, borrowed_part): (&Csr, Option<Partition>, Option<&Partition>) =
+            match part {
+                None => {
+                    let g = if program.needs_symmetric() {
+                        sym = graph.symmetrize();
+                        &sym
+                    } else {
+                        graph
+                    };
+                    let p =
+                        Partition::build(g, config.policy, rt.platform.num_devices(), config.seed);
+                    (g, Some(p), None)
+                }
+                Some(PartitionArg::Owned(p)) => (graph, Some(p), None),
+                Some(PartitionArg::Borrowed(p)) => (graph, None, Some(p)),
+            };
 
-    /// Runs on an existing partition (harnesses reuse partitions across
-    /// variants, as the paper does when comparing optimizations).
-    pub fn run_partitioned<P: VertexProgram>(
-        &self,
-        g: &Csr,
-        part: Partition,
-        program: &P,
-    ) -> Result<RunOutput, RunError> {
-        self.run_partitioned_aux(g, part, program, None)
-            .map(|(out, _)| out)
-    }
-
-    /// [`Runtime::run_partitioned`] with per-round trace emission.
-    pub fn run_partitioned_traced<P: VertexProgram>(
-        &self,
-        g: &Csr,
-        part: Partition,
-        program: &P,
-        sink: &mut dyn TraceSink,
-    ) -> Result<RunOutput, RunError> {
-        self.run_partitioned_aux_traced(g, part, program, None, sink)
-            .map(|(out, _)| out)
-    }
-
-    /// [`Runtime::run_partitioned`] with optional per-vertex auxiliary data
-    /// for the program's initialization and the final master *states*
-    /// gathered per global vertex — the building blocks of multi-phase
-    /// drivers (betweenness centrality).
-    pub fn run_partitioned_aux<P: VertexProgram>(
-        &self,
-        g: &Csr,
-        part: Partition,
-        program: &P,
-        aux: Option<&[u64]>,
-    ) -> Result<(RunOutput, Vec<P::State>), RunError> {
-        self.run_partitioned_aux_traced(g, part, program, aux, &mut NoopSink)
-    }
-
-    /// [`Runtime::run_partitioned_aux`] with per-round trace emission: the
-    /// engine delivers one [`crate::trace::RoundRecord`] per (round,
-    /// device) to `sink`, and when the sink is enabled the report's
-    /// [`ExecutionReport::rounds_detail`] is populated from the same
-    /// records.
-    pub fn run_partitioned_aux_traced<P: VertexProgram>(
-        &self,
-        g: &Csr,
-        mut part: Partition,
-        program: &P,
-        aux: Option<&[u64]>,
-        sink: &mut dyn TraceSink,
-    ) -> Result<(RunOutput, Vec<P::State>), RunError> {
-        let divisor = self.config.scale_divisor;
-        let plan = SyncPlan::build(&part, true, true);
-
-        // --- Load: charge every device's working set, failing on OOM.
-        let state_bytes = std::mem::size_of::<P::State>() as u64;
-        let mut memory = Vec::with_capacity(part.locals.len());
-        for lg in &part.locals {
-            let need = DeviceRun::<P>::required_bytes(lg, &plan, program, state_bytes, divisor);
-            let capacity = self.platform.gpus[lg.device as usize].memory_bytes;
-            if need > capacity {
-                return Err(RunError::Oom {
-                    device: lg.device,
-                    err: OomError {
-                        requested: need,
-                        in_use: 0,
-                        capacity,
-                    },
-                });
+        // --- Plan + load check (needs the partition's local graphs intact).
+        let plan;
+        let memory;
+        {
+            let pr: &Partition = borrowed_part
+                .or(owned_part.as_ref())
+                .expect("partition set");
+            plan = SyncPlan::build(pr, true, true);
+            let state_bytes = std::mem::size_of::<P::State>() as u64;
+            let mut mem = Vec::with_capacity(pr.locals.len());
+            for lg in &pr.locals {
+                let need = DeviceRun::<P>::required_bytes(lg, &plan, program, state_bytes, divisor);
+                let capacity = rt.platform.gpus[lg.device as usize].memory_bytes;
+                if need > capacity {
+                    return Err(RunError::Oom {
+                        device: lg.device,
+                        err: OomError {
+                            requested: need,
+                            in_use: 0,
+                            capacity,
+                        },
+                    });
+                }
+                mem.push(need);
             }
-            memory.push(need);
+            memory = mem;
         }
+        // An owned partition donates its local graphs to the devices; a
+        // borrowed one is copied (links — the quadratically-sized half —
+        // are only ever borrowed).
+        let locals = match owned_part.as_mut() {
+            Some(p) => std::mem::take(&mut p.locals),
+            None => borrowed_part.expect("borrowed partition").locals.clone(),
+        };
+        let part: &Partition = borrowed_part
+            .or(owned_part.as_ref())
+            .expect("partition set");
 
         // --- Initialize device state.
         let out_degrees: Vec<u32> = (0..g.num_vertices()).map(|v| g.out_degree(v)).collect();
@@ -172,11 +215,10 @@ impl Runtime {
             out_degrees: &out_degrees,
             aux,
         };
-        let locals = std::mem::take(&mut part.locals);
         let mut devices: Vec<DeviceRun<P>> = locals
             .into_iter()
             .map(|lg| {
-                let spec = self.platform.gpus[lg.device as usize];
+                let spec = rt.platform.gpus[lg.device as usize];
                 let mut d = DeviceRun::new(lg, spec, program, &ctx);
                 d.peak_memory = memory[d.dev as usize];
                 d
@@ -184,50 +226,54 @@ impl Runtime {
             .collect();
 
         // --- Execute.
-        let mut net = NetModel::new(self.platform.clone());
-        net.direct_device = self.config.gpudirect;
+        let mut net = NetModel::new(rt.platform.clone());
+        net.direct_device = config.gpudirect;
         // Programs that cannot run asynchronously fall back to BSP, as
         // D-IrGL does for benchmarks that "can[not] be run asynchronously"
         // (SIII-B).
         let model = if program.supports_async() {
-            self.config.variant.model
+            config.variant.model
         } else {
-            ExecModel::Sync
+            crate::config::ExecModel::Sync
         };
         // Enabled sinks are forked so the same records both reach the
         // caller and feed the report's round summaries; the disabled
         // (no-op) path keeps zero per-round assembly cost.
-        let mut exec = |engine_sink: &mut dyn TraceSink| -> EngineOutcome {
-            match model {
-                ExecModel::Sync => run_bsp_traced(
-                    program,
-                    &mut devices,
-                    &part,
-                    &plan,
-                    &net,
-                    &self.config,
-                    engine_sink,
-                ),
-                ExecModel::Async => run_basp_traced(
-                    program,
-                    &mut devices,
-                    &part,
-                    &plan,
-                    &net,
-                    &self.config,
-                    engine_sink,
-                ),
-            }
+        let mut noop = NoopSink;
+        let sink: &mut dyn TraceSink = match sink {
+            Some(s) => s,
+            None => &mut noop,
         };
         let (outcome, rounds_detail) = if sink.enabled() {
             let mut fork = ForkSink {
                 outer: sink,
                 collected: Default::default(),
             };
-            let o = exec(&mut fork);
+            let o = run_engine(
+                model,
+                program,
+                &mut devices,
+                part,
+                &plan,
+                &net,
+                config,
+                &mut fork,
+            );
             (o, RoundSummary::from_records(&fork.collected.records))
         } else {
-            (exec(sink), Vec::new())
+            (
+                run_engine(
+                    model,
+                    program,
+                    &mut devices,
+                    part,
+                    &plan,
+                    &net,
+                    config,
+                    sink,
+                ),
+                Vec::new(),
+            )
         };
 
         // --- Gather outputs and states from masters.
@@ -266,6 +312,117 @@ impl Runtime {
             rounds_detail,
         };
         Ok((RunOutput { report, values }, states))
+    }
+}
+
+impl Runtime {
+    /// Creates a runtime.
+    pub fn new(platform: Platform, config: RunConfig) -> Runtime {
+        Runtime { platform, config }
+    }
+
+    /// Starts building a run of `program` on `graph`; see [`Runner`].
+    pub fn runner<'a, P: VertexProgram>(&'a self, graph: &'a Csr, program: &'a P) -> Runner<'a, P> {
+        Runner {
+            rt: self,
+            graph,
+            program,
+            part: None,
+            aux: None,
+            sink: None,
+        }
+    }
+
+    /// Runs `program` on `graph` to convergence.
+    #[deprecated(since = "0.2.0", note = "use `rt.runner(graph, program).execute()`")]
+    pub fn run<P: VertexProgram>(&self, graph: &Csr, program: &P) -> Result<RunOutput, RunError> {
+        self.runner(graph, program).execute()
+    }
+
+    /// [`Runtime::run`] with per-round trace emission into `sink`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rt.runner(graph, program).trace(sink).execute()`"
+    )]
+    pub fn run_traced<P: VertexProgram>(
+        &self,
+        graph: &Csr,
+        program: &P,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunOutput, RunError> {
+        self.runner(graph, program).trace(sink).execute()
+    }
+
+    /// Runs on an existing partition.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rt.runner(graph, program).partition(part).execute()`"
+    )]
+    pub fn run_partitioned<P: VertexProgram>(
+        &self,
+        g: &Csr,
+        part: Partition,
+        program: &P,
+    ) -> Result<RunOutput, RunError> {
+        self.runner(g, program).partition(part).execute()
+    }
+
+    /// [`Runtime::run_partitioned`] with per-round trace emission.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rt.runner(graph, program).partition(part).trace(sink).execute()`"
+    )]
+    pub fn run_partitioned_traced<P: VertexProgram>(
+        &self,
+        g: &Csr,
+        part: Partition,
+        program: &P,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunOutput, RunError> {
+        self.runner(g, program)
+            .partition(part)
+            .trace(sink)
+            .execute()
+    }
+
+    /// [`Runtime::run_partitioned`] with optional auxiliary init data and
+    /// gathered final states.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rt.runner(graph, program).partition(part).aux(a).execute_with_states()`"
+    )]
+    pub fn run_partitioned_aux<P: VertexProgram>(
+        &self,
+        g: &Csr,
+        part: Partition,
+        program: &P,
+        aux: Option<&[u64]>,
+    ) -> Result<(RunOutput, Vec<P::State>), RunError> {
+        let mut r = self.runner(g, program).partition(part);
+        if let Some(a) = aux {
+            r = r.aux(a);
+        }
+        r.execute_with_states()
+    }
+
+    /// [`Runtime::run_partitioned_aux`] with per-round trace emission.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rt.runner(graph, program).partition(part).aux(a).trace(sink).execute_with_states()`"
+    )]
+    pub fn run_partitioned_aux_traced<P: VertexProgram>(
+        &self,
+        g: &Csr,
+        part: Partition,
+        program: &P,
+        aux: Option<&[u64]>,
+        sink: &mut dyn TraceSink,
+    ) -> Result<(RunOutput, Vec<P::State>), RunError> {
+        let mut r = self.runner(g, program).partition(part).trace(sink);
+        if let Some(a) = aux {
+            r = r.aux(a);
+        }
+        r.execute_with_states()
     }
 
     /// True when the benchmark is expected to traverse from a source (bfs,

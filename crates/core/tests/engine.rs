@@ -90,7 +90,8 @@ fn path(n: u32) -> Csr {
 
 fn run(g: &Csr, cfg: RunConfig, devices: u32) -> dirgl_core::RunOutput {
     Runtime::new(Platform::bridges(devices), cfg)
-        .run(g, &MinProp { source: 0 })
+        .runner(g, &MinProp { source: 0 })
+        .execute()
         .unwrap()
 }
 
@@ -227,7 +228,9 @@ fn empty_graph_terminates_immediately() {
 fn run_traced(g: &Csr, cfg: RunConfig, devices: u32) -> (dirgl_core::RunOutput, CollectingSink) {
     let mut sink = CollectingSink::new();
     let out = Runtime::new(Platform::bridges(devices), cfg)
-        .run_traced(g, &MinProp { source: 0 }, &mut sink)
+        .runner(g, &MinProp { source: 0 })
+        .trace(&mut sink)
+        .execute()
         .unwrap();
     (out, sink)
 }

@@ -91,7 +91,7 @@ impl LuxRuntime {
         program: &P,
     ) -> Result<RunOutput, RunError> {
         let rt = Runtime::new(self.platform.clone(), self.config());
-        let mut out = rt.run(graph, program)?;
+        let mut out = rt.runner(graph, program).execute()?;
         // Static allocation: Lux reserves the framebuffer fraction up
         // front. A working set that does not fit the reservation is a
         // launch failure ("even with the maximum possible GPU memory ...
@@ -171,7 +171,7 @@ mod tests {
             Platform::bridges(8),
             RunConfig::new(Policy::Iec, Variant::var1()),
         );
-        let dirgl_out = dirgl.run(&g, &Cc).unwrap();
+        let dirgl_out = dirgl.runner(&g, &Cc).execute().unwrap();
         assert!(
             lux_out.report.total_time > dirgl_out.report.total_time,
             "lux={} dirgl={}",

@@ -136,7 +136,7 @@ mod tests {
                 },
             ),
         );
-        let out = rt.run(&g, &LuxPageRank::new(25)).unwrap();
+        let out = rt.runner(&g, &LuxPageRank::new(25)).execute().unwrap();
         assert_eq!(out.report.rounds, 25);
     }
 
@@ -151,7 +151,7 @@ mod tests {
             Platform::bridges(2),
             RunConfig::new(Policy::Iec, Variant::var1()),
         );
-        let out = rt.run(&g, &LuxPageRank::new(30)).unwrap();
+        let out = rt.runner(&g, &LuxPageRank::new(30)).execute().unwrap();
         assert!(out.values[0] > 2.0 * out.values[1]);
     }
 }

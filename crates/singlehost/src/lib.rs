@@ -76,20 +76,25 @@ impl GunrockSim {
     /// Direction-optimizing BFS from the max-out-degree source.
     pub fn run_bfs(&self, g: &Csr) -> Result<RunOutput, RunError> {
         self.runtime()
-            .run(g, &DoBfs::from_max_out_degree(g))
+            .runner(g, &DoBfs::from_max_out_degree(g))
+            .execute()
             .map(Self::inflate_memory)
     }
 
     /// Label-propagation connected components (with Gunrock's
     /// app-specific optimizations folded into the shared engine).
     pub fn run_cc(&self, g: &Csr) -> Result<RunOutput, RunError> {
-        self.runtime().run(g, &Cc).map(Self::inflate_memory)
+        self.runtime()
+            .runner(g, &Cc)
+            .execute()
+            .map(Self::inflate_memory)
     }
 
     /// Delta-stepping-style sssp (modelled as the shared push program).
     pub fn run_sssp(&self, g: &Csr) -> Result<RunOutput, RunError> {
         self.runtime()
-            .run(g, &Sssp::from_max_out_degree(g))
+            .runner(g, &Sssp::from_max_out_degree(g))
+            .execute()
             .map(Self::inflate_memory)
     }
 }
@@ -129,23 +134,26 @@ impl GrouteSim {
     /// Asynchronous data-driven BFS.
     pub fn run_bfs(&self, g: &Csr) -> Result<RunOutput, RunError> {
         self.runtime()
-            .run(g, &dirgl_apps::Bfs::from_max_out_degree(g))
+            .runner(g, &dirgl_apps::Bfs::from_max_out_degree(g))
+            .execute()
     }
 
     /// Connected components (pointer jumping approximated by asynchronous
     /// label propagation — see crate docs).
     pub fn run_cc(&self, g: &Csr) -> Result<RunOutput, RunError> {
-        self.runtime().run(g, &Cc)
+        self.runtime().runner(g, &Cc).execute()
     }
 
     /// Asynchronous sssp.
     pub fn run_sssp(&self, g: &Csr) -> Result<RunOutput, RunError> {
-        self.runtime().run(g, &Sssp::from_max_out_degree(g))
+        self.runtime()
+            .runner(g, &Sssp::from_max_out_degree(g))
+            .execute()
     }
 
     /// Asynchronous residual pagerank.
     pub fn run_pagerank(&self, g: &Csr) -> Result<RunOutput, RunError> {
-        self.runtime().run(g, &PageRank::new())
+        self.runtime().runner(g, &PageRank::new()).execute()
     }
 }
 
@@ -220,7 +228,8 @@ mod tests {
                 },
             ),
         )
-        .run(&g, &dirgl_apps::Bfs::from_max_out_degree(&g))
+        .runner(&g, &dirgl_apps::Bfs::from_max_out_degree(&g))
+        .execute()
         .unwrap();
         assert!(
             hybrid.report.work_items < plain.report.work_items,

@@ -14,7 +14,7 @@ fn run(graph: &Csr, variant: Variant, label: &str) {
         RunConfig::new(Policy::Cvc, variant).scale(1024),
     );
     let app = Bfs::from_max_out_degree(graph);
-    let out = runtime.run(graph, &app).unwrap();
+    let out = runtime.runner(graph, &app).execute().unwrap();
     let r = &out.report;
     println!(
         "  {label:<14} time={:<9} wait={:<9} rounds(min..max)={}..{} work={:.2e}",

@@ -53,7 +53,8 @@ fn main() {
         check(&groute.values, &bfs_ref)
     );
     let dirgl = Runtime::new(platform.clone(), RunConfig::var4(Policy::Iec))
-        .run(&graph, &Bfs::new(src))
+        .runner(&graph, &Bfs::new(src))
+        .execute()
         .unwrap();
     println!(
         "  D-IrGL  (Var4/IEC):      {}  [{}]",
@@ -89,7 +90,8 @@ fn main() {
         check(&lux.values, &cc_ref)
     );
     let dirgl = Runtime::new(platform.clone(), RunConfig::var4(Policy::Cvc))
-        .run(&graph, &Cc)
+        .runner(&graph, &Cc)
+        .execute()
         .unwrap();
     println!(
         "  D-IrGL:  {} / {:.3} GB  [{}]",

@@ -27,7 +27,10 @@ fn main() {
 
     // 4. Run to convergence and inspect the report.
     let bfs = Bfs::from_max_out_degree(&graph);
-    let out = runtime.run(&graph, &bfs).expect("fits in device memory");
+    let out = runtime
+        .runner(&graph, &bfs)
+        .execute()
+        .expect("fits in device memory");
     let r = &out.report;
     println!("bfs from vertex {} finished:", bfs.source);
     println!("  simulated time : {}", r.total_time);

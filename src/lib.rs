@@ -30,7 +30,7 @@
 //! let graph = RmatConfig::new(10, 8).seed(42).generate();
 //! let platform = Platform::homogeneous(4, GpuSpec::p100(), ClusterSpec::bridges());
 //! let runtime = Runtime::new(platform, RunConfig::var4(Policy::Cvc));
-//! let out = runtime.run(&graph, &Bfs::from_max_out_degree(&graph)).unwrap();
+//! let out = runtime.runner(&graph, &Bfs::from_max_out_degree(&graph)).execute().unwrap();
 //! assert!(out.report.total_time.as_secs_f64() > 0.0);
 //! ```
 
@@ -49,7 +49,11 @@ pub mod prelude {
         betweenness_centrality, reference, Bfs, Cc, KCore, PageRank, PageRankPush, Sssp,
     };
     pub use dirgl_comm::{CommMode, SimTime};
-    pub use dirgl_core::{ExecModel, ExecutionReport, RunConfig, RunError, Runtime, Variant};
+    pub use dirgl_core::{
+        run_engine, CollectingSink, ExecModel, ExecutionModel, ExecutionReport, JsonLinesSink,
+        NoopSink, PartitionArg, RoundRecord, RunConfig, RunError, Runner, Runtime, TraceSink,
+        Variant,
+    };
     pub use dirgl_gpusim::{Balancer, ClusterSpec, GpuSpec, Platform};
     pub use dirgl_graph::{
         Csr, Dataset, DatasetId, GraphStats, RmatConfig, SocialConfig, WebCrawlConfig,

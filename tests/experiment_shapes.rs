@@ -214,7 +214,7 @@ fn static_tracks_memory_not_dynamic() {
     let mut max_static_dynamic_gap: f64 = 0.0;
     for policy in Policy::DIRGL {
         let part = cache.get(&ld, BenchId::Bfs, policy, 32);
-        let st = PartitionMetrics::compute(&part).static_balance;
+        let st = PartitionMetrics::compute(part).static_balance;
         let out = run_dirgl(
             BenchId::Bfs,
             &ld,

@@ -89,7 +89,7 @@ proptest! {
         let app = Bfs::from_max_out_degree(&g);
         let variant = if sync { Variant::var3() } else { Variant::var4() };
         let rt = Runtime::new(Platform::bridges(devices), RunConfig::new(policy, variant));
-        let out = rt.run(&g, &app).unwrap();
+        let out = rt.runner(&g, &app).execute().unwrap();
         let want = reference::bfs(&g, app.source);
         for (v, (got, w)) in out.values.iter().zip(&want).enumerate() {
             prop_assert!(*got == *w as f64, "vertex {v}: {got} vs {w}");
@@ -119,9 +119,9 @@ proptest! {
                 Platform::bridges(devices),
                 RunConfig::new(policy, variant),
             );
-            let bfs = rt.run(&g, &Bfs::from_max_out_degree(&g)).unwrap().values;
-            let cc = rt.run(&g, &Cc).unwrap().values;
-            let sssp = rt.run(&g, &Sssp::from_max_out_degree(&g)).unwrap().values;
+            let bfs = rt.runner(&g, &Bfs::from_max_out_degree(&g)).execute().unwrap().values;
+            let cc = rt.runner(&g, &Cc).execute().unwrap().values;
+            let sssp = rt.runner(&g, &Sssp::from_max_out_degree(&g)).execute().unwrap().values;
             [bfs, cc, sssp]
         };
         let bsp = run(Variant::var3());

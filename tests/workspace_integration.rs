@@ -16,7 +16,10 @@ fn facade_quickstart_flow() {
     let g = RmatConfig::new(10, 8).seed(42).generate();
     let platform = Platform::homogeneous(4, GpuSpec::p100(), ClusterSpec::bridges());
     let runtime = Runtime::new(platform, RunConfig::var4(Policy::Cvc));
-    let out = runtime.run(&g, &Bfs::from_max_out_degree(&g)).unwrap();
+    let out = runtime
+        .runner(&g, &Bfs::from_max_out_degree(&g))
+        .execute()
+        .unwrap();
     assert!(out.report.total_time.as_secs_f64() > 0.0);
     assert_eq!(out.values.len(), g.num_vertices() as usize);
 }
@@ -29,7 +32,7 @@ fn oom_surfaces_as_missing_point() {
         Platform::bridges(2),
         RunConfig::var4(Policy::Iec).scale(1 << 30),
     );
-    match rt.run(&g, &Cc) {
+    match rt.runner(&g, &Cc).execute() {
         Err(RunError::Oom { device, err }) => {
             assert!(device < 2);
             assert!(err.requested > err.capacity);
@@ -47,11 +50,13 @@ fn gpudirect_never_slower() {
     for policy in [Policy::Iec, Policy::Cvc] {
         let mut cfg = RunConfig::new(policy, Variant::var3()).scale(1024);
         let staged = Runtime::new(Platform::bridges(8), cfg.clone())
-            .run(&g, &Sssp::from_max_out_degree(&g))
+            .runner(&g, &Sssp::from_max_out_degree(&g))
+            .execute()
             .unwrap();
         cfg.gpudirect = true;
         let direct = Runtime::new(Platform::bridges(8), cfg)
-            .run(&g, &Sssp::from_max_out_degree(&g))
+            .runner(&g, &Sssp::from_max_out_degree(&g))
+            .execute()
             .unwrap();
         assert!(
             direct.report.total_time <= staged.report.total_time,
@@ -69,7 +74,8 @@ fn heterogeneous_tuxedo_platform_runs() {
     let g = graph();
     // 4x K80 + 2x GTX 1080: slower devices straggle, results unchanged.
     let out = Runtime::new(Platform::tuxedo(), RunConfig::var4(Policy::Oec))
-        .run(&g, &Bfs::from_max_out_degree(&g))
+        .runner(&g, &Bfs::from_max_out_degree(&g))
+        .execute()
         .unwrap();
     let want = reference::bfs(&g, g.max_out_degree_vertex());
     for (got, want) in out.values.iter().zip(&want) {
@@ -102,7 +108,7 @@ fn dataset_catalog_runs_end_to_end() {
         RunConfig::var4(Policy::Cvc).scale(ds.divisor),
     );
     let app = Sssp::from_max_out_degree(&ds.graph);
-    let out = rt.run(&ds.graph, &app).unwrap();
+    let out = rt.runner(&ds.graph, &app).execute().unwrap();
     let want = reference::sssp(&ds.graph, app.source);
     for (got, want) in out.values.iter().zip(&want) {
         assert_eq!(*got, *want as f64);
@@ -119,7 +125,8 @@ fn all_frameworks_agree_on_components() {
         .map(|&c| c as f64)
         .collect();
     let dirgl = Runtime::new(Platform::tuxedo(), RunConfig::var4(Policy::Hvc))
-        .run(&g, &Cc)
+        .runner(&g, &Cc)
+        .execute()
         .unwrap();
     let lux = LuxRuntime::new(Platform::tuxedo(), 1).run_cc(&g).unwrap();
     let gunrock = GunrockSim::new(Platform::tuxedo(), 1).run_cc(&g).unwrap();

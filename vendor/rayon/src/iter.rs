@@ -1,0 +1,261 @@
+//! The parallel-iterator surface, built on [`crate::pool`].
+//!
+//! A deliberately small subset of rayon's model: a [`ParallelIterator`] here
+//! is anything that can *drive* itself to a `Vec` of items in input order.
+//! Sources (vecs, slices) drive by collecting; [`Map`] is the one adapter
+//! that actually fans out, pushing its closure through the pool's
+//! order-preserving chunked map. Everything else (`zip`, `enumerate`,
+//! `collect`, `sum`, ...) composes sequentially around that — cheap
+//! bookkeeping next to the mapped work, and trivially deterministic.
+//!
+//! Order preservation is the load-bearing property: results are written into
+//! per-item slots, so any pipeline produces bit-identical output whatever
+//! the thread count.
+
+use crate::pool::par_map_vec;
+
+/// An iterator whose `map`/`for_each` stages run on the worker pool.
+///
+/// `drive` materializes the items in input order; adapters call it exactly
+/// once.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Produces every item, in order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` (in parallel when the stage is driven).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs items positionally with `other`'s.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: ParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Attaches each item's index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Runs `f` on every item (in parallel).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = par_map_vec(self.drive(), &f);
+    }
+
+    /// Collects into any `FromIterator` collection, preserving order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+
+    /// Sums the items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+
+    /// Largest item, if any.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.drive().into_iter().max()
+    }
+
+    /// Smallest item, if any.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.drive().into_iter().min()
+    }
+}
+
+/// Owned-items source (what `into_par_iter` yields).
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Shared-borrow source over a slice.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    fn drive(self) -> Vec<&'a T> {
+        self.slice.iter().collect()
+    }
+}
+
+/// Mutable-borrow source over a slice.
+pub struct SliceParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn drive(self) -> Vec<&'a mut T> {
+        self.slice.iter_mut().collect()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`]; blanket-implemented for every
+/// `IntoIterator` with sendable items, mirroring how pervasively rayon's
+/// version applies.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = VecParIter<I::Item>;
+    fn into_par_iter(self) -> VecParIter<I::Item> {
+        VecParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// The parallel map stage.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+    fn drive(self) -> Vec<R> {
+        par_map_vec(self.base.drive(), &self.f)
+    }
+}
+
+/// Positional pairing of two parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn drive(self) -> Vec<(A::Item, B::Item)> {
+        self.a.drive().into_iter().zip(self.b.drive()).collect()
+    }
+}
+
+/// Index attachment.
+pub struct Enumerate<B> {
+    base: B,
+}
+
+impl<B> ParallelIterator for Enumerate<B>
+where
+    B: ParallelIterator,
+{
+    type Item = (usize, B::Item);
+    fn drive(self) -> Vec<(usize, B::Item)> {
+        self.base.drive().into_iter().enumerate().collect()
+    }
+}
+
+/// `par_iter`/`par_iter_mut` on slices and vecs.
+pub trait ParallelSlice<T> {
+    /// Shared parallel iteration.
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+    /// Mutable parallel iteration.
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
+        SliceParIterMut { slice: self }
+    }
+}
+
+impl<T> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
+        SliceParIterMut {
+            slice: self.as_mut_slice(),
+        }
+    }
+}
+
+/// Pool-assisted sorts: chunks pre-sort in parallel, a stable merge pass
+/// finishes. Output is identical to the std sorts at any thread count.
+pub trait ParallelSort<T: Ord + Send> {
+    /// Parallel counterpart of `sort_unstable`.
+    fn par_sort_unstable(&mut self);
+    /// Parallel counterpart of `sort` (stable).
+    fn par_sort(&mut self);
+}
+
+impl<T: Ord + Send> ParallelSort<T> for [T] {
+    fn par_sort_unstable(&mut self) {
+        crate::pool::par_sort_impl(self, false);
+    }
+    fn par_sort(&mut self) {
+        crate::pool::par_sort_impl(self, true);
+    }
+}
+
+impl<T: Ord + Send> ParallelSort<T> for Vec<T> {
+    fn par_sort_unstable(&mut self) {
+        crate::pool::par_sort_impl(self.as_mut_slice(), false);
+    }
+    fn par_sort(&mut self) {
+        crate::pool::par_sort_impl(self.as_mut_slice(), true);
+    }
+}

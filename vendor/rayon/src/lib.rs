@@ -1,85 +1,29 @@
-//! Offline shim for `rayon`: the `par_*` entry points return ordinary
-//! sequential `std` iterators, so every adapter (`map`, `zip`, `enumerate`,
-//! `collect`, `sum`, ...) is the std one and results are bit-identical to a
-//! rayon build (the simulation is deterministic either way); only wall-clock
-//! parallelism is lost.
+//! Offline `rayon` replacement with a real thread pool.
+//!
+//! Earlier revisions of this shim were purely sequential; it now executes
+//! `par_iter` / `par_iter_mut` / `into_par_iter` stages on a persistent
+//! worker pool ([`pool`]) while keeping results bit-identical to sequential
+//! execution: mapped results are written into order-preserving slots, and
+//! every reduction (`collect`, `sum`, zip/enumerate pairing, sort merges)
+//! runs over that ordered materialization. Thread count comes from
+//! `RAYON_NUM_THREADS`, the machine's available parallelism, or an explicit
+//! [`ThreadPoolBuilder`]`::build().install(..)` scope; at 1 thread
+//! everything degrades to inline sequential execution.
+
+mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuilder};
 
 /// Drop-in for `rayon::prelude::*`.
 pub mod prelude {
-    /// Sequential stand-in for rayon's `IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        /// Element type.
-        type Item;
-        /// The (sequential) iterator returned.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Consumes `self` into an iterator ("parallel" in real rayon).
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> I::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    /// Sequential stand-in for rayon's `par_iter`/`par_iter_mut` on slices.
-    pub trait ParallelSlice<T> {
-        /// Shared iteration.
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        /// Mutable iteration.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-    }
-
-    impl<T> ParallelSlice<T> for Vec<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-    }
-
-    /// Sequential stand-in for rayon's parallel sorts.
-    pub trait ParallelSort<T: Ord> {
-        /// Unstable sort (delegates to `sort_unstable`).
-        fn par_sort_unstable(&mut self);
-        /// Stable sort (delegates to `sort`).
-        fn par_sort(&mut self);
-    }
-
-    impl<T: Ord> ParallelSort<T> for [T] {
-        fn par_sort_unstable(&mut self) {
-            self.sort_unstable();
-        }
-        fn par_sort(&mut self) {
-            self.sort();
-        }
-    }
-
-    impl<T: Ord> ParallelSort<T> for Vec<T> {
-        fn par_sort_unstable(&mut self) {
-            self.as_mut_slice().sort_unstable();
-        }
-        fn par_sort(&mut self) {
-            self.as_mut_slice().sort();
-        }
-    }
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSort};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPoolBuilder;
 
     #[test]
     fn par_surface_matches_sequential() {
@@ -96,5 +40,105 @@ mod tests {
             .zip(doubled.into_par_iter())
             .collect();
         assert_eq!(zipped, [(2, 2), (3, 4), (4, 6)]);
+    }
+
+    #[test]
+    fn order_preserved_across_thread_counts() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let expect: Vec<u64> = input.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<u64> =
+                pool.install(|| input.clone().into_par_iter().map(|x| x * x + 1).collect());
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.clone().into_par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        empty
+            .clone()
+            .into_par_iter()
+            .for_each(|_| panic!("no items"));
+        let mut e2: Vec<u32> = Vec::new();
+        e2.par_sort_unstable();
+        assert!(e2.is_empty());
+        assert_eq!(empty.par_iter().count(), 0);
+    }
+
+    #[test]
+    fn panic_propagates_from_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let r = std::panic::catch_unwind(|| {
+            pool.install(|| {
+                let v: Vec<u32> = (0..1000).collect();
+                v.par_iter().for_each(|&x| {
+                    if x == 617 {
+                        panic!("boom at {x}");
+                    }
+                });
+            });
+        });
+        let err = r.expect_err("panic must cross the pool boundary");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom at 617"), "got: {msg}");
+        // The pool must still be usable after a panicked batch.
+        let sum: u64 = pool.install(|| (0..100u64).into_par_iter().map(|x| x).sum());
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential() {
+        // Deterministic pseudo-random input (no rand dependency).
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut v: Vec<u64> = (0..50_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| v.par_sort_unstable());
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let out: Vec<u32> = pool.install(|| {
+            (0u32..64)
+                .into_par_iter()
+                .map(|i| (0u32..8).into_par_iter().map(|j| i * 8 + j).sum::<u32>())
+                .collect()
+        });
+        let expect: Vec<u32> = (0u32..64)
+            .map(|i| (0..8).map(|j| i * 8 + j).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn install_scopes_nest_and_restore() {
+        let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let four = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        one.install(|| {
+            assert_eq!(rayon_current(), 1);
+            four.install(|| assert_eq!(rayon_current(), 4));
+            assert_eq!(rayon_current(), 1);
+        });
+    }
+
+    fn rayon_current() -> usize {
+        crate::current_num_threads()
     }
 }

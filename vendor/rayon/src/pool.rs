@@ -1,0 +1,341 @@
+//! The persistent worker pool behind the `par_*` surface.
+//!
+//! A lazily-started set of `std::thread` workers pulls boxed tasks off a
+//! shared queue. Callers submit a *batch* of tasks tied to a latch and block
+//! until the whole batch has run ([`scope_run`]); because the submitting
+//! thread never returns before the latch opens, tasks may safely borrow from
+//! its stack even though the queue itself stores `'static` boxes (the
+//! lifetime is erased on entry and re-guaranteed by the join). Panics inside
+//! a task are caught, carried through the latch, and re-raised on the
+//! submitting thread, so a panicking parallel closure behaves exactly like
+//! its sequential counterpart.
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. an active [`ThreadPool::install`] scope (tests pin 1 vs N this way),
+//! 2. the `RAYON_NUM_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! With one thread — however it was resolved — every entry point degrades
+//! to plain inline execution: no workers are spawned, no boxing happens.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A type-erased unit of work as stored on the queue.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue shared between submitters and workers.
+struct Shared {
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+}
+
+/// One batch's completion latch: open when `remaining` hits zero. The first
+/// panic payload of the batch is parked here for re-raising.
+struct Latch {
+    state: Mutex<(usize, Option<Box<dyn Any + Send>>)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Arc<Latch> {
+        Arc::new(Latch {
+            state: Mutex::new((remaining, None)),
+            done: Condvar::new(),
+        })
+    }
+
+    fn complete_one(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().unwrap();
+        st.0 -= 1;
+        if st.1.is_none() {
+            st.1 = panic;
+        }
+        if st.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every task in the batch has completed, then re-raises
+    /// the first panic, if any.
+    fn join(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.0 > 0 {
+            st = self.done.wait(st).unwrap();
+        }
+        if let Some(p) = st.1.take() {
+            drop(st);
+            resume_unwind(p);
+        }
+    }
+}
+
+struct Pool {
+    shared: Arc<Shared>,
+    /// Workers spawned so far; grown on demand up to the configured count.
+    spawned: Mutex<usize>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+thread_local! {
+    /// Set while a thread is executing pool tasks; nested `par_*` calls on
+    /// such a thread run inline instead of re-entering the queue, which
+    /// would deadlock a fully-busy pool.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// True on threads currently running pool work (workers, or a submitter
+/// helping out while it waits).
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    IN_WORKER.with(|w| w.set(true));
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = shared.available.wait(q).unwrap();
+            }
+        };
+        task();
+    }
+}
+
+/// `RAYON_NUM_THREADS`, or the machine's available parallelism. Read once.
+fn configured_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// The thread count governing the current scope: an `install` override if
+/// one is active, the configured global count otherwise.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(|t| t.get())
+        .unwrap_or_else(configured_threads)
+}
+
+/// Makes sure at least `n` workers exist (never shrinks).
+fn ensure_workers(n: usize) {
+    let p = pool();
+    let mut spawned = p.spawned.lock().unwrap();
+    while *spawned < n {
+        let shared = Arc::clone(&p.shared);
+        thread::Builder::new()
+            .name(format!("rayon-worker-{spawned}"))
+            .spawn(move || worker_loop(shared))
+            .expect("failed to spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+/// Runs every task in `tasks` and returns once all have completed,
+/// re-raising the first panic. Tasks may borrow from the caller's stack
+/// (`'scope`): the join below is what makes the internal lifetime erasure
+/// sound. Runs inline when the effective thread count is 1, when called
+/// from inside a pool task, or when there is nothing to fan out.
+pub(crate) fn scope_run<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    let n = tasks.len();
+    if n == 0 {
+        return;
+    }
+    let threads = current_num_threads();
+    if threads <= 1 || n == 1 || in_worker() {
+        for t in tasks {
+            t();
+        }
+        return;
+    }
+    ensure_workers(threads);
+    let latch = Latch::new(n);
+    {
+        let shared = &pool().shared;
+        let mut q = shared.queue.lock().unwrap();
+        for task in tasks {
+            // SAFETY: the box's pointee only borrows data outliving 'scope,
+            // and this function does not return until `latch.join()` has
+            // observed every task finished — the borrow can never dangle.
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+            let latch = Arc::clone(&latch);
+            q.push_back(Box::new(move || {
+                let r = catch_unwind(AssertUnwindSafe(task));
+                latch.complete_one(r.err());
+            }));
+        }
+        shared.available.notify_all();
+    }
+    // Help drain the queue while waiting: on small machines the submitting
+    // thread is a meaningful fraction of the pool.
+    let was_worker = IN_WORKER.with(|w| w.replace(true));
+    loop {
+        let task = pool().shared.queue.lock().unwrap().pop_front();
+        match task {
+            Some(t) => t(),
+            None => break,
+        }
+    }
+    IN_WORKER.with(|w| w.set(was_worker));
+    latch.join();
+}
+
+/// Maps `items` through `f` preserving order, fanning chunks of consecutive
+/// items out across the pool. The chunking only partitions *where* each
+/// item runs; every result lands in its input's slot, so the output is
+/// independent of thread count and scheduling.
+pub(crate) fn par_map_vec<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads();
+    if n <= 1 || threads <= 1 || in_worker() {
+        return items.into_iter().map(f).collect();
+    }
+    // A few chunks per thread so an uneven item costs less than a whole
+    // 1/threads share of the batch.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+
+    let mut it = items.into_iter();
+    let mut in_chunks: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(chunk));
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        in_chunks.push(c);
+    }
+
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(in_chunks.len());
+    for (ins, outs) in in_chunks.into_iter().zip(out.chunks_mut(chunk)) {
+        tasks.push(Box::new(move || {
+            for (slot, item) in outs.iter_mut().zip(ins) {
+                *slot = Some(f(item));
+            }
+        }));
+    }
+    scope_run(tasks);
+    out.into_iter()
+        .map(|s| s.expect("pool task skipped a slot"))
+        .collect()
+}
+
+/// Sorts `v` by pre-sorting per-thread chunks in parallel, then letting the
+/// std stable sort merge the sorted runs (it detects and exploits them).
+pub(crate) fn par_sort_impl<T: Ord + Send>(v: &mut [T], stable_input: bool) {
+    let n = v.len();
+    let threads = current_num_threads();
+    if n < 2 || threads <= 1 || in_worker() {
+        if stable_input {
+            v.sort();
+        } else {
+            v.sort_unstable();
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads).max(1);
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+    for c in v.chunks_mut(chunk) {
+        tasks.push(Box::new(move || {
+            if stable_input {
+                c.sort();
+            } else {
+                c.sort_unstable();
+            }
+        }));
+    }
+    scope_run(tasks);
+    // Merge pass: stable, so equal elements keep their (already stable
+    // within chunks) relative order when `stable_input` is requested.
+    v.sort();
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the one use the
+/// workspace has: pinning an explicit thread count in tests/benches.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder (defaults to the globally configured thread count).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count for pools built from this builder.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool handle. Infallible here; the `Result` mirrors the
+    /// real rayon signature.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            n: self
+                .num_threads
+                .filter(|&n| n > 0)
+                .unwrap_or_else(configured_threads),
+        })
+    }
+}
+
+/// Handle carrying an explicit thread count; workers are shared with the
+/// global pool rather than dedicated per handle.
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count governing every `par_*` call
+    /// it makes on this thread (nested installs restore on exit).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(Some(self.n)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// The thread count this handle installs.
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
