@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+use dirgl_bench::cli::{or_exit, ArgStream, CliError};
 use dirgl_bench::{run_dirgl, BenchId, LoadedDataset, PartitionCache};
 use dirgl_core::Variant;
 use dirgl_gpusim::Platform;
@@ -20,32 +21,40 @@ use rayon::ThreadPoolBuilder;
 const DEVICES: u32 = 16;
 const BENCHES: [BenchId; 3] = [BenchId::Bfs, BenchId::Pagerank, BenchId::Cc];
 
-fn main() {
-    let mut extra_scale: u64 = 1;
-    let mut threads: usize = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .max(2);
-    let mut out_path = "BENCH_parallel.json".to_string();
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
+const USAGE: &str = "usage: bench_parallel [--scale N] [--threads N] [--out PATH]";
+
+struct Opts {
+    extra_scale: u64,
+    threads: usize,
+    out_path: String,
+}
+
+fn try_parse(mut it: ArgStream) -> Result<Opts, CliError> {
+    let mut o = Opts {
+        extra_scale: 1,
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2),
+        out_path: "BENCH_parallel.json".to_string(),
+    };
+    while let Some(a) = it.next_arg() {
         match a.as_str() {
-            "--scale" => {
-                extra_scale = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--scale needs a positive integer")
-            }
-            "--threads" => {
-                threads = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a positive integer")
-            }
-            "--out" => out_path = it.next().expect("--out needs a file path"),
-            other => panic!("unknown argument {other} (use --scale N / --threads N / --out PATH)"),
+            "--scale" => o.extra_scale = it.parsed("--scale", "a positive integer")?,
+            "--threads" => o.threads = it.parsed("--threads", "a positive integer")?,
+            "--out" => o.out_path = it.value("--out")?,
+            other => return Err(CliError::unknown_arg(other)),
         }
     }
+    Ok(o)
+}
+
+fn main() {
+    let Opts {
+        extra_scale,
+        threads,
+        out_path,
+    } = or_exit(try_parse(ArgStream::from_env()), USAGE);
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

@@ -14,7 +14,7 @@ use lux_sim::LuxRuntime;
 fn main() {
     let args = Args::parse();
     let counts = bridges_gpu_counts(args.quick);
-    let mut trace = args.open_trace();
+    let mut trace = dirgl_bench::cli::or_exit(args.open_trace(), Args::USAGE);
     println!("Figure 3: strong scaling (sec), D-IrGL variants (IEC) + Lux, medium graphs\n");
 
     for id in DatasetId::MEDIUM {

@@ -11,7 +11,7 @@ use dirgl_partition::Policy;
 fn main() {
     let args = Args::parse();
     let platform = Platform::bridges(32);
-    let mut trace = args.open_trace();
+    let mut trace = dirgl_bench::cli::or_exit(args.open_trace(), Args::USAGE);
     println!("Figure 4: breakdown of D-IrGL variants (IEC), medium graphs @ 32 GPUs");
     for id in DatasetId::MEDIUM {
         let ld = LoadedDataset::load(id, args.extra_scale);

@@ -6,8 +6,19 @@
 //! cargo run --release -p dirgl-bench --bin run -- \
 //!     --bench sssp --input uk07 --gpus 32 --policy cvc --variant var4
 //! ```
+//!
+//! Fault injection rides on `--faults` (see `dirgl_comm::FaultPlan::parse`
+//! for the spec grammar):
+//!
+//! ```sh
+//! cargo run --release -p dirgl-bench --bin run -- \
+//!     --bench bfs --input rmat25 --faults seed=42,drop=0.05,crash=1@3 \
+//!     --checkpoint-every 4
+//! ```
 
-use dirgl_bench::{BenchId, LoadedDataset, PartitionCache};
+use dirgl_bench::cli::{or_exit, ArgStream, CliError};
+use dirgl_bench::{open_trace_file, BenchId, LoadedDataset, PartitionCache, TraceFileSink};
+use dirgl_comm::FaultPlan;
 use dirgl_core::{ExecModel, RunConfig, Variant};
 use dirgl_gpusim::{Balancer, Platform};
 use dirgl_graph::DatasetId;
@@ -23,9 +34,19 @@ struct Opts {
     extra_scale: u64,
     gpudirect: bool,
     throttle_ms: f64,
+    trace: Option<String>,
+    faults: Option<FaultPlan>,
+    checkpoint_every: u32,
 }
 
-fn parse() -> Opts {
+const USAGE: &str = "usage: run --bench <bfs|cc|kcore|pagerank|sssp> --input <table1 name> \
+                     [--gpus N] [--policy <oec|iec|hvc|cvc|random|metis>] \
+                     [--variant <var1..var4>] [--platform <bridges|tuxedo>] \
+                     [--scale N] [--gpudirect] [--throttle-ms X] [--trace PATH] \
+                     [--faults seed=S,drop=P,dup=P,delay=P,crash=D@R[+rejoin],straggler=D@R:N[xF]] \
+                     [--checkpoint-every K]";
+
+fn try_parse(mut it: ArgStream) -> Result<Opts, CliError> {
     let mut o = Opts {
         bench: BenchId::Bfs,
         input: DatasetId::Rmat23,
@@ -36,71 +57,85 @@ fn parse() -> Opts {
         extra_scale: 1,
         gpudirect: false,
         throttle_ms: 0.0,
+        trace: None,
+        faults: None,
+        checkpoint_every: 0,
     };
-    let mut it = std::env::args().skip(1);
-    let usage = "usage: run --bench <bfs|cc|kcore|pagerank|sssp> --input <table1 name> \
-                 [--gpus N] [--policy <oec|iec|hvc|cvc|random|metis>] \
-                 [--variant <var1..var4>] [--platform <bridges|tuxedo>] \
-                 [--scale N] [--gpudirect] [--throttle-ms X]";
-    while let Some(a) = it.next() {
-        let mut val = || it.next().unwrap_or_else(|| panic!("{usage}"));
+    while let Some(a) = it.next_arg() {
         match a.as_str() {
             "--bench" => {
-                let v = val();
+                let v = it.value("--bench")?;
                 o.bench = *BenchId::ALL
                     .iter()
                     .find(|b| b.name() == v)
-                    .unwrap_or_else(|| panic!("unknown benchmark {v}"));
+                    .ok_or_else(|| CliError::new(format!("unknown benchmark `{v}`")))?;
             }
             "--input" => {
-                let v = val();
+                let v = it.value("--input")?;
                 o.input = *DatasetId::ALL
                     .iter()
                     .find(|d| d.name() == v)
-                    .unwrap_or_else(|| panic!("unknown input {v}"));
+                    .ok_or_else(|| CliError::new(format!("unknown input `{v}`")))?;
             }
-            "--gpus" => o.gpus = val().parse().expect("gpus"),
+            "--gpus" => o.gpus = it.parsed("--gpus", "a positive integer")?,
             "--policy" => {
-                o.policy = match val().to_lowercase().as_str() {
+                let v = it.value("--policy")?;
+                o.policy = match v.to_lowercase().as_str() {
                     "oec" => Policy::Oec,
                     "iec" => Policy::Iec,
                     "hvc" => Policy::Hvc,
                     "cvc" => Policy::Cvc,
                     "random" => Policy::Random,
                     "metis" | "metislike" => Policy::MetisLike,
-                    p => panic!("unknown policy {p}"),
-                }
+                    _ => return Err(CliError::new(format!("unknown policy `{v}`"))),
+                };
             }
             "--variant" => {
-                o.variant = match val().to_lowercase().as_str() {
+                let v = it.value("--variant")?;
+                o.variant = match v.to_lowercase().as_str() {
                     "var1" => Variant::var1(),
                     "var2" => Variant::var2(),
                     "var3" => Variant::var3(),
                     "var4" => Variant::var4(),
-                    v => panic!("unknown variant {v}"),
-                }
+                    _ => return Err(CliError::new(format!("unknown variant `{v}`"))),
+                };
             }
-            "--platform" => o.platform = val(),
-            "--scale" => o.extra_scale = val().parse().expect("scale"),
+            "--platform" => o.platform = it.value("--platform")?,
+            "--scale" => o.extra_scale = it.parsed("--scale", "a positive integer")?,
             "--gpudirect" => o.gpudirect = true,
-            "--throttle-ms" => o.throttle_ms = val().parse().expect("throttle-ms"),
+            "--throttle-ms" => o.throttle_ms = it.parsed("--throttle-ms", "a number")?,
+            "--trace" => o.trace = Some(it.value("--trace")?),
+            "--faults" => {
+                let v = it.value("--faults")?;
+                o.faults = Some(
+                    FaultPlan::parse(&v)
+                        .map_err(|e| CliError::new(format!("bad --faults spec: {e}")))?,
+                );
+            }
+            "--checkpoint-every" => {
+                o.checkpoint_every = it.parsed("--checkpoint-every", "a round count")?
+            }
             "--help" | "-h" => {
-                println!("{usage}");
+                println!("{USAGE}");
                 std::process::exit(0);
             }
-            other => panic!("unknown argument {other}\n{usage}"),
+            other => return Err(CliError::unknown_arg(other)),
         }
     }
-    o
+    Ok(o)
 }
 
 fn main() {
-    let o = parse();
+    let o = or_exit(try_parse(ArgStream::from_env()), USAGE);
     let platform = match o.platform.as_str() {
         "bridges" => Platform::bridges(o.gpus),
         "tuxedo" => Platform::tuxedo_n(o.gpus),
-        p => panic!("unknown platform {p}"),
+        p => or_exit(Err(CliError::new(format!("unknown platform `{p}`"))), USAGE),
     };
+    // Open the trace sink before the (slow) dataset generation so a bad
+    // path — e.g. a missing parent directory — fails fast and by name.
+    let mut trace: Option<TraceFileSink> =
+        or_exit(o.trace.as_deref().map(open_trace_file).transpose(), USAGE);
     println!(
         "loading {} (extra scale {}) ...",
         o.input.name(),
@@ -116,6 +151,8 @@ fn main() {
     let mut cfg = RunConfig::new(o.policy, o.variant);
     cfg.gpudirect = o.gpudirect;
     cfg.basp_round_gap_secs = o.throttle_ms / 1e3;
+    cfg.faults = o.faults.clone();
+    cfg.checkpoint_every_rounds = o.checkpoint_every;
     let mut cache = PartitionCache::new();
     println!(
         "running {} / {} / {} ({}{}, {} GPUs on {}) ...",
@@ -139,7 +176,20 @@ fn main() {
         o.gpus,
         o.platform,
     );
-    match dirgl_bench::run_dirgl_cfg(o.bench, &ld, &mut cache, &platform, cfg) {
+    if let Some(f) = &o.faults {
+        println!(
+            "fault plan: seed={} drop={} dup={} delay={} crash={:?} straggler={:?} \
+             checkpoint-every={}",
+            f.seed, f.drop, f.duplicate, f.delay, f.crash, f.straggler, o.checkpoint_every
+        );
+    }
+    let result = match trace.as_mut() {
+        Some(sink) => {
+            dirgl_bench::run_dirgl_cfg_traced(o.bench, &ld, &mut cache, &platform, cfg, sink)
+        }
+        None => dirgl_bench::run_dirgl_cfg(o.bench, &ld, &mut cache, &platform, cfg),
+    };
+    match result {
         Ok(out) => {
             let r = &out.report;
             println!("\nexecution report (paper-equivalent units):");
@@ -160,6 +210,34 @@ fn main() {
             );
             println!("  dynamic balance   : {:.3}", r.dynamic_balance());
             println!("  memory balance    : {:.3}", r.memory_balance());
+            let s = &r.resilience;
+            if o.faults.is_some() {
+                println!("  -- resilience --");
+                println!(
+                    "  link faults       : {} drops, {} dups, {} delay spikes",
+                    s.faults.drops_injected, s.faults.duplicates_injected, s.faults.delays_injected
+                );
+                println!(
+                    "  reliable delivery : {} timeouts, {} retransmits, {} dup-suppressed, \
+                     {} failures",
+                    s.faults.timeouts,
+                    s.faults.retransmits,
+                    s.faults.duplicates_suppressed,
+                    s.faults.delivery_failures
+                );
+                println!(
+                    "  recovery          : {} crashes, {} checkpoints ({} B), {} rollbacks, \
+                     {} rounds replayed, {} rejoins, {} masters reassigned, {} recovering",
+                    s.crashes,
+                    s.checkpoints_taken,
+                    s.checkpoint_bytes,
+                    s.rollbacks,
+                    s.rounds_replayed,
+                    s.rejoins,
+                    s.masters_reassigned,
+                    s.recovery_time
+                );
+            }
         }
         Err(e) => println!("run failed: {e}"),
     }

@@ -1,0 +1,127 @@
+//! Shared `Result`-based command-line parsing for the harness binaries.
+//!
+//! The binaries used to `panic!` on a bad flag, which prints a backtrace
+//! hint instead of usage and exits with the panic status. Everything now
+//! funnels through here: parsers return `Result<_, CliError>`, and
+//! [`or_exit`] turns an error into a `error: …` + usage message on stderr
+//! and a nonzero (status 2) exit.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A command-line parse failure: what was wrong, human-readable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliError {
+    /// The message printed after `error:`.
+    pub message: String,
+}
+
+impl CliError {
+    /// Error with the given message.
+    pub fn new(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+        }
+    }
+
+    /// The standard unknown-argument error.
+    pub fn unknown_arg(arg: &str) -> CliError {
+        CliError::new(format!("unknown argument `{arg}`"))
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Token stream over a binary's arguments (program name already skipped).
+pub struct ArgStream {
+    it: std::vec::IntoIter<String>,
+}
+
+impl ArgStream {
+    /// Stream over `std::env::args`, program name skipped.
+    pub fn from_env() -> ArgStream {
+        ArgStream {
+            it: std::env::args().skip(1).collect::<Vec<_>>().into_iter(),
+        }
+    }
+
+    /// Stream over explicit tokens (tests).
+    pub fn from_tokens<S: Into<String>>(tokens: impl IntoIterator<Item = S>) -> ArgStream {
+        ArgStream {
+            it: tokens
+                .into_iter()
+                .map(Into::into)
+                .collect::<Vec<_>>()
+                .into_iter(),
+        }
+    }
+
+    /// Next raw token, if any.
+    pub fn next_arg(&mut self) -> Option<String> {
+        self.it.next()
+    }
+
+    /// The value token following `flag`, or a "needs a value" error.
+    pub fn value(&mut self, flag: &str) -> Result<String, CliError> {
+        self.it
+            .next()
+            .ok_or_else(|| CliError::new(format!("{flag} needs a value")))
+    }
+
+    /// The value token following `flag`, parsed as `T`; `what` names the
+    /// expected shape in the error (e.g. "a positive integer").
+    pub fn parsed<T: FromStr>(&mut self, flag: &str, what: &str) -> Result<T, CliError> {
+        let v = self.value(flag)?;
+        v.parse()
+            .map_err(|_| CliError::new(format!("{flag} needs {what}, got `{v}`")))
+    }
+}
+
+/// Unwraps a parse result; on error prints the message and `usage` to
+/// stderr and exits with status 2.
+pub fn or_exit<T>(r: Result<T, CliError>, usage: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_and_parsed() {
+        let mut s = ArgStream::from_tokens(["--scale", "8", "--name", "x", "--bad", "zz"]);
+        assert_eq!(s.next_arg().as_deref(), Some("--scale"));
+        assert_eq!(s.parsed::<u64>("--scale", "a positive integer"), Ok(8));
+        assert_eq!(s.next_arg().as_deref(), Some("--name"));
+        assert_eq!(s.value("--name").as_deref(), Ok("x"));
+        assert_eq!(s.next_arg().as_deref(), Some("--bad"));
+        let err = s.parsed::<u64>("--bad", "a positive integer").unwrap_err();
+        assert!(err.message.contains("--bad"), "{}", err.message);
+        assert!(err.message.contains("zz"), "{}", err.message);
+    }
+
+    #[test]
+    fn missing_value_and_unknown() {
+        let mut s = ArgStream::from_tokens(["--trace"]);
+        s.next_arg();
+        let err = s.value("--trace").unwrap_err();
+        assert_eq!(err.message, "--trace needs a value");
+        assert_eq!(
+            CliError::unknown_arg("--wat").message,
+            "unknown argument `--wat`"
+        );
+    }
+}

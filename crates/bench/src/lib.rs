@@ -24,8 +24,11 @@
 //! `--trace <path>` to stream per-round, per-device
 //! [`dirgl_core::RoundRecord`]s as JSON lines while the figures run.
 
+pub mod cli;
+
 use std::collections::HashMap;
 
+use cli::{ArgStream, CliError};
 use dirgl_apps::{Bfs, Cc, KCore, PageRank, Sssp};
 use dirgl_comm::SimTime;
 use dirgl_core::{
@@ -58,47 +61,57 @@ pub struct Args {
 }
 
 impl Args {
+    /// Usage line shared by every figure/table binary.
+    pub const USAGE: &'static str = "usage: [--scale N] [--quick] [--trace PATH]";
+
     /// Parses `--scale N`, `--quick` and `--trace <path>` from
-    /// `std::env::args`.
+    /// `std::env::args`; a bad flag prints usage and exits nonzero.
     pub fn parse() -> Args {
+        cli::or_exit(Self::try_parse(ArgStream::from_env()), Self::USAGE)
+    }
+
+    /// The fallible parser behind [`Args::parse`].
+    pub fn try_parse(mut it: ArgStream) -> Result<Args, CliError> {
         let mut args = Args {
             extra_scale: 1,
             quick: false,
             trace: None,
         };
-        let mut it = std::env::args().skip(1);
-        while let Some(a) = it.next() {
+        while let Some(a) = it.next_arg() {
             match a.as_str() {
-                "--scale" => {
-                    args.extra_scale = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--scale needs a positive integer");
-                }
+                "--scale" => args.extra_scale = it.parsed("--scale", "a positive integer")?,
                 "--quick" => {
                     args.quick = true;
                     args.extra_scale = args.extra_scale.max(4);
                 }
-                "--trace" => {
-                    args.trace = Some(it.next().expect("--trace needs a file path"));
-                }
-                other => {
-                    panic!("unknown argument {other} (use --scale N / --quick / --trace PATH)")
-                }
+                "--trace" => args.trace = Some(it.value("--trace")?),
+                other => return Err(CliError::unknown_arg(other)),
             }
         }
-        args
+        Ok(args)
     }
 
-    /// Opens the `--trace` file as a JSON-lines sink (None when the flag
-    /// was not given).
-    pub fn open_trace(&self) -> Option<TraceFileSink> {
-        self.trace.as_ref().map(|p| {
-            let f = std::fs::File::create(p)
-                .unwrap_or_else(|e| panic!("cannot create --trace file {p}: {e}"));
-            JsonLinesSink::new(std::io::BufWriter::new(f))
-        })
+    /// Opens the `--trace` file as a JSON-lines sink (`Ok(None)` when the
+    /// flag was not given).
+    pub fn open_trace(&self) -> Result<Option<TraceFileSink>, CliError> {
+        self.trace.as_deref().map(open_trace_file).transpose()
     }
+}
+
+/// Opens `path` as a JSON-lines trace sink. A missing parent directory is
+/// the common mistake, so it gets a dedicated error naming the directory
+/// (plain `File::create` reports only the full path and an OS code).
+pub fn open_trace_file(path: &str) -> Result<TraceFileSink, CliError> {
+    let parent = std::path::Path::new(path).parent();
+    if let Some(dir) = parent.filter(|d| !d.as_os_str().is_empty() && !d.exists()) {
+        return Err(CliError::new(format!(
+            "cannot create --trace file {path}: parent directory `{}` does not exist",
+            dir.display()
+        )));
+    }
+    let f = std::fs::File::create(path)
+        .map_err(|e| CliError::new(format!("cannot create --trace file {path}: {e}")))?;
+    Ok(JsonLinesSink::new(std::io::BufWriter::new(f)))
 }
 
 /// The five benchmarks as harness-dispatchable ids.
@@ -451,6 +464,31 @@ mod tests {
             .unwrap();
             assert!(out.report.total_time.as_secs_f64() > 0.0, "{bench}");
         }
+    }
+
+    #[test]
+    fn args_try_parse() {
+        let a = Args::try_parse(cli::ArgStream::from_tokens(["--scale", "8", "--quick"])).unwrap();
+        assert_eq!(a.extra_scale, 8);
+        assert!(a.quick);
+        let err = Args::try_parse(cli::ArgStream::from_tokens(["--wat"])).unwrap_err();
+        assert!(err.message.contains("--wat"), "{}", err.message);
+        let err = Args::try_parse(cli::ArgStream::from_tokens(["--scale", "x"])).unwrap_err();
+        assert!(err.message.contains("--scale"), "{}", err.message);
+    }
+
+    #[test]
+    fn trace_missing_parent_names_directory() {
+        let err = match open_trace_file("/definitely/not/a/dir/trace.jsonl") {
+            Ok(_) => panic!("open_trace_file succeeded on a missing parent"),
+            Err(e) => e,
+        };
+        assert!(
+            err.message.contains("/definitely/not/a/dir"),
+            "{}",
+            err.message
+        );
+        assert!(err.message.contains("parent directory"), "{}", err.message);
     }
 
     #[test]

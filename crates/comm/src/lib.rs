@@ -15,16 +15,30 @@
 //!   CVC stays inside grid rows/columns) emerge rather than being
 //!   special-cased;
 //! * [`net`] — the virtual-time transport simulator producing the
-//!   Max Compute / Min Wait / Device Comm. decomposition of Figs. 4–6/8–9.
+//!   Max Compute / Min Wait / Device Comm. decomposition of Figs. 4–6/8–9;
+//! * [`faults`] — seeded, deterministic fault schedules (link drop /
+//!   duplication / delay, device crash / straggler);
+//! * [`reliable`] — retry/ack reliable delivery layered over [`net`]:
+//!   per-link sequence numbers, exponential-backoff retransmission with a
+//!   bounded budget, duplicate suppression. Byte-identical to the raw
+//!   transport when no faults are scheduled.
 
 pub mod bitset;
 pub mod clock;
+pub mod faults;
 pub mod message;
 pub mod net;
 pub mod plan;
+pub mod reliable;
 
 pub use bitset::DenseBitset;
 pub use clock::SimTime;
+pub use faults::{
+    CrashSpec, FaultCounters, FaultInjector, FaultPlan, LinkFate, RetryConfig, StragglerSpec,
+};
 pub use message::{as_message_bytes, uo_message_bytes, CommMode, VAL_BYTES};
 pub use net::{Delivery, ExchangeOutcome, MessageTrace, NetModel, NetState, SendDesc};
 pub use plan::SyncPlan;
+pub use reliable::{
+    Failure, LinkEvent, LinkEventKind, ReliableExchange, ReliableNet, ReliableState, SendVerdict,
+};

@@ -55,6 +55,21 @@ impl NetState {
             nic_free: vec![SimTime::ZERO; num_hosts as usize],
         }
     }
+
+    /// Shifts every link-free time forward by `dt`. Used when a
+    /// checkpointed state is restored at a later point in simulated time:
+    /// occupancy that was `x` seconds in the snapshot's future stays `x`
+    /// seconds in the resumed run's future.
+    pub fn shift(&mut self, dt: SimTime) {
+        for t in self
+            .pcie_out_free
+            .iter_mut()
+            .chain(self.pcie_in_free.iter_mut())
+            .chain(self.nic_free.iter_mut())
+        {
+            *t += dt;
+        }
+    }
 }
 
 /// Result of delivering one message.
@@ -309,7 +324,7 @@ impl NetModel {
 
 /// The earliest a host can be considered "done with its own work": the
 /// latest compute-finish among its devices.
-fn host_work_floor(platform: &Platform, device_clock: &[SimTime], host: u32) -> SimTime {
+pub(crate) fn host_work_floor(platform: &Platform, device_clock: &[SimTime], host: u32) -> SimTime {
     (0..platform.num_devices())
         .filter(|&d| platform.host_of(d) == host)
         .map(|d| device_clock[d as usize])

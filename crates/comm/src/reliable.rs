@@ -1,0 +1,582 @@
+//! Reliable delivery over the lossy transport.
+//!
+//! [`ReliableNet`] wraps [`NetModel`] with the machinery a real fabric
+//! layers over an unreliable link: per-link sequence numbers, positive
+//! acks, an exponential-backoff retransmission timer with a bounded retry
+//! budget, and receiver-side duplicate suppression. Each *logical* message
+//! becomes one or more wire attempts; the [`FaultInjector`] decides each
+//! attempt's fate.
+//!
+//! The layer is engineered so that under [`FaultPlan::none`]
+//! (`FaultPlan::none()`) every logical message takes exactly one attempt
+//! and the calls into [`NetModel::send`] are the *same calls in the same
+//! order* the raw [`NetModel::exchange_with`] path would make — a run with
+//! the reliable layer enabled but no faults scheduled is byte-identical to
+//! a run without the layer (pinned by tests here and at the engine level).
+//!
+//! When the retry budget is exhausted the message is *abandoned* and
+//! surfaced to the engine as a [`Failure`]; that is the engine's signal
+//! that the peer is unreachable (crashed) and recovery must run. Acks are
+//! not separately priced on the wire: they are tiny compared to payloads,
+//! and their cost is folded into the ack-timeout constant.
+
+use crate::clock::SimTime;
+use crate::faults::{FaultCounters, FaultInjector, FaultPlan, LinkFate, RetryConfig};
+use crate::net::{
+    host_work_floor, Delivery, ExchangeOutcome, MessageTrace, NetModel, NetState, SendDesc,
+};
+
+/// Receiver/sender bookkeeping for reliable delivery: the next sequence
+/// number per ordered device pair. Lives with the caller, like
+/// [`NetState`], and — deliberately — is *not* part of any checkpoint:
+/// after a rollback, replayed messages draw fresh sequence numbers and
+/// therefore fresh fault fates, so a deterministic injector cannot pin a
+/// replay into the exact loss pattern that forced the rollback.
+#[derive(Clone, Debug)]
+pub struct ReliableState {
+    seq: Vec<u64>,
+    devices: u32,
+}
+
+impl ReliableState {
+    /// Fresh state for `devices` devices (all sequence numbers at zero).
+    pub fn for_devices(devices: u32) -> ReliableState {
+        ReliableState {
+            seq: vec![0; (devices as usize) * (devices as usize)],
+            devices,
+        }
+    }
+
+    fn next_seq(&mut self, from: u32, to: u32) -> u64 {
+        let i = (from * self.devices + to) as usize;
+        let s = self.seq[i];
+        self.seq[i] += 1;
+        s
+    }
+}
+
+/// What kind of link-level incident a [`LinkEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkEventKind {
+    /// The injector dropped a transmission attempt.
+    Drop,
+    /// The injector duplicated a delivery (the copy was suppressed).
+    Duplicate,
+    /// The injector delayed a delivery.
+    DelaySpike,
+    /// The sender's ack timer expired.
+    Timeout,
+    /// The sender retransmitted.
+    Retransmit,
+    /// The sender exhausted its retry budget and abandoned the message.
+    GiveUp,
+}
+
+/// One link-level incident, for the trace layer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkEvent {
+    /// When it happened (simulated time).
+    pub at: SimTime,
+    /// Sending device.
+    pub from: u32,
+    /// Receiving device.
+    pub to: u32,
+    /// Per-link sequence number of the affected message.
+    pub seq: u64,
+    /// Transmission attempt (0 = first send).
+    pub attempt: u32,
+    /// What happened.
+    pub kind: LinkEventKind,
+}
+
+/// Outcome of reliably sending one logical message.
+#[derive(Clone, Copy, Debug)]
+pub struct SendVerdict {
+    /// When the payload was applied on the receiver; `None` if the sender
+    /// gave up.
+    pub arrival: Option<SimTime>,
+    /// When the sending device finished its last upload (over all
+    /// attempts).
+    pub sender_free: SimTime,
+    /// When the sending host finished pushing the final attempt.
+    pub host_send_done: SimTime,
+    /// When the sender declared the receiver unreachable (`Some` iff
+    /// `arrival` is `None`).
+    pub gave_up_at: Option<SimTime>,
+    /// Wire attempts made (1 = no retransmissions).
+    pub attempts: u32,
+    /// Actual bytes put on the wire, counting every attempt and duplicate.
+    pub wire_bytes: u64,
+    /// Raw link timing of the final attempt (for per-message traces).
+    pub last: Delivery,
+}
+
+/// A message abandoned after the full retry budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Failure {
+    /// Index into the caller's send slice.
+    pub index: usize,
+    /// Sending device.
+    pub from: u32,
+    /// Unreachable receiving device.
+    pub to: u32,
+    /// When the sender gave up — the engine's failure-detection instant.
+    pub gave_up_at: SimTime,
+}
+
+/// Result of a reliable barrier-style exchange.
+#[derive(Clone, Debug)]
+pub struct ReliableExchange {
+    /// Per-device / per-host aggregate, same shape as the raw
+    /// [`NetModel::exchange_with`] (`total_bytes` counts wire attempts).
+    pub outcome: ExchangeOutcome,
+    /// Index-parallel to the input sends: whether each payload reached its
+    /// receiver.
+    pub delivered: Vec<bool>,
+    /// Messages abandoned after the retry budget (empty on healthy runs).
+    pub failures: Vec<Failure>,
+}
+
+/// [`NetModel`] plus retry/ack reliability and fault injection.
+#[derive(Clone, Debug)]
+pub struct ReliableNet<'a> {
+    net: &'a NetModel,
+    injector: FaultInjector,
+    retry: RetryConfig,
+}
+
+impl<'a> ReliableNet<'a> {
+    /// Wraps `net` with reliability under `plan`.
+    pub fn new(net: &'a NetModel, plan: FaultPlan, retry: RetryConfig) -> ReliableNet<'a> {
+        ReliableNet {
+            net,
+            injector: FaultInjector::new(plan),
+            retry,
+        }
+    }
+
+    /// The underlying timing model.
+    pub fn net(&self) -> &NetModel {
+        self.net
+    }
+
+    /// The fault decision-maker (shared with the engines for device
+    /// faults).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// The retry policy.
+    pub fn retry(&self) -> RetryConfig {
+        self.retry
+    }
+
+    /// Reliably delivers one logical message: transmit, and on loss retry
+    /// with exponential backoff until delivery or until the budget is
+    /// spent. `dest_alive = false` forces every attempt to be lost — a
+    /// crashed receiver acks nothing — so the sender walks the full ladder
+    /// and gives up; `gave_up_at` is then the crash-detection instant.
+    pub fn send_reliable(
+        &self,
+        st: &mut NetState,
+        rst: &mut ReliableState,
+        msg: SendDesc,
+        dest_alive: bool,
+        counters: &mut FaultCounters,
+        events: &mut Vec<LinkEvent>,
+    ) -> SendVerdict {
+        let seq = rst.next_seq(msg.from, msg.to);
+        let mut depart = msg.depart;
+        let mut sender_free = msg.depart;
+        let mut wire_bytes = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            if attempt > 0 {
+                counters.retransmits += 1;
+                events.push(LinkEvent {
+                    at: depart,
+                    from: msg.from,
+                    to: msg.to,
+                    seq,
+                    attempt,
+                    kind: LinkEventKind::Retransmit,
+                });
+            }
+            let d = self.net.send(st, SendDesc { depart, ..msg });
+            wire_bytes += msg.bytes;
+            sender_free = sender_free.max(d.sender_free);
+            let fate = if dest_alive {
+                self.injector.link_fate(msg.from, msg.to, seq, attempt)
+            } else {
+                LinkFate::Drop
+            };
+            match fate {
+                LinkFate::Deliver {
+                    extra_delay,
+                    duplicated,
+                } => {
+                    if extra_delay > SimTime::ZERO {
+                        counters.delays_injected += 1;
+                        events.push(LinkEvent {
+                            at: d.arrival,
+                            from: msg.from,
+                            to: msg.to,
+                            seq,
+                            attempt,
+                            kind: LinkEventKind::DelaySpike,
+                        });
+                    }
+                    if duplicated {
+                        // The network forked the packet: the extra copy
+                        // occupies the links like any message, then the
+                        // receiver recognizes the sequence number and
+                        // discards it.
+                        counters.duplicates_injected += 1;
+                        counters.duplicates_suppressed += 1;
+                        let dd = self.net.send(st, SendDesc { depart, ..msg });
+                        wire_bytes += msg.bytes;
+                        sender_free = sender_free.max(dd.sender_free);
+                        events.push(LinkEvent {
+                            at: dd.arrival,
+                            from: msg.from,
+                            to: msg.to,
+                            seq,
+                            attempt,
+                            kind: LinkEventKind::Duplicate,
+                        });
+                    }
+                    return SendVerdict {
+                        arrival: Some(d.arrival + extra_delay),
+                        sender_free,
+                        host_send_done: d.host_send_done,
+                        gave_up_at: None,
+                        attempts: attempt + 1,
+                        wire_bytes,
+                        last: d,
+                    };
+                }
+                LinkFate::Drop => {
+                    if dest_alive {
+                        counters.drops_injected += 1;
+                        events.push(LinkEvent {
+                            at: d.arrival,
+                            from: msg.from,
+                            to: msg.to,
+                            seq,
+                            attempt,
+                            kind: LinkEventKind::Drop,
+                        });
+                    }
+                    counters.timeouts += 1;
+                    let wait = self.retry.timeout_secs * self.retry.backoff.powi(attempt as i32);
+                    let timeout_at = d.host_send_done + SimTime::from_secs_f64(wait);
+                    events.push(LinkEvent {
+                        at: timeout_at,
+                        from: msg.from,
+                        to: msg.to,
+                        seq,
+                        attempt,
+                        kind: LinkEventKind::Timeout,
+                    });
+                    if attempt >= self.retry.max_retries {
+                        counters.delivery_failures += 1;
+                        events.push(LinkEvent {
+                            at: timeout_at,
+                            from: msg.from,
+                            to: msg.to,
+                            seq,
+                            attempt,
+                            kind: LinkEventKind::GiveUp,
+                        });
+                        return SendVerdict {
+                            arrival: None,
+                            sender_free,
+                            host_send_done: d.host_send_done,
+                            gave_up_at: Some(timeout_at),
+                            attempts: attempt + 1,
+                            wire_bytes,
+                            last: d,
+                        };
+                    }
+                    depart = timeout_at;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Reliable counterpart of [`NetModel::exchange_with`]: same service
+    /// order, same aggregation, but each message goes through
+    /// [`ReliableNet::send_reliable`]. `dest_alive[d]` marks crashed
+    /// devices; sends addressed to them exhaust their budget and come back
+    /// in `failures`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn exchange_reliable(
+        &self,
+        st: &mut NetState,
+        rst: &mut ReliableState,
+        device_clock: &[SimTime],
+        sends: &[SendDesc],
+        dest_alive: &[bool],
+        counters: &mut FaultCounters,
+        events: &mut Vec<LinkEvent>,
+        mut trace: Option<&mut Vec<MessageTrace>>,
+    ) -> ReliableExchange {
+        let p = self.net.platform().num_devices() as usize;
+        let h = self.net.platform().num_hosts() as usize;
+        let mut device_done: Vec<SimTime> = device_clock.to_vec();
+        let mut host_send_done: Vec<SimTime> = (0..h)
+            .map(|i| host_work_floor(self.net.platform(), device_clock, i as u32))
+            .collect();
+        let mut host_last_arrival: Vec<SimTime> = vec![SimTime::ZERO; h];
+        let mut sender_free: Vec<SimTime> = device_clock.to_vec();
+        let mut total_bytes = 0u64;
+        let mut delivered = vec![false; sends.len()];
+        let mut failures = Vec::new();
+
+        // Deterministic service order, identical to the raw exchange.
+        let mut order: Vec<usize> = (0..sends.len()).collect();
+        order.sort_by_key(|&i| (sends[i].depart, sends[i].from, sends[i].to));
+
+        for i in order {
+            let msg = sends[i];
+            let v = self.send_reliable(st, rst, msg, dest_alive[msg.to as usize], counters, events);
+            total_bytes += v.wire_bytes;
+            let hf = self.net.platform().host_of(msg.from) as usize;
+            let ht = self.net.platform().host_of(msg.to) as usize;
+            sender_free[msg.from as usize] = sender_free[msg.from as usize].max(v.sender_free);
+            host_send_done[hf] = host_send_done[hf].max(v.host_send_done);
+            match v.arrival {
+                Some(arrival) => {
+                    delivered[i] = true;
+                    device_done[msg.to as usize] = device_done[msg.to as usize].max(arrival);
+                    host_last_arrival[ht] = host_last_arrival[ht].max(arrival);
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.push(MessageTrace {
+                            from: msg.from,
+                            to: msg.to,
+                            bytes: msg.bytes,
+                            depart: msg.depart,
+                            arrival,
+                            pcie_out_queue: v.last.pcie_out_queue,
+                            nic_queue: v.last.nic_queue,
+                            pcie_in_queue: v.last.pcie_in_queue,
+                        });
+                    }
+                }
+                None => failures.push(Failure {
+                    index: i,
+                    from: msg.from,
+                    to: msg.to,
+                    gave_up_at: v.gave_up_at.expect("no arrival implies give-up"),
+                }),
+            }
+        }
+        for dev in 0..p {
+            device_done[dev] = device_done[dev].max(sender_free[dev]);
+        }
+        let host_wait = (0..h)
+            .map(|i| host_last_arrival[i].saturating_sub(host_send_done[i]))
+            .collect();
+        ReliableExchange {
+            outcome: ExchangeOutcome {
+                device_done,
+                host_wait,
+                sender_free,
+                total_bytes,
+                num_messages: sends.len() as u64,
+            },
+            delivered,
+            failures,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirgl_gpusim::Platform;
+
+    fn model(n: u32) -> NetModel {
+        NetModel::new(Platform::bridges(n))
+    }
+
+    fn cross_sends(n: usize) -> Vec<SendDesc> {
+        (0..n)
+            .map(|i| SendDesc {
+                from: (i % 2) as u32,
+                to: 2 + (i % 2) as u32,
+                bytes: 40_000 + (i as u64) * 1_000,
+                depart: SimTime::from_secs_f64(i as f64 * 1e-5),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_faults_is_byte_identical_to_raw_exchange() {
+        let m = model(4);
+        let clocks = vec![
+            SimTime::from_secs_f64(1e-3),
+            SimTime::from_secs_f64(2e-3),
+            SimTime::ZERO,
+            SimTime::from_secs_f64(5e-4),
+        ];
+        let sends = cross_sends(12);
+
+        let mut raw_st = m.new_state();
+        let mut raw_trace = Vec::new();
+        let raw = m.exchange_with(&mut raw_st, &clocks, &sends, Some(&mut raw_trace));
+
+        let r = ReliableNet::new(&m, FaultPlan::none(), RetryConfig::default());
+        let mut st = m.new_state();
+        let mut rst = ReliableState::for_devices(4);
+        let mut counters = FaultCounters::default();
+        let mut events = Vec::new();
+        let mut trace = Vec::new();
+        let rel = r.exchange_reliable(
+            &mut st,
+            &mut rst,
+            &clocks,
+            &sends,
+            &[true; 4],
+            &mut counters,
+            &mut events,
+            Some(&mut trace),
+        );
+
+        assert_eq!(format!("{raw:?}"), format!("{:?}", rel.outcome));
+        assert_eq!(raw_trace, trace);
+        assert!(rel.delivered.iter().all(|&d| d));
+        assert!(rel.failures.is_empty());
+        assert!(!counters.any());
+        assert!(events.is_empty());
+        // Link occupancy evolved identically too.
+        assert_eq!(format!("{raw_st:?}"), format!("{st:?}"));
+    }
+
+    #[test]
+    fn drops_cause_retransmits_but_everything_arrives() {
+        let m = model(4);
+        let plan = FaultPlan::seeded(0xFA17).with_drop(0.3);
+        let r = ReliableNet::new(&m, plan, RetryConfig::default());
+        let mut st = m.new_state();
+        let mut rst = ReliableState::for_devices(4);
+        let mut counters = FaultCounters::default();
+        let mut events = Vec::new();
+        let sends = cross_sends(64);
+        let rel = r.exchange_reliable(
+            &mut st,
+            &mut rst,
+            &[SimTime::ZERO; 4],
+            &sends,
+            &[true; 4],
+            &mut counters,
+            &mut events,
+            None,
+        );
+        assert!(counters.drops_injected > 0);
+        assert_eq!(counters.retransmits, counters.drops_injected);
+        assert!(
+            rel.failures.is_empty(),
+            "30% drop with 5 retries should deliver all 64 under this seed"
+        );
+        assert!(rel.delivered.iter().all(|&d| d));
+        // Retransmitted attempts put extra bytes on the wire.
+        let logical: u64 = sends.iter().map(|s| s.bytes).sum();
+        assert!(rel.outcome.total_bytes > logical);
+        assert!(events.iter().any(|e| e.kind == LinkEventKind::Retransmit));
+        assert!(events.iter().any(|e| e.kind == LinkEventKind::Timeout));
+    }
+
+    #[test]
+    fn dead_receiver_exhausts_the_budget() {
+        let m = model(4);
+        let retry = RetryConfig::default();
+        let r = ReliableNet::new(&m, FaultPlan::none(), retry);
+        let mut st = m.new_state();
+        let mut rst = ReliableState::for_devices(4);
+        let mut counters = FaultCounters::default();
+        let mut events = Vec::new();
+        let msg = SendDesc {
+            from: 0,
+            to: 2,
+            bytes: 1_000,
+            depart: SimTime::from_secs_f64(1e-3),
+        };
+        let v = r.send_reliable(&mut st, &mut rst, msg, false, &mut counters, &mut events);
+        assert_eq!(v.arrival, None);
+        assert_eq!(v.attempts, retry.max_retries + 1);
+        let gave_up = v.gave_up_at.expect("must give up");
+        // Detection happens after the whole backoff ladder.
+        assert!(gave_up > msg.depart + retry.give_up_after());
+        assert_eq!(counters.delivery_failures, 1);
+        assert_eq!(counters.timeouts as u32, retry.max_retries + 1);
+        assert_eq!(counters.retransmits as u32, retry.max_retries);
+        // A dead receiver is not an "injected" drop.
+        assert_eq!(counters.drops_injected, 0);
+        assert!(events.iter().any(|e| e.kind == LinkEventKind::GiveUp));
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_and_charged() {
+        let m = model(4);
+        let plan = FaultPlan::seeded(7).with_duplicate(0.9);
+        let r = ReliableNet::new(&m, plan, RetryConfig::default());
+        let mut st = m.new_state();
+        let mut rst = ReliableState::for_devices(4);
+        let mut counters = FaultCounters::default();
+        let mut events = Vec::new();
+        let sends = cross_sends(16);
+        let rel = r.exchange_reliable(
+            &mut st,
+            &mut rst,
+            &[SimTime::ZERO; 4],
+            &sends,
+            &[true; 4],
+            &mut counters,
+            &mut events,
+            None,
+        );
+        assert!(counters.duplicates_injected > 0);
+        assert_eq!(counters.duplicates_suppressed, counters.duplicates_injected);
+        // Every logical message delivered exactly once.
+        assert!(rel.delivered.iter().all(|&d| d));
+        let logical: u64 = sends.iter().map(|s| s.bytes).sum();
+        assert!(rel.outcome.total_bytes > logical, "copies occupy the wire");
+    }
+
+    #[test]
+    fn delay_spikes_push_arrivals_back() {
+        let m = model(4);
+        let delay = 3e-3;
+        let plan = FaultPlan::seeded(3).with_delay(0.999, delay);
+        let r = ReliableNet::new(&m, plan, RetryConfig::default());
+        let msg = SendDesc {
+            from: 0,
+            to: 2,
+            bytes: 1_000,
+            depart: SimTime::ZERO,
+        };
+        let raw = m.send(&mut m.new_state(), msg);
+        let mut st = m.new_state();
+        let mut rst = ReliableState::for_devices(4);
+        let mut counters = FaultCounters::default();
+        let mut events = Vec::new();
+        let v = r.send_reliable(&mut st, &mut rst, msg, true, &mut counters, &mut events);
+        assert_eq!(
+            v.arrival.unwrap(),
+            raw.arrival + SimTime::from_secs_f64(delay)
+        );
+        assert_eq!(counters.delays_injected, 1);
+    }
+
+    #[test]
+    fn sequence_numbers_advance_per_link() {
+        let mut rst = ReliableState::for_devices(3);
+        assert_eq!(rst.next_seq(0, 1), 0);
+        assert_eq!(rst.next_seq(0, 1), 1);
+        assert_eq!(rst.next_seq(1, 0), 0, "links are independent");
+        assert_eq!(rst.next_seq(0, 2), 0);
+        assert_eq!(rst.next_seq(0, 1), 2);
+    }
+}

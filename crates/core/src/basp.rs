@@ -22,6 +22,16 @@
 //! original pop order. Two same-instant rounds can never observe each
 //! other's output (their arrivals carry strictly larger sequence numbers),
 //! so the batched schedule is bit-identical to the sequential one.
+//!
+//! Resilience: with [`RunConfig::faults`] set, sends go through the
+//! reliable transport; a device crash (scheduled by *local* round ordinal)
+//! silences its partition, is detected when a sender exhausts its retry
+//! budget — or, if no message was in flight, when the drained heap leaves
+//! an unrecovered corpse — and recovery restores a full-simulation
+//! checkpoint (devices, inboxes, event heap, link occupancy) shifted
+//! forward to the detection instant. Without rejoin the dead device's
+//! partition is re-homed onto a survivor and the simulation continues
+//! degraded.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -29,14 +39,15 @@ use std::collections::BinaryHeap;
 use rayon::prelude::*;
 
 use dirgl_comm::SyncPlan;
-use dirgl_comm::{NetModel, SendDesc, SimTime};
+use dirgl_comm::{CrashSpec, NetModel, NetState, SendDesc, SimTime};
 use dirgl_partition::Partition;
 
-use crate::bsp::EngineOutcome;
+use crate::bsp::{EngineOutcome, FaultCtx};
 use crate::config::RunConfig;
 use crate::device::DeviceRun;
 use crate::program::{Style, VertexProgram};
-use crate::trace::{EngineKind, RoundRecord, TraceDirection, TraceSink};
+use crate::resilience::{checkpoint_bytes, pcie_transfer_time, DeviceSnapshot, ResilienceStats};
+use crate::trace::{EngineKind, FaultEvent, RoundRecord, TraceDirection, TraceSink};
 
 enum Payload<P: VertexProgram> {
     /// Mirror deltas travelling holder → owner.
@@ -53,6 +64,34 @@ enum Payload<P: VertexProgram> {
     },
 }
 
+// Manual impls: `P` itself is not `Clone`, only the payload data is, so
+// the derives would put the wrong bound on. Cloning exists for the BASP
+// checkpoint, which snapshots in-flight messages.
+impl<P: VertexProgram> Clone for Payload<P> {
+    fn clone(&self) -> Self {
+        match self {
+            Payload::Reduce {
+                holder,
+                owner,
+                data,
+            } => Payload::Reduce {
+                holder: *holder,
+                owner: *owner,
+                data: data.clone(),
+            },
+            Payload::Bcast {
+                owner,
+                holder,
+                data,
+            } => Payload::Bcast {
+                owner: *owner,
+                holder: *holder,
+                data: data.clone(),
+            },
+        }
+    }
+}
+
 struct Event<P: VertexProgram> {
     time: SimTime,
     seq: u64,
@@ -64,6 +103,25 @@ enum EventKind<P: VertexProgram> {
     /// Receiver, payload, wire bytes (bytes ride along for the trace's
     /// received-volume attribution).
     Arrive(u32, Payload<P>, u64),
+}
+
+impl<P: VertexProgram> Clone for EventKind<P> {
+    fn clone(&self) -> Self {
+        match self {
+            EventKind::Round(d) => EventKind::Round(*d),
+            EventKind::Arrive(d, payload, bytes) => EventKind::Arrive(*d, payload.clone(), *bytes),
+        }
+    }
+}
+
+impl<P: VertexProgram> Clone for Event<P> {
+    fn clone(&self) -> Self {
+        Event {
+            time: self.time,
+            seq: self.seq,
+            kind: self.kind.clone(),
+        }
+    }
 }
 
 impl<P: VertexProgram> PartialEq for Event<P> {
@@ -107,19 +165,180 @@ struct LocalRound<P: VertexProgram> {
 /// exclusive slot, its drained mail, and its going-in convergence flag.
 type PhaseAWork<'a, P> = (usize, u32, &'a mut DeviceRun<P>, Vec<Payload<P>>, bool);
 
-/// Deprecated alias of [`run_basp`] from when the sink-taking variant was
-/// a separate entry point.
-#[deprecated(since = "0.2.0", note = "use `run_basp`, which now takes the sink")]
-pub fn run_basp_traced<P: VertexProgram>(
-    program: &P,
-    devices: &mut [DeviceRun<P>],
-    part: &Partition,
-    plan: &SyncPlan,
+/// A restorable point of the whole BASP simulation: device state plus
+/// every piece of discrete-event machinery (in-flight events, inboxes,
+/// link occupancy, per-device flags). Sequence counters and per-link
+/// fault sequence numbers are deliberately *not* captured: a replay draws
+/// fresh fault fates, so a drop that killed the first timeline cannot
+/// recur forever (livelock-freedom).
+struct BaspCheckpoint<P: VertexProgram> {
+    taken_at: SimTime,
+    devs: Vec<DeviceSnapshot<P>>,
+    busy: Vec<SimTime>,
+    idle_since: Vec<Option<SimTime>>,
+    round_pending: Vec<bool>,
+    converged: Vec<bool>,
+    inbox: Vec<Vec<Payload<P>>>,
+    events: Vec<Event<P>>,
+    net_state: NetState,
+    tr_wait: Vec<SimTime>,
+    tr_recv: Vec<(u64, u64)>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn take_basp_checkpoint<P: VertexProgram>(
+    devices: &[DeviceRun<P>],
+    busy: &mut [SimTime],
+    idle_since: &[Option<SimTime>],
+    round_pending: &[bool],
+    converged: &[bool],
+    inbox: &[Vec<Payload<P>>],
+    heap: &BinaryHeap<Event<P>>,
+    net_state: &NetState,
+    tr_wait: &[SimTime],
+    tr_recv: &[(u64, u64)],
+    divisor: u64,
     net: &NetModel,
-    config: &RunConfig,
+    stats: &mut ResilienceStats,
     sink: &mut dyn TraceSink,
-) -> EngineOutcome {
-    run_basp(program, devices, part, plan, net, config, sink)
+) -> BaspCheckpoint<P> {
+    let cluster = net.platform().cluster;
+    let mut total = 0u64;
+    for (i, dev) in devices.iter().enumerate() {
+        let bytes = checkpoint_bytes(dev, divisor);
+        total += bytes;
+        busy[i] += pcie_transfer_time(&cluster, bytes);
+    }
+    let taken_at = busy.iter().copied().max().unwrap_or(SimTime::ZERO);
+    stats.checkpoints_taken += 1;
+    stats.checkpoint_bytes += total;
+    sink.fault(FaultEvent::CheckpointTaken {
+        at: taken_at,
+        round: devices.iter().map(|d| d.rounds).min().unwrap_or(0),
+        bytes: total,
+    });
+    BaspCheckpoint {
+        taken_at,
+        devs: devices.iter().map(DeviceSnapshot::capture).collect(),
+        busy: busy.to_vec(),
+        idle_since: idle_since.to_vec(),
+        round_pending: round_pending.to_vec(),
+        converged: converged.to_vec(),
+        inbox: inbox.to_vec(),
+        events: heap.iter().cloned().collect(),
+        net_state: net_state.clone(),
+        tr_wait: tr_wait.to_vec(),
+        tr_recv: tr_recv.to_vec(),
+    }
+}
+
+/// Rolls the whole simulation back to `ckpt`, shifted forward so it
+/// resumes at the crash-detection instant, then either revives the dead
+/// device (rejoin) or re-homes its partition onto a survivor.
+#[allow(clippy::too_many_arguments)]
+fn recover_basp<P: VertexProgram>(
+    net: &NetModel,
+    divisor: u64,
+    cr: CrashSpec,
+    ckpt: &BaspCheckpoint<P>,
+    detect_at: SimTime,
+    devices: &mut [DeviceRun<P>],
+    busy: &mut [SimTime],
+    idle_since: &mut [Option<SimTime>],
+    round_pending: &mut [bool],
+    converged: &mut [bool],
+    inbox: &mut [Vec<Payload<P>>],
+    heap: &mut BinaryHeap<Event<P>>,
+    net_state: &mut NetState,
+    phys_free: &mut [SimTime],
+    tr_wait: &mut [SimTime],
+    tr_recv: &mut [(u64, u64)],
+    ctx: &mut FaultCtx<'_>,
+    stats: &mut ResilienceStats,
+    sink: &mut dyn TraceSink,
+) {
+    stats.rollbacks += 1;
+    stats.rounds_replayed += devices
+        .iter()
+        .zip(&ckpt.devs)
+        .map(|(d, s)| d.rounds.saturating_sub(s.rounds()))
+        .sum::<u32>();
+    let pre_max = busy.iter().copied().max().unwrap_or(SimTime::ZERO);
+
+    // Every device reloads its snapshot over PCIe; the simulation resumes
+    // once the slowest reload completes.
+    let cluster = net.platform().cluster;
+    let mut resume = detect_at;
+    for dev in devices.iter() {
+        let cost = pcie_transfer_time(&cluster, checkpoint_bytes(dev, divisor));
+        resume = resume.max(detect_at + cost);
+    }
+    stats.recovery_time += resume.saturating_sub(pre_max);
+
+    // Restore, time-shifted: everything the snapshot scheduled `x` seconds
+    // into its future stays `x` seconds into the resumed run's future.
+    let delta = resume.saturating_sub(ckpt.taken_at);
+    for (dev, snap) in devices.iter_mut().zip(&ckpt.devs) {
+        snap.restore(dev);
+    }
+    for (b, s) in busy.iter_mut().zip(&ckpt.busy) {
+        *b = *s + delta;
+    }
+    for (i, s) in idle_since.iter_mut().zip(&ckpt.idle_since) {
+        *i = s.map(|t| t + delta);
+    }
+    round_pending.copy_from_slice(&ckpt.round_pending);
+    converged.copy_from_slice(&ckpt.converged);
+    for (ib, s) in inbox.iter_mut().zip(&ckpt.inbox) {
+        *ib = s.clone();
+    }
+    tr_wait.copy_from_slice(&ckpt.tr_wait);
+    tr_recv.copy_from_slice(&ckpt.tr_recv);
+    *net_state = ckpt.net_state.clone();
+    net_state.shift(delta);
+    heap.clear();
+    for e in &ckpt.events {
+        // Original sequence numbers are kept: relative event order inside
+        // the snapshot is part of the restored state. The live counter
+        // was never rolled back, so post-recovery events sort after all
+        // restored ones at equal instants.
+        heap.push(Event {
+            time: e.time + delta,
+            seq: e.seq,
+            kind: e.kind.clone(),
+        });
+    }
+
+    if cr.rejoin {
+        ctx.health.revive(cr.device);
+        stats.rejoins += 1;
+    } else {
+        let adopter = ctx
+            .home
+            .pick_adopter(&ctx.health.alive_flags())
+            .expect("at least one survivor");
+        let masters = devices[cr.device as usize].lg.num_masters as u64;
+        ctx.home.rehome(cr.device, adopter);
+        stats.masters_reassigned += masters;
+        sink.fault(FaultEvent::MastersReassigned {
+            at: resume,
+            from_device: cr.device,
+            to_device: adopter,
+            masters,
+        });
+    }
+    for f in phys_free.iter_mut() {
+        *f = SimTime::ZERO;
+    }
+    for l in 0..busy.len() as u32 {
+        let pd = ctx.home.phys(l) as usize;
+        phys_free[pd] = phys_free[pd].max(busy[l as usize]);
+    }
+    sink.fault(FaultEvent::Rollback {
+        at: resume,
+        to_round: ckpt.devs.iter().map(|s| s.rounds()).min().unwrap_or(0),
+        device: cr.device,
+    });
 }
 
 /// Runs `program` to quiescence under BASP, emitting one
@@ -164,6 +383,20 @@ pub fn run_basp<P: VertexProgram>(
     let mut messages = 0u64;
     let mut net_state = net.new_state();
 
+    // Fault layer (None unless configured; a none-plan context is inert
+    // and byte-identical to the raw path — pinned by tests).
+    let mut fctx = FaultCtx::new(net, config);
+    let mut stats = ResilienceStats::default();
+    let crash_plan = config.faults.as_ref().and_then(|f| f.crash);
+    let ckpt_every = config.checkpoint_every_rounds;
+    let recovery_on = fctx.is_some() && (crash_plan.is_some() || ckpt_every > 0);
+    let mut next_ckpt = if ckpt_every > 0 { ckpt_every } else { u32::MAX };
+    // Per-physical-device serialization floor, meaningful only after
+    // degradation re-homing put two partitions on one device.
+    let mut phys_free = vec![SimTime::ZERO; p];
+    let mut pending_failures: Vec<SimTime> = Vec::new();
+    let mut straggler_announced = false;
+
     // Per-device trace accumulators: wait since the previous local round,
     // and (bytes, messages) received since the previous local round.
     let mut tr_wait = vec![SimTime::ZERO; p];
@@ -178,312 +411,572 @@ pub fn run_basp<P: VertexProgram>(
         }
     }
 
-    while let Some(ev) = heap.pop() {
-        match ev.kind {
-            EventKind::Arrive(d, payload, bytes) => {
-                let du = d as usize;
-                inbox[du].push(payload);
-                if tracing {
-                    tr_recv[du].0 += bytes;
-                    tr_recv[du].1 += 1;
-                }
-                if !round_pending[du] {
-                    // Wake the device at whichever is later: now or when its
-                    // current round ends.
-                    let wake = ev.time.max(busy[du]);
-                    if let Some(s) = idle_since[du].take() {
-                        let blocked = wake.saturating_sub(s);
-                        devices[du].idle_time += blocked;
-                        tr_wait[du] += blocked;
-                    }
-                    round_pending[du] = true;
-                    push_ev(&mut heap, &mut seq, wake, EventKind::Round(d));
-                }
-            }
-            EventKind::Round(d) => {
-                let t = ev.time;
-                // Batch every Round event sharing this exact instant (an
-                // interleaved same-time Arrive ends the batch: its effect
-                // must stay ordered between the rounds around it).
-                let mut batch: Vec<u32> = vec![d];
-                while let Some(top) = heap.peek() {
-                    if top.time != t || !matches!(top.kind, EventKind::Round(_)) {
-                        break;
-                    }
-                    match heap.pop() {
-                        Some(Event {
-                            kind: EventKind::Round(d2),
-                            ..
-                        }) => batch.push(d2),
-                        _ => unreachable!("peeked a Round event"),
-                    }
-                }
-                for &bd in &batch {
-                    round_pending[bd as usize] = false;
-                }
+    let mut checkpoint: Option<BaspCheckpoint<P>> = None;
+    if recovery_on {
+        checkpoint = Some(take_basp_checkpoint(
+            devices,
+            &mut busy,
+            &idle_since,
+            &round_pending,
+            &converged,
+            &inbox,
+            &heap,
+            &net_state,
+            &tr_wait,
+            &tr_recv,
+            divisor,
+            net,
+            &mut stats,
+            sink,
+        ));
+    }
 
-                // Phase A: the device-local round — drain arrivals, absorb,
-                // compute, build outgoing payloads. Nothing here reads or
-                // writes another device or the simulation's shared order
-                // (net state, seq, heap), so batched devices fan out across
-                // the pool.
-                let phase_a = |dev: &mut DeviceRun<P>,
-                               d: u32,
-                               mail: Vec<Payload<P>>,
-                               mut conv: bool|
-                 -> LocalRound<P> {
-                    // 1. Drain arrived messages. Only payloads that actually
-                    // change state un-converge the device: header-only sync
-                    // messages must not cause compute chatter.
-                    let mut arrivals_changed = false;
-                    for payload in mail {
-                        match payload {
-                            Payload::Reduce {
-                                holder,
-                                owner,
-                                data,
-                            } => {
-                                debug_assert_eq!(owner, d);
-                                let link = part.link(holder, owner);
-                                arrivals_changed |= dev.apply_reduce(program, link, &data);
-                            }
-                            Payload::Bcast {
-                                owner,
-                                holder,
-                                data,
-                            } => {
-                                debug_assert_eq!(holder, d);
-                                let link = part.link(holder, owner);
-                                arrivals_changed |= dev.apply_broadcast(program, link, &data, true);
-                            }
-                        }
-                    }
-                    if arrivals_changed {
-                        conv = false;
-                    }
-                    // 2. Pre-compute absorb (data-driven): reduced deltas may
-                    // activate masters. Idempotent against an empty accumulator.
-                    // Canonical mass produced here reaches mirrors through the
-                    // take-based async broadcast in step 5 (consumable
-                    // generations keep an "unsent" ledger, so a generation the
-                    // master consumes in this round's compute is still shipped).
-                    let mut pre_changed = 0;
-                    if !pull {
-                        pre_changed = dev.absorb_masters(program);
-                    }
-
-                    let capped = dev.rounds >= program.max_rounds();
-                    let work = if pull { !conv } else { dev.has_work() };
-                    if !work || capped {
-                        return LocalRound {
-                            conv,
-                            idle: true,
-                            frontier: 0,
-                            dt: SimTime::ZERO,
-                            pack: SimTime::ZERO,
-                            absorb_changed: 0,
-                            msgs: Vec::new(),
-                        };
-                    }
-
-                    let frontier = if tracing { dev.active_count() } else { 0 };
-
-                    // 3. Compute one local round. Pull programs then consume
-                    // the mirror values read this round: local rounds are not
-                    // globally aligned, so an unconsumed mirror residual would
-                    // be re-read by the next local round (mass duplication).
-                    let dt = dev.compute(program, balancer, divisor);
-                    if pull {
-                        dev.consume_mirrors_after_pull(program);
-                    }
-
-                    // 4. Absorb (masters fold local accumulations).
-                    let changed = dev.absorb_masters(program);
-                    if pull {
-                        conv = changed == 0;
-                    }
-
-                    // 5a. Build outgoing payloads (timing and injection
-                    // happen in the sequential phase below). Every
-                    // computing round syncs with every partner, as
-                    // Gluon(-Async) does; an empty payload still costs the
-                    // presence-bitset header.
-                    let mut msgs: Vec<(u32, Payload<P>, u64)> = Vec::new();
-                    for other in 0..p as u32 {
-                        if other == d {
-                            continue;
-                        }
-                        // Reduce: this device's mirror deltas to their masters.
-                        let entries = plan.reduce(d, other);
-                        if !entries.is_empty() {
-                            let link = part.link(d, other);
-                            let (data, bytes) =
-                                dev.build_reduce(program, link, entries, mode, divisor);
-                            msgs.push((
-                                other,
-                                Payload::Reduce {
-                                    holder: d,
-                                    owner: other,
-                                    data,
-                                },
-                                bytes,
-                            ));
-                        }
-                        // Broadcast: this device's updated masters to mirrors.
-                        let entries = plan.bcast(other, d);
-                        if !entries.is_empty() {
-                            let link = part.link(other, d);
-                            let (data, bytes) =
-                                dev.build_broadcast(program, link, entries, mode, divisor, true);
-                            msgs.push((
-                                other,
-                                Payload::Bcast {
-                                    owner: d,
-                                    holder: other,
-                                    data,
-                                },
-                                bytes,
-                            ));
-                        }
-                    }
-                    dev.after_broadcast_round(program);
-                    dev.clear_sync_marks();
-                    let pack = if msgs.is_empty() {
-                        SimTime::ZERO
-                    } else {
-                        dev.pack_time(mode, divisor)
-                    };
-                    LocalRound {
-                        conv,
-                        idle: false,
-                        frontier,
-                        dt,
-                        pack,
-                        absorb_changed: pre_changed + changed,
-                        msgs,
-                    }
-                };
-
-                let outs: Vec<(u32, LocalRound<P>)> = if batch.len() == 1 {
-                    let du = d as usize;
-                    let mail = std::mem::take(&mut inbox[du]);
-                    vec![(d, phase_a(&mut devices[du], d, mail, converged[du]))]
-                } else {
-                    // Select disjoint `&mut` device slots in ascending index
-                    // order, then fan out. Results return to pop order via
-                    // the carried batch index.
-                    let mut order: Vec<usize> = (0..batch.len()).collect();
-                    order.sort_unstable_by_key(|&i| batch[i]);
-                    let mut work: Vec<PhaseAWork<P>> = Vec::with_capacity(batch.len());
-                    let mut rest: &mut [DeviceRun<P>] = devices;
-                    let mut base = 0usize;
-                    for &i in &order {
-                        let du = batch[i] as usize;
-                        let r = std::mem::take(&mut rest);
-                        let (_, tail) = r.split_at_mut(du - base);
-                        let (dev, tail2) = tail.split_first_mut().expect("device in range");
-                        rest = tail2;
-                        base = du + 1;
-                        work.push((
-                            i,
-                            batch[i],
-                            dev,
-                            std::mem::take(&mut inbox[du]),
-                            converged[du],
-                        ));
-                    }
-                    let mut outs: Vec<(usize, u32, LocalRound<P>)> = work
-                        .into_par_iter()
-                        .map(|(bi, bd, dev, mail, conv)| (bi, bd, phase_a(dev, bd, mail, conv)))
-                        .collect();
-                    outs.sort_unstable_by_key(|o| o.0);
-                    outs.into_iter().map(|(_, bd, a)| (bd, a)).collect()
-                };
-
-                // Phase B: inject sends into the shared network/heap state
-                // and emit trace records, sequentially in pop order —
-                // sequence numbers, link occupancy and the JSONL stream
-                // come out exactly as in an unbatched run.
-                for (bd, a) in outs {
-                    let du = bd as usize;
-                    converged[du] = a.conv;
-                    if a.idle {
-                        idle_since[du] = Some(t);
+    'sim: loop {
+        while let Some(ev) = heap.pop() {
+            match ev.kind {
+                EventKind::Arrive(d, payload, bytes) => {
+                    // Mail for a dead partition evaporates; the sender's
+                    // failure detection happens on the transport side.
+                    if fctx.as_ref().is_some_and(|c| !c.alive_logical(d)) {
                         continue;
                     }
-                    let mut depart = t + a.dt;
-                    let mut sender_free = depart;
-                    depart += a.pack;
-                    let mut sent_bytes = 0u64;
-                    let mut sent_msgs = 0u64;
-                    for (other, payload, bytes) in a.msgs {
-                        let delivery = net.send(
-                            &mut net_state,
-                            SendDesc {
-                                from: bd,
-                                to: other,
-                                bytes,
-                                depart,
-                            },
-                        );
-                        comm_bytes += bytes;
-                        messages += 1;
-                        sent_bytes += bytes;
-                        sent_msgs += 1;
-                        sender_free = sender_free.max(delivery.sender_free);
-                        push_ev(
-                            &mut heap,
-                            &mut seq,
-                            delivery.arrival,
-                            EventKind::Arrive(other, payload, bytes),
-                        );
-                    }
-                    busy[du] = depart.max(sender_free);
-
+                    let du = d as usize;
+                    inbox[du].push(payload);
                     if tracing {
-                        sink.record(RoundRecord {
-                            engine: EngineKind::Basp,
-                            round: devices[du].rounds - 1,
-                            device: bd,
-                            direction: if pull {
-                                TraceDirection::Pull
-                            } else {
-                                TraceDirection::Push
-                            },
-                            frontier: a.frontier,
-                            compute: a.dt,
-                            pack: a.pack,
-                            wait: tr_wait[du],
-                            bytes_sent: sent_bytes,
-                            bytes_received: tr_recv[du].0,
-                            messages_sent: sent_msgs,
-                            messages_received: tr_recv[du].1,
-                            absorb_changed: a.absorb_changed,
-                            clock_end: busy[du],
-                        });
-                        tr_wait[du] = SimTime::ZERO;
-                        tr_recv[du] = (0, 0);
+                        tr_recv[du].0 += bytes;
+                        tr_recv[du].1 += 1;
+                    }
+                    if !round_pending[du] {
+                        // Wake the device at whichever is later: now or when its
+                        // current round ends.
+                        let wake = ev.time.max(busy[du]);
+                        if let Some(s) = idle_since[du].take() {
+                            let blocked = wake.saturating_sub(s);
+                            devices[du].idle_time += blocked;
+                            tr_wait[du] += blocked;
+                        }
+                        round_pending[du] = true;
+                        push_ev(&mut heap, &mut seq, wake, EventKind::Round(d));
+                    }
+                }
+                EventKind::Round(d) => {
+                    let t = ev.time;
+                    // Batch every Round event sharing this exact instant (an
+                    // interleaved same-time Arrive ends the batch: its effect
+                    // must stay ordered between the rounds around it).
+                    let mut batch: Vec<u32> = vec![d];
+                    while let Some(top) = heap.peek() {
+                        if top.time != t || !matches!(top.kind, EventKind::Round(_)) {
+                            break;
+                        }
+                        match heap.pop() {
+                            Some(Event {
+                                kind: EventKind::Round(d2),
+                                ..
+                            }) => batch.push(d2),
+                            _ => unreachable!("peeked a Round event"),
+                        }
+                    }
+                    for &bd in &batch {
+                        round_pending[bd as usize] = false;
                     }
 
-                    // 6. Keep rounding while local work remains; otherwise idle.
-                    let more = if pull {
-                        !converged[du]
-                    } else {
-                        devices[du].has_work()
+                    // Scheduled crash: fires when the victim is about to
+                    // execute the configured *local* round ordinal. The
+                    // victim's round (and any batch-mates' mail to it) simply
+                    // stops happening.
+                    if let (Some(ctx), Some(cr)) = (fctx.as_mut(), crash_plan) {
+                        if !ctx.crash_fired
+                            && batch.contains(&cr.device)
+                            && devices[cr.device as usize].rounds == cr.round
+                        {
+                            ctx.crash_fired = true;
+                            ctx.health.mark_dead(cr.device);
+                            stats.crashes += 1;
+                            sink.fault(FaultEvent::FaultInjected {
+                                at: t,
+                                device: cr.device,
+                                kind: "crash",
+                            });
+                        }
+                        batch.retain(|&bd| ctx.alive_logical(bd));
+                        if batch.is_empty() {
+                            continue;
+                        }
+                    }
+
+                    // Phase A: the device-local round — drain arrivals, absorb,
+                    // compute, build outgoing payloads. Nothing here reads or
+                    // writes another device or the simulation's shared order
+                    // (net state, seq, heap), so batched devices fan out across
+                    // the pool.
+                    let phase_a = |dev: &mut DeviceRun<P>,
+                                   d: u32,
+                                   mail: Vec<Payload<P>>,
+                                   mut conv: bool|
+                     -> LocalRound<P> {
+                        // 1. Drain arrived messages. Only payloads that actually
+                        // change state un-converge the device: header-only sync
+                        // messages must not cause compute chatter.
+                        let mut arrivals_changed = false;
+                        for payload in mail {
+                            match payload {
+                                Payload::Reduce {
+                                    holder,
+                                    owner,
+                                    data,
+                                } => {
+                                    debug_assert_eq!(owner, d);
+                                    let link = part.link(holder, owner);
+                                    arrivals_changed |= dev.apply_reduce(program, link, &data);
+                                }
+                                Payload::Bcast {
+                                    owner,
+                                    holder,
+                                    data,
+                                } => {
+                                    debug_assert_eq!(holder, d);
+                                    let link = part.link(holder, owner);
+                                    arrivals_changed |=
+                                        dev.apply_broadcast(program, link, &data, true);
+                                }
+                            }
+                        }
+                        if arrivals_changed {
+                            conv = false;
+                        }
+                        // 2. Pre-compute absorb (data-driven): reduced deltas may
+                        // activate masters. Idempotent against an empty accumulator.
+                        // Canonical mass produced here reaches mirrors through the
+                        // take-based async broadcast in step 5 (consumable
+                        // generations keep an "unsent" ledger, so a generation the
+                        // master consumes in this round's compute is still shipped).
+                        let mut pre_changed = 0;
+                        if !pull {
+                            pre_changed = dev.absorb_masters(program);
+                        }
+
+                        let capped = dev.rounds >= program.max_rounds();
+                        let work = if pull { !conv } else { dev.has_work() };
+                        if !work || capped {
+                            return LocalRound {
+                                conv,
+                                idle: true,
+                                frontier: 0,
+                                dt: SimTime::ZERO,
+                                pack: SimTime::ZERO,
+                                absorb_changed: 0,
+                                msgs: Vec::new(),
+                            };
+                        }
+
+                        let frontier = if tracing { dev.active_count() } else { 0 };
+
+                        // 3. Compute one local round. Pull programs then consume
+                        // the mirror values read this round: local rounds are not
+                        // globally aligned, so an unconsumed mirror residual would
+                        // be re-read by the next local round (mass duplication).
+                        let dt = dev.compute(program, balancer, divisor);
+                        if pull {
+                            dev.consume_mirrors_after_pull(program);
+                        }
+
+                        // 4. Absorb (masters fold local accumulations).
+                        let changed = dev.absorb_masters(program);
+                        if pull {
+                            conv = changed == 0;
+                        }
+
+                        // 5a. Build outgoing payloads (timing and injection
+                        // happen in the sequential phase below). Every
+                        // computing round syncs with every partner, as
+                        // Gluon(-Async) does; an empty payload still costs the
+                        // presence-bitset header.
+                        let mut msgs: Vec<(u32, Payload<P>, u64)> = Vec::new();
+                        for other in 0..p as u32 {
+                            if other == d {
+                                continue;
+                            }
+                            // Reduce: this device's mirror deltas to their masters.
+                            let entries = plan.reduce(d, other);
+                            if !entries.is_empty() {
+                                let link = part.link(d, other);
+                                let (data, bytes) =
+                                    dev.build_reduce(program, link, entries, mode, divisor);
+                                msgs.push((
+                                    other,
+                                    Payload::Reduce {
+                                        holder: d,
+                                        owner: other,
+                                        data,
+                                    },
+                                    bytes,
+                                ));
+                            }
+                            // Broadcast: this device's updated masters to mirrors.
+                            let entries = plan.bcast(other, d);
+                            if !entries.is_empty() {
+                                let link = part.link(other, d);
+                                let (data, bytes) = dev
+                                    .build_broadcast(program, link, entries, mode, divisor, true);
+                                msgs.push((
+                                    other,
+                                    Payload::Bcast {
+                                        owner: d,
+                                        holder: other,
+                                        data,
+                                    },
+                                    bytes,
+                                ));
+                            }
+                        }
+                        dev.after_broadcast_round(program);
+                        dev.clear_sync_marks();
+                        let pack = if msgs.is_empty() {
+                            SimTime::ZERO
+                        } else {
+                            dev.pack_time(mode, divisor)
+                        };
+                        LocalRound {
+                            conv,
+                            idle: false,
+                            frontier,
+                            dt,
+                            pack,
+                            absorb_changed: pre_changed + changed,
+                            msgs,
+                        }
                     };
-                    if more && devices[du].rounds < program.max_rounds() {
-                        // Throttled BASP: insert a gap so arrivals batch into
-                        // the next round instead of each triggering redundant
-                        // recomputation (the paper's §VII recommendation).
-                        let next = busy[du] + SimTime::from_secs_f64(config.basp_round_gap_secs);
-                        round_pending[du] = true;
-                        push_ev(&mut heap, &mut seq, next, EventKind::Round(bd));
+
+                    let outs: Vec<(u32, LocalRound<P>)> = if batch.len() == 1 {
+                        let d = batch[0];
+                        let du = d as usize;
+                        let mail = std::mem::take(&mut inbox[du]);
+                        vec![(d, phase_a(&mut devices[du], d, mail, converged[du]))]
                     } else {
-                        idle_since[du] = Some(busy[du]);
+                        // Select disjoint `&mut` device slots in ascending index
+                        // order, then fan out. Results return to pop order via
+                        // the carried batch index.
+                        let mut order: Vec<usize> = (0..batch.len()).collect();
+                        order.sort_unstable_by_key(|&i| batch[i]);
+                        let mut work: Vec<PhaseAWork<P>> = Vec::with_capacity(batch.len());
+                        let mut rest: &mut [DeviceRun<P>] = devices;
+                        let mut base = 0usize;
+                        for &i in &order {
+                            let du = batch[i] as usize;
+                            let r = std::mem::take(&mut rest);
+                            let (_, tail) = r.split_at_mut(du - base);
+                            let (dev, tail2) = tail.split_first_mut().expect("device in range");
+                            rest = tail2;
+                            base = du + 1;
+                            work.push((
+                                i,
+                                batch[i],
+                                dev,
+                                std::mem::take(&mut inbox[du]),
+                                converged[du],
+                            ));
+                        }
+                        let mut outs: Vec<(usize, u32, LocalRound<P>)> = work
+                            .into_par_iter()
+                            .map(|(bi, bd, dev, mail, conv)| (bi, bd, phase_a(dev, bd, mail, conv)))
+                            .collect();
+                        outs.sort_unstable_by_key(|o| o.0);
+                        outs.into_iter().map(|(_, bd, a)| (bd, a)).collect()
+                    };
+
+                    // Phase B: inject sends into the shared network/heap state
+                    // and emit trace records, sequentially in pop order —
+                    // sequence numbers, link occupancy and the JSONL stream
+                    // come out exactly as in an unbatched run.
+                    for (bd, a) in outs {
+                        let du = bd as usize;
+                        converged[du] = a.conv;
+                        if a.idle {
+                            idle_since[du] = Some(t);
+                            continue;
+                        }
+                        // Straggler: scale this round's kernel time when the
+                        // hosting physical device is inside its slow window.
+                        let dt = match &fctx {
+                            Some(ctx) => {
+                                let phys = ctx.home.phys(bd);
+                                let f = ctx
+                                    .injector()
+                                    .slowdown(phys, devices[du].rounds.saturating_sub(1));
+                                if f == 1.0 {
+                                    a.dt
+                                } else {
+                                    if !straggler_announced {
+                                        straggler_announced = true;
+                                        sink.fault(FaultEvent::FaultInjected {
+                                            at: t,
+                                            device: phys,
+                                            kind: "straggler",
+                                        });
+                                    }
+                                    SimTime::from_secs_f64(a.dt.as_secs_f64() * f)
+                                }
+                            }
+                            None => a.dt,
+                        };
+                        // On a healthy identity mapping `t >= busy[du]` always
+                        // holds and `start == t`, the raw schedule. The maxes
+                        // matter after a checkpoint charge pushed `busy` past
+                        // an already-scheduled round, and for partitions
+                        // sharing a physical device after re-homing (they
+                        // serialize on the `phys_free` floor).
+                        let start = match &fctx {
+                            Some(ctx) if !ctx.home.is_identity() => {
+                                let pd = ctx.home.phys(bd) as usize;
+                                t.max(busy[du]).max(phys_free[pd])
+                            }
+                            _ => t.max(busy[du]),
+                        };
+                        let mut depart = start + dt;
+                        let mut sender_free = depart;
+                        depart += a.pack;
+                        let mut sent_bytes = 0u64;
+                        let mut sent_msgs = 0u64;
+                        for (other, payload, bytes) in a.msgs {
+                            messages += 1;
+                            sent_bytes += bytes;
+                            sent_msgs += 1;
+                            match fctx.as_mut() {
+                                None => {
+                                    let delivery = net.send(
+                                        &mut net_state,
+                                        SendDesc {
+                                            from: bd,
+                                            to: other,
+                                            bytes,
+                                            depart,
+                                        },
+                                    );
+                                    comm_bytes += bytes;
+                                    sender_free = sender_free.max(delivery.sender_free);
+                                    push_ev(
+                                        &mut heap,
+                                        &mut seq,
+                                        delivery.arrival,
+                                        EventKind::Arrive(other, payload, bytes),
+                                    );
+                                }
+                                Some(ctx) => {
+                                    let pf = ctx.home.phys(bd);
+                                    let pt = ctx.home.phys(other);
+                                    if pf == pt {
+                                        // Co-homed after degradation: the
+                                        // payload never leaves device memory.
+                                        push_ev(
+                                            &mut heap,
+                                            &mut seq,
+                                            depart,
+                                            EventKind::Arrive(other, payload, bytes),
+                                        );
+                                        continue;
+                                    }
+                                    let alive = ctx.health.is_alive(pt);
+                                    let v = ctx.rnet.send_reliable(
+                                        &mut net_state,
+                                        &mut ctx.rstate,
+                                        SendDesc {
+                                            from: pf,
+                                            to: pt,
+                                            bytes,
+                                            depart,
+                                        },
+                                        alive,
+                                        &mut stats.faults,
+                                        &mut ctx.events,
+                                    );
+                                    comm_bytes += v.wire_bytes;
+                                    sender_free = sender_free.max(v.sender_free);
+                                    match v.arrival {
+                                        Some(arr) => push_ev(
+                                            &mut heap,
+                                            &mut seq,
+                                            arr,
+                                            EventKind::Arrive(other, payload, bytes),
+                                        ),
+                                        None => {
+                                            let gave =
+                                                v.gave_up_at.expect("no arrival implies give-up");
+                                            if alive {
+                                                // Alive receiver, every attempt
+                                                // lost: escalate out-of-band and
+                                                // deliver at the give-up instant
+                                                // (correctness must not depend
+                                                // on luck).
+                                                push_ev(
+                                                    &mut heap,
+                                                    &mut seq,
+                                                    gave,
+                                                    EventKind::Arrive(other, payload, bytes),
+                                                );
+                                            } else {
+                                                pending_failures.push(gave);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        busy[du] = depart.max(sender_free);
+                        if let Some(ctx) = &fctx {
+                            if !ctx.home.is_identity() {
+                                let pd = ctx.home.phys(bd) as usize;
+                                phys_free[pd] = phys_free[pd].max(busy[du]);
+                            }
+                        }
+
+                        if tracing {
+                            sink.record(RoundRecord {
+                                engine: EngineKind::Basp,
+                                round: devices[du].rounds - 1,
+                                device: bd,
+                                direction: if pull {
+                                    TraceDirection::Pull
+                                } else {
+                                    TraceDirection::Push
+                                },
+                                frontier: a.frontier,
+                                compute: dt,
+                                pack: a.pack,
+                                wait: tr_wait[du],
+                                bytes_sent: sent_bytes,
+                                bytes_received: tr_recv[du].0,
+                                messages_sent: sent_msgs,
+                                messages_received: tr_recv[du].1,
+                                absorb_changed: a.absorb_changed,
+                                clock_end: busy[du],
+                            });
+                            tr_wait[du] = SimTime::ZERO;
+                            tr_recv[du] = (0, 0);
+                        }
+
+                        // 6. Keep rounding while local work remains; otherwise idle.
+                        let more = if pull {
+                            !converged[du]
+                        } else {
+                            devices[du].has_work()
+                        };
+                        if more && devices[du].rounds < program.max_rounds() {
+                            // Throttled BASP: insert a gap so arrivals batch into
+                            // the next round instead of each triggering redundant
+                            // recomputation (the paper's §VII recommendation).
+                            let next =
+                                busy[du] + SimTime::from_secs_f64(config.basp_round_gap_secs);
+                            round_pending[du] = true;
+                            push_ev(&mut heap, &mut seq, next, EventKind::Round(bd));
+                        } else {
+                            idle_since[du] = Some(busy[du]);
+                        }
+                    }
+
+                    if let Some(ctx) = fctx.as_mut() {
+                        ctx.drain_events(sink, tracing);
+                    }
+
+                    // A sender detected the crashed device (retry budget
+                    // exhausted): roll the whole simulation back.
+                    if !pending_failures.is_empty() {
+                        let detect_at = pending_failures
+                            .drain(..)
+                            .max()
+                            .expect("non-empty failures");
+                        let cr = crash_plan.expect("only a scheduled crash kills devices");
+                        let ctx = fctx.as_mut().expect("failures imply a fault context");
+                        recover_basp(
+                            net,
+                            divisor,
+                            cr,
+                            checkpoint
+                                .as_ref()
+                                .expect("recovery_on guarantees an initial checkpoint"),
+                            detect_at,
+                            devices,
+                            &mut busy,
+                            &mut idle_since,
+                            &mut round_pending,
+                            &mut converged,
+                            &mut inbox,
+                            &mut heap,
+                            &mut net_state,
+                            &mut phys_free,
+                            &mut tr_wait,
+                            &mut tr_recv,
+                            ctx,
+                            &mut stats,
+                            sink,
+                        );
+                        continue;
+                    }
+
+                    // Scheduled checkpoint: once every device's local round
+                    // ordinal has crossed the next interval boundary.
+                    if recovery_on && ckpt_every > 0 {
+                        let minr = devices.iter().map(|d| d.rounds).min().unwrap_or(0);
+                        if minr >= next_ckpt && fctx.as_ref().is_none_or(|c| !c.dead_unrecovered(p))
+                        {
+                            checkpoint = Some(take_basp_checkpoint(
+                                devices,
+                                &mut busy,
+                                &idle_since,
+                                &round_pending,
+                                &converged,
+                                &inbox,
+                                &heap,
+                                &net_state,
+                                &tr_wait,
+                                &tr_recv,
+                                divisor,
+                                net,
+                                &mut stats,
+                                sink,
+                            ));
+                            next_ckpt = (minr / ckpt_every + 1) * ckpt_every;
+                        }
                     }
                 }
             }
         }
+
+        // Heap drained. If a crashed device was never detected through a
+        // failed send (nothing was due to it), the quiescence check itself
+        // is the failure detector: the lease on the silent peer expires one
+        // full retry ladder past the last activity.
+        if fctx.as_ref().is_some_and(|c| c.dead_unrecovered(p)) {
+            let detect_at =
+                busy.iter().copied().max().unwrap_or(SimTime::ZERO) + config.retry.give_up_after();
+            let cr = crash_plan.expect("only a scheduled crash kills devices");
+            let ctx = fctx.as_mut().expect("dead device implies a fault context");
+            recover_basp(
+                net,
+                divisor,
+                cr,
+                checkpoint
+                    .as_ref()
+                    .expect("recovery_on guarantees an initial checkpoint"),
+                detect_at,
+                devices,
+                &mut busy,
+                &mut idle_since,
+                &mut round_pending,
+                &mut converged,
+                &mut inbox,
+                &mut heap,
+                &mut net_state,
+                &mut phys_free,
+                &mut tr_wait,
+                &mut tr_recv,
+                ctx,
+                &mut stats,
+                sink,
+            );
+            continue 'sim;
+        }
+        break 'sim;
     }
     sink.finish();
 
@@ -508,5 +1001,6 @@ pub fn run_basp<P: VertexProgram>(
         rounds: min_rounds,
         min_rounds,
         max_rounds: devices.iter().map(|d| d.rounds).max().unwrap_or(0),
+        resilience: stats,
     }
 }

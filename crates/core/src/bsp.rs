@@ -12,16 +12,34 @@
 //! clock-sensitive — pack charging, `SendDesc` stamping, the network
 //! exchange, trace emission — stays sequential in device-major order, so
 //! the result is bit-identical at any thread count.
+//!
+//! Resilience: when [`RunConfig::faults`] is set, every exchange goes
+//! through the retry/ack [`ReliableNet`] (byte-identical to the raw path
+//! when the plan schedules nothing), device crashes are detected through
+//! exhausted retry budgets — the BSP barrier itself is the failure
+//! detector: a silent peer times out every partner — and recovery either
+//! rolls every device back to the last checkpoint (crash with rejoin) or
+//! permanently re-homes the dead device's partition onto a survivor
+//! (graceful degradation). Logical partitions are unchanged by re-homing;
+//! only the transport addressing and compute serialization change, which
+//! is why a degraded run still converges to reference values.
 
 use rayon::prelude::*;
 
 use dirgl_comm::SyncPlan;
-use dirgl_comm::{NetModel, NetState, SendDesc, SimTime};
+use dirgl_comm::{
+    FaultCounters, FaultInjector, LinkEvent, LinkEventKind, NetModel, NetState, ReliableNet,
+    ReliableState, SendDesc, SimTime,
+};
+use dirgl_gpusim::HealthTracker;
 use dirgl_partition::Partition;
 
 use crate::config::RunConfig;
 use crate::device::DeviceRun;
-use crate::trace::{EngineKind, RoundRecord, TraceDirection, TraceSink};
+use crate::resilience::{
+    checkpoint_bytes, pcie_transfer_time, DeviceSnapshot, HomeMap, ResilienceStats,
+};
+use crate::trace::{EngineKind, FaultEvent, RoundRecord, TraceDirection, TraceSink};
 
 /// A built sync payload awaiting application: (builder, partner, values).
 type Payloads<W> = Vec<(u32, u32, Vec<(u32, W)>)>;
@@ -61,6 +79,8 @@ pub struct EngineOutcome {
     pub min_rounds: u32,
     /// Maximum per-device local round count.
     pub max_rounds: u32,
+    /// Fault, retry and recovery counters (all zero on a healthy run).
+    pub resilience: ResilienceStats,
 }
 
 /// Per-round cost of the distributed termination check (an allreduce over
@@ -75,19 +95,135 @@ pub(crate) fn termination_check_cost(net: &NetModel) -> SimTime {
     SimTime::from_secs_f64(c.msg_overhead + c.net_latency * hops)
 }
 
-/// Deprecated alias of [`run_bsp`] from when the sink-taking variant was a
-/// separate entry point.
-#[deprecated(since = "0.2.0", note = "use `run_bsp`, which now takes the sink")]
-pub fn run_bsp_traced<P: VertexProgram>(
-    program: &P,
-    devices: &mut [DeviceRun<P>],
-    part: &Partition,
-    plan: &SyncPlan,
+/// The engines' fault-layer context, built once per run when
+/// [`RunConfig::faults`] is set. Bundles the reliable transport with the
+/// mutable recovery state every exchange needs.
+pub(crate) struct FaultCtx<'a> {
+    /// Retry/ack transport over the raw network.
+    pub rnet: ReliableNet<'a>,
+    /// Per-link sequence numbers (never checkpointed — replays draw fresh
+    /// fault fates).
+    pub rstate: ReliableState,
+    /// Which physical devices are alive.
+    pub health: HealthTracker,
+    /// Logical→physical partition placement.
+    pub home: HomeMap,
+    /// Link-level incident buffer, drained into the trace sink.
+    pub events: Vec<LinkEvent>,
+    /// The crash already fired (crashes are one-shot even across replays).
+    pub crash_fired: bool,
+}
+
+impl<'a> FaultCtx<'a> {
+    pub(crate) fn new(net: &'a NetModel, config: &RunConfig) -> Option<FaultCtx<'a>> {
+        let plan = config.faults.clone()?;
+        let p = net.platform().num_devices();
+        Some(FaultCtx {
+            rnet: ReliableNet::new(net, plan, config.retry),
+            rstate: ReliableState::for_devices(p),
+            health: HealthTracker::new(p),
+            home: HomeMap::identity(p),
+            events: Vec::new(),
+            crash_fired: false,
+        })
+    }
+
+    pub(crate) fn injector(&self) -> &FaultInjector {
+        self.rnet.injector()
+    }
+
+    /// True while some logical partition has no live physical host — a
+    /// crash happened and recovery has not yet run.
+    pub(crate) fn dead_unrecovered(&self, p: usize) -> bool {
+        (0..p as u32).any(|l| !self.health.is_alive(self.home.phys(l)))
+    }
+
+    /// Whether logical partition `l` can execute right now.
+    pub(crate) fn alive_logical(&self, l: u32) -> bool {
+        self.health.is_alive(self.home.phys(l))
+    }
+
+    /// Forwards buffered link incidents to the sink as trace events.
+    pub(crate) fn drain_events(&mut self, sink: &mut dyn TraceSink, tracing: bool) {
+        if !tracing {
+            self.events.clear();
+            return;
+        }
+        for e in self.events.drain(..) {
+            let ev = match e.kind {
+                LinkEventKind::Drop => FaultEvent::FaultInjected {
+                    at: e.at,
+                    device: e.from,
+                    kind: "link-drop",
+                },
+                LinkEventKind::Duplicate => FaultEvent::FaultInjected {
+                    at: e.at,
+                    device: e.from,
+                    kind: "link-duplicate",
+                },
+                LinkEventKind::DelaySpike => FaultEvent::FaultInjected {
+                    at: e.at,
+                    device: e.from,
+                    kind: "link-delay",
+                },
+                LinkEventKind::Timeout => FaultEvent::Timeout {
+                    at: e.at,
+                    from: e.from,
+                    to: e.to,
+                    attempt: e.attempt,
+                },
+                LinkEventKind::Retransmit => FaultEvent::Retransmit {
+                    at: e.at,
+                    from: e.from,
+                    to: e.to,
+                    attempt: e.attempt,
+                },
+                LinkEventKind::GiveUp => FaultEvent::FaultInjected {
+                    at: e.at,
+                    device: e.from,
+                    kind: "delivery-failure",
+                },
+            };
+            sink.fault(ev);
+        }
+    }
+}
+
+/// A restorable point of a BSP run.
+struct BspCheckpoint<P: VertexProgram> {
+    round: u32,
+    devs: Vec<DeviceSnapshot<P>>,
+}
+
+/// Captures every device, charging each device's PCIe dump time to its
+/// clock.
+fn take_bsp_checkpoint<P: VertexProgram>(
+    devices: &[DeviceRun<P>],
+    clocks: &mut [SimTime],
+    round: u32,
+    divisor: u64,
     net: &NetModel,
-    config: &RunConfig,
+    stats: &mut ResilienceStats,
     sink: &mut dyn TraceSink,
-) -> EngineOutcome {
-    run_bsp(program, devices, part, plan, net, config, sink)
+) -> BspCheckpoint<P> {
+    let cluster = net.platform().cluster;
+    let mut total = 0u64;
+    for (l, dev) in devices.iter().enumerate() {
+        let bytes = checkpoint_bytes(dev, divisor);
+        total += bytes;
+        clocks[l] += pcie_transfer_time(&cluster, bytes);
+    }
+    stats.checkpoints_taken += 1;
+    stats.checkpoint_bytes += total;
+    sink.fault(FaultEvent::CheckpointTaken {
+        at: clocks.iter().copied().max().unwrap_or(SimTime::ZERO),
+        round,
+        bytes: total,
+    });
+    BspCheckpoint {
+        round,
+        devs: devices.iter().map(DeviceSnapshot::capture).collect(),
+    }
 }
 
 /// Runs `program` to convergence under BSP, emitting one
@@ -124,6 +260,28 @@ pub fn run_bsp<P: VertexProgram>(
     // Congestion carries across rounds: one link state for the whole run.
     let mut net_state = net.new_state();
 
+    // Fault layer: absent unless the config schedules one. With
+    // `Some(FaultPlan::none())` the context exists but never fires, and
+    // every exchange is byte-identical to the raw path (pinned by tests).
+    let mut fctx = FaultCtx::new(net, config);
+    let mut stats = ResilienceStats::default();
+    let crash_plan = config.faults.as_ref().and_then(|f| f.crash);
+    let straggler_plan = config.faults.as_ref().and_then(|f| f.straggler);
+    let ckpt_every = config.checkpoint_every_rounds;
+    let recovery_on = fctx.is_some() && (crash_plan.is_some() || ckpt_every > 0);
+    let mut checkpoint: Option<BspCheckpoint<P>> = None;
+    if recovery_on {
+        checkpoint = Some(take_bsp_checkpoint(
+            devices,
+            &mut clocks,
+            0,
+            divisor,
+            net,
+            &mut stats,
+            sink,
+        ));
+    }
+
     // Per-round, per-device trace accumulators (only touched when tracing).
     let mut tr_frontier = vec![0u64; p];
     let mut tr_pack = vec![SimTime::ZERO; p];
@@ -132,6 +290,59 @@ pub fn run_bsp<P: VertexProgram>(
     let mut tr_recv = vec![(0u64, 0u64); p];
 
     loop {
+        // --- Scheduled checkpoint (skipped when a rollback just restored
+        // this very round).
+        if recovery_on
+            && ckpt_every > 0
+            && rounds > 0
+            && rounds.is_multiple_of(ckpt_every)
+            && checkpoint.as_ref().is_none_or(|c| c.round != rounds)
+        {
+            checkpoint = Some(take_bsp_checkpoint(
+                devices,
+                &mut clocks,
+                rounds,
+                divisor,
+                net,
+                &mut stats,
+                sink,
+            ));
+        }
+        // --- Scheduled device faults fire at round start.
+        if let Some(ctx) = fctx.as_mut() {
+            if let Some(cr) = crash_plan {
+                if !ctx.crash_fired && rounds == cr.round {
+                    ctx.crash_fired = true;
+                    ctx.health.mark_dead(cr.device);
+                    stats.crashes += 1;
+                    sink.fault(FaultEvent::FaultInjected {
+                        at: clocks[cr.device as usize],
+                        device: cr.device,
+                        kind: "crash",
+                    });
+                }
+            }
+            if let Some(sg) = straggler_plan {
+                if rounds == sg.from_round {
+                    sink.fault(FaultEvent::FaultInjected {
+                        at: clocks[sg.device as usize],
+                        device: sg.device,
+                        kind: "straggler",
+                    });
+                } else if rounds == sg.from_round.saturating_add(sg.rounds) {
+                    sink.fault(FaultEvent::FaultInjected {
+                        at: clocks[sg.device as usize],
+                        device: sg.device,
+                        kind: "straggler-end",
+                    });
+                }
+            }
+        }
+        let alive: Vec<bool> = match &fctx {
+            Some(ctx) => (0..p as u32).map(|l| ctx.alive_logical(l)).collect(),
+            None => vec![true; p],
+        };
+
         program.on_round_start(rounds);
         if tracing {
             for (d, f) in devices.iter().zip(tr_frontier.iter_mut()) {
@@ -151,8 +362,11 @@ pub fn run_bsp<P: VertexProgram>(
         // --- Compute phase (devices in parallel; each sequential inside).
         let times: Vec<SimTime> = devices
             .par_iter_mut()
-            .map(|d| {
-                if use_pull {
+            .enumerate()
+            .map(|(i, d)| {
+                if !alive[i] {
+                    SimTime::ZERO
+                } else if use_pull {
                     d.compute_bottom_up(program, balancer, divisor)
                 } else if topo || d.has_work() {
                     d.compute(program, balancer, divisor)
@@ -161,9 +375,9 @@ pub fn run_bsp<P: VertexProgram>(
                 }
             })
             .collect();
-        for (c, t) in clocks.iter_mut().zip(&times) {
-            *c += *t;
-        }
+        advance_compute_clocks(&mut clocks, &times, fctx.as_ref(), |ctx, phys| {
+            ctx.injector().slowdown(phys, rounds)
+        });
 
         // --- Reduce exchange: mirrors -> masters. Every holder builds all
         // of its partner payloads on its own device state, so the build
@@ -175,6 +389,9 @@ pub fn run_bsp<P: VertexProgram>(
             .enumerate()
             .map(|(h, dev)| {
                 let holder = h as u32;
+                if !alive[h] {
+                    return (SimTime::ZERO, Vec::new());
+                }
                 let mut out = Vec::new();
                 for owner in 0..p as u32 {
                     if holder == owner {
@@ -203,7 +420,8 @@ pub fn run_bsp<P: VertexProgram>(
             .collect();
         let (sends, payloads) =
             stamp_sends::<P>(&mut clocks, built, tracing.then_some(&mut tr_pack));
-        exchange_and_apply(
+        let mut round_failures: Vec<SimTime> = Vec::new();
+        let delivered = run_exchange(
             net,
             &mut net_state,
             &mut clocks,
@@ -212,19 +430,37 @@ pub fn run_bsp<P: VertexProgram>(
             &mut messages,
             &sends,
             tracing.then_some(&mut tr_wait),
+            fctx.as_mut(),
+            &mut stats.faults,
+            &mut round_failures,
         );
+        if let Some(ctx) = fctx.as_mut() {
+            ctx.drain_events(sink, tracing);
+        }
         if tracing {
             tally_sends(&sends, &mut tr_sent, &mut tr_recv);
         }
-        apply_grouped(devices, payloads, |dev, builder, payload| {
-            let link = part.link(builder, dev.dev);
-            dev.apply_reduce(program, link, payload);
-        });
+        apply_grouped(
+            devices,
+            payloads,
+            delivered.as_deref(),
+            |dev, builder, payload| {
+                let link = part.link(builder, dev.dev);
+                dev.apply_reduce(program, link, payload);
+            },
+        );
 
         // --- Absorb: masters fold accumulators once per round.
         let absorbed: Vec<u32> = devices
             .par_iter_mut()
-            .map(|d| d.absorb_masters(program))
+            .enumerate()
+            .map(|(i, d)| {
+                if alive[i] {
+                    d.absorb_masters(program)
+                } else {
+                    0
+                }
+            })
             .collect();
         let changed: u32 = absorbed.iter().sum();
 
@@ -235,6 +471,9 @@ pub fn run_bsp<P: VertexProgram>(
             .enumerate()
             .map(|(o, dev)| {
                 let owner = o as u32;
+                if !alive[o] {
+                    return (SimTime::ZERO, Vec::new());
+                }
                 let mut out = Vec::new();
                 for holder in 0..p as u32 {
                     if holder == owner {
@@ -259,7 +498,7 @@ pub fn run_bsp<P: VertexProgram>(
             .collect();
         let (sends, payloads) =
             stamp_sends::<P>(&mut clocks, built, tracing.then_some(&mut tr_pack));
-        exchange_and_apply(
+        let delivered = run_exchange(
             net,
             &mut net_state,
             &mut clocks,
@@ -268,17 +507,32 @@ pub fn run_bsp<P: VertexProgram>(
             &mut messages,
             &sends,
             tracing.then_some(&mut tr_wait),
+            fctx.as_mut(),
+            &mut stats.faults,
+            &mut round_failures,
         );
+        if let Some(ctx) = fctx.as_mut() {
+            ctx.drain_events(sink, tracing);
+        }
         if tracing {
             tally_sends(&sends, &mut tr_sent, &mut tr_recv);
         }
-        apply_grouped(devices, payloads, |dev, builder, payload| {
-            let link = part.link(dev.dev, builder);
-            dev.apply_broadcast(program, link, payload, false);
-        });
+        apply_grouped(
+            devices,
+            payloads,
+            delivered.as_deref(),
+            |dev, builder, payload| {
+                let link = part.link(dev.dev, builder);
+                dev.apply_broadcast(program, link, payload, false);
+            },
+        );
 
         // --- Round end: clear update tracking, pay the termination check.
-        devices.iter_mut().for_each(|d| d.clear_sync_marks());
+        devices
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| alive[*i])
+            .for_each(|(_, d)| d.clear_sync_marks());
         for c in clocks.iter_mut() {
             *c += term_cost;
         }
@@ -307,6 +561,68 @@ pub fn run_bsp<P: VertexProgram>(
                 });
             }
         }
+
+        // --- Recovery: a crashed device was detected this round, either
+        // by senders exhausting their retry budget or — when no message
+        // happened to be due — by the barrier timing out on the silent
+        // peer.
+        if fctx.as_ref().is_some_and(|c| c.dead_unrecovered(p)) {
+            let ctx = fctx.as_mut().expect("dead device implies fault context");
+            let cr = crash_plan.expect("only a scheduled crash kills devices");
+            let ckpt = checkpoint
+                .as_ref()
+                .expect("recovery_on guarantees an initial checkpoint");
+            stats.rollbacks += 1;
+            stats.rounds_replayed += rounds.saturating_sub(ckpt.round);
+            let pre_max = clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
+            let detect_at = round_failures
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(pre_max + config.retry.give_up_after());
+
+            // Restore every device from the checkpoint and charge each
+            // restore's PCIe reload. Monotonic accounting (compute time,
+            // work items) is preserved: the lost rounds were really run.
+            let cluster = net.platform().cluster;
+            let mut resume = detect_at;
+            for (l, (dev, snap)) in devices.iter_mut().zip(&ckpt.devs).enumerate() {
+                snap.restore(dev);
+                let cost = pcie_transfer_time(&cluster, checkpoint_bytes(dev, divisor));
+                clocks[l] = detect_at + cost;
+                resume = resume.max(clocks[l]);
+            }
+            stats.recovery_time += resume.saturating_sub(pre_max);
+            // Old link occupancy all predates the detection instant.
+            net_state = net.new_state();
+            rounds = ckpt.round;
+
+            if cr.rejoin {
+                ctx.health.revive(cr.device);
+                stats.rejoins += 1;
+            } else {
+                let adopter = ctx
+                    .home
+                    .pick_adopter(&ctx.health.alive_flags())
+                    .expect("at least one survivor");
+                let masters = devices[cr.device as usize].lg.num_masters as u64;
+                ctx.home.rehome(cr.device, adopter);
+                stats.masters_reassigned += masters;
+                sink.fault(FaultEvent::MastersReassigned {
+                    at: resume,
+                    from_device: cr.device,
+                    to_device: adopter,
+                    masters,
+                });
+            }
+            sink.fault(FaultEvent::Rollback {
+                at: resume,
+                to_round: ckpt.round,
+                device: cr.device,
+            });
+            continue;
+        }
+
         rounds += 1;
 
         let work_left = match program.style() {
@@ -329,6 +645,57 @@ pub fn run_bsp<P: VertexProgram>(
         rounds,
         min_rounds: devices.iter().map(|d| d.rounds).min().unwrap_or(0),
         max_rounds: devices.iter().map(|d| d.rounds).max().unwrap_or(0),
+        resilience: stats,
+    }
+}
+
+/// Advances device clocks past the compute phase. Healthy identity-mapped
+/// runs reduce to `clock += time`; a straggler window multiplies the
+/// affected device's time, and after graceful degradation the partitions
+/// sharing a physical device execute serially on it (in ascending logical
+/// order, from the latest resident clock).
+fn advance_compute_clocks(
+    clocks: &mut [SimTime],
+    times: &[SimTime],
+    fctx: Option<&FaultCtx<'_>>,
+    factor_of: impl Fn(&FaultCtx<'_>, u32) -> f64,
+) {
+    let scale = |t: SimTime, f: f64| {
+        if f == 1.0 {
+            t
+        } else {
+            SimTime::from_secs_f64(t.as_secs_f64() * f)
+        }
+    };
+    match fctx {
+        None => {
+            for (c, t) in clocks.iter_mut().zip(times) {
+                *c += *t;
+            }
+        }
+        Some(ctx) if ctx.home.is_identity() => {
+            for (l, (c, t)) in clocks.iter_mut().zip(times).enumerate() {
+                *c += scale(*t, factor_of(ctx, ctx.home.phys(l as u32)));
+            }
+        }
+        Some(ctx) => {
+            for d in 0..clocks.len() as u32 {
+                let residents = ctx.home.residents(d);
+                if residents.is_empty() {
+                    continue;
+                }
+                let f = factor_of(ctx, d);
+                let mut cur = residents
+                    .iter()
+                    .map(|&l| clocks[l as usize])
+                    .max()
+                    .expect("non-empty residents");
+                for &l in &residents {
+                    cur += scale(times[l as usize], f);
+                    clocks[l as usize] = cur;
+                }
+            }
+        }
     }
 }
 
@@ -367,18 +734,23 @@ fn stamp_sends<P: VertexProgram>(
 /// Applies payloads in parallel across receiving devices. Each receiver
 /// sees its payloads in the same (ascending-builder) order a sequential
 /// apply loop would deliver them, so accumulation order per device — and
-/// with it every float result — is unchanged.
+/// with it every float result — is unchanged. `delivered`, when present,
+/// is index-parallel to the payloads; undelivered ones (lost to a dead
+/// receiver) are skipped.
 fn apply_grouped<P: VertexProgram>(
     devices: &mut [DeviceRun<P>],
     payloads: Payloads<P::Wire>,
+    delivered: Option<&[bool]>,
     apply: impl Fn(&mut DeviceRun<P>, u32, &[(u32, P::Wire)]) + Sync,
 ) {
     if payloads.is_empty() {
         return;
     }
     let mut per_dev: Vec<Grouped<P::Wire>> = (0..devices.len()).map(|_| Vec::new()).collect();
-    for (builder, partner, payload) in payloads {
-        per_dev[partner as usize].push((builder, payload));
+    for (i, (builder, partner, payload)) in payloads.into_iter().enumerate() {
+        if delivered.is_none_or(|d| d[i]) {
+            per_dev[partner as usize].push((builder, payload));
+        }
     }
     devices
         .par_iter_mut()
@@ -400,10 +772,15 @@ fn tally_sends(sends: &[SendDesc], sent: &mut [(u64, u64)], recv: &mut [(u64, u6
     }
 }
 
-/// Runs one exchange through the network model and folds its timing into
-/// the running clocks/waits. Link occupancy persists in `st` across calls.
+/// Runs one exchange and folds its timing into the running clocks/waits.
+/// Without a fault context this is the raw [`NetModel::exchange_with`]
+/// path, unchanged; with one, every message goes through the reliable
+/// transport (addressed by *physical* device), abandoned sends to dead
+/// receivers are reported through `failures`, and the per-send delivery
+/// flags come back for the apply stage. Returns `None` when every payload
+/// was delivered (raw path), `Some(flags)` otherwise.
 #[allow(clippy::too_many_arguments)]
-fn exchange_and_apply(
+fn run_exchange(
     net: &NetModel,
     st: &mut NetState,
     clocks: &mut [SimTime],
@@ -412,20 +789,121 @@ fn exchange_and_apply(
     messages: &mut u64,
     sends: &[SendDesc],
     device_wait: Option<&mut Vec<SimTime>>,
-) {
+    fctx: Option<&mut FaultCtx<'_>>,
+    counters: &mut FaultCounters,
+    failures: &mut Vec<SimTime>,
+) -> Option<Vec<bool>> {
     if sends.is_empty() {
-        return;
+        return None;
     }
-    let outcome = net.exchange_with(st, clocks, sends, None);
-    if let Some(wait) = device_wait {
-        for (d, w) in wait.iter_mut().enumerate() {
-            *w += outcome.device_done[d].saturating_sub(outcome.sender_free[d]);
+    let ctx = match fctx {
+        None => {
+            // Raw path: exactly the pre-fault-layer behavior.
+            let outcome = net.exchange_with(st, clocks, sends, None);
+            if let Some(wait) = device_wait {
+                for (d, w) in wait.iter_mut().enumerate() {
+                    *w += outcome.device_done[d].saturating_sub(outcome.sender_free[d]);
+                }
+            }
+            clocks.copy_from_slice(&outcome.device_done);
+            for (w, o) in host_wait.iter_mut().zip(&outcome.host_wait) {
+                *w += *o;
+            }
+            *comm_bytes += outcome.total_bytes;
+            *messages += outcome.num_messages;
+            return None;
+        }
+        Some(ctx) => ctx,
+    };
+
+    let p = clocks.len();
+    let mut delivered = vec![false; sends.len()];
+    // Translate logical endpoints to physical devices. Co-homed pairs
+    // (possible only after degradation re-homing) never touch the wire:
+    // both partitions live in the same device memory.
+    let mut phys_sends: Vec<SendDesc> = Vec::with_capacity(sends.len());
+    let mut phys_index: Vec<usize> = Vec::with_capacity(sends.len());
+    for (i, s) in sends.iter().enumerate() {
+        let pf = ctx.home.phys(s.from);
+        let pt = ctx.home.phys(s.to);
+        if pf == pt {
+            delivered[i] = true;
+        } else {
+            phys_index.push(i);
+            phys_sends.push(SendDesc {
+                from: pf,
+                to: pt,
+                ..*s
+            });
         }
     }
-    clocks.copy_from_slice(&outcome.device_done);
-    for (w, o) in host_wait.iter_mut().zip(&outcome.host_wait) {
+    let phys_clock: Vec<SimTime> = if ctx.home.is_identity() {
+        clocks.to_vec()
+    } else {
+        (0..p as u32)
+            .map(|d| {
+                ctx.home
+                    .residents(d)
+                    .iter()
+                    .map(|&l| clocks[l as usize])
+                    .max()
+                    .unwrap_or(SimTime::ZERO)
+            })
+            .collect()
+    };
+    let alive = ctx.health.alive_flags();
+    let ex = ctx.rnet.exchange_reliable(
+        st,
+        &mut ctx.rstate,
+        &phys_clock,
+        &phys_sends,
+        &alive,
+        counters,
+        &mut ctx.events,
+        None,
+    );
+    for (k, &i) in phys_index.iter().enumerate() {
+        if ex.delivered[k] {
+            delivered[i] = true;
+        }
+    }
+    let mut escalated: Vec<(usize, SimTime)> = Vec::new();
+    for f in &ex.failures {
+        if alive[f.to as usize] {
+            // The receiver is alive but every attempt was lost: the
+            // transport escalates out-of-band and delivers at the give-up
+            // instant (a last-resort reliable path; astronomically rare
+            // under sane drop rates, but correctness must not depend on
+            // luck).
+            delivered[phys_index[f.index]] = true;
+            escalated.push((f.index, f.gave_up_at));
+        } else {
+            failures.push(f.gave_up_at);
+        }
+    }
+    if let Some(wait) = device_wait {
+        for (l, w) in wait.iter_mut().enumerate() {
+            let d = ctx.home.phys(l as u32) as usize;
+            *w += ex.outcome.device_done[d].saturating_sub(ex.outcome.sender_free[d]);
+        }
+    }
+    for (l, c) in clocks.iter_mut().enumerate() {
+        *c = (*c).max(ex.outcome.device_done[ctx.home.phys(l as u32) as usize]);
+    }
+    for (i, at) in escalated {
+        let to = phys_sends[i].to as usize;
+        // The escalated payload lands late: its receiver blocks until the
+        // give-up instant.
+        for l in 0..p as u32 {
+            if ctx.home.phys(l) as usize == to {
+                clocks[l as usize] = clocks[l as usize].max(at);
+            }
+        }
+    }
+    for (w, o) in host_wait.iter_mut().zip(&ex.outcome.host_wait) {
         *w += *o;
     }
-    *comm_bytes += outcome.total_bytes;
-    *messages += outcome.num_messages;
+    *comm_bytes += ex.outcome.total_bytes;
+    *messages += sends.len() as u64;
+    Some(delivered)
 }

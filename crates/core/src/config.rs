@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dirgl_comm::CommMode;
+use dirgl_comm::{CommMode, FaultPlan, RetryConfig};
 use dirgl_gpusim::Balancer;
 use dirgl_partition::Policy;
 
@@ -114,20 +114,26 @@ pub struct RunConfig {
     /// recomputation — the control mechanism the paper's conclusion calls
     /// for ("dynamically throttle the degree of asynchronous execution").
     pub basp_round_gap_secs: f64,
+    /// Fault schedule. `None` (the default) runs the raw transport exactly
+    /// as before this layer existed. `Some(plan)` routes every message
+    /// through the reliable retry/ack transport — with
+    /// [`FaultPlan::none()`] the result is byte-identical to `None`
+    /// (pinned by tests), so enabling the layer costs nothing until faults
+    /// are actually scheduled.
+    pub faults: Option<FaultPlan>,
+    /// Retry policy of the reliable transport (used only when `faults` is
+    /// set).
+    pub retry: RetryConfig,
+    /// Checkpoint every `k` rounds (0 = only the mandatory round-0
+    /// checkpoint taken when the plan schedules a crash). Rollback-based
+    /// recovery replays from the most recent checkpoint.
+    pub checkpoint_every_rounds: u32,
 }
 
 impl RunConfig {
     /// Default-variant (Var4) config for `policy`.
     pub fn var4(policy: Policy) -> RunConfig {
-        RunConfig {
-            policy,
-            variant: Variant::var4(),
-            scale_divisor: 1,
-            seed: 0,
-            gpudirect: false,
-            runtime_round_overhead_secs: 0.0,
-            basp_round_gap_secs: 0.0,
-        }
+        Self::new(policy, Variant::var4())
     }
 
     /// Any variant with the given policy.
@@ -140,12 +146,33 @@ impl RunConfig {
             gpudirect: false,
             runtime_round_overhead_secs: 0.0,
             basp_round_gap_secs: 0.0,
+            faults: None,
+            retry: RetryConfig::default(),
+            checkpoint_every_rounds: 0,
         }
     }
 
     /// Sets the paper-equivalence divisor (builder style).
     pub fn scale(mut self, divisor: u64) -> RunConfig {
         self.scale_divisor = divisor.max(1);
+        self
+    }
+
+    /// Enables the reliable transport under `plan` (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> RunConfig {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the checkpoint interval in rounds (builder style).
+    pub fn with_checkpoints(mut self, every_rounds: u32) -> RunConfig {
+        self.checkpoint_every_rounds = every_rounds;
+        self
+    }
+
+    /// Sets the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryConfig) -> RunConfig {
+        self.retry = retry;
         self
     }
 }
@@ -181,5 +208,13 @@ mod tests {
         assert_eq!(c.scale_divisor, 1024);
         assert_eq!(c.policy, Policy::Cvc);
         assert!(!c.gpudirect);
+        assert!(c.faults.is_none(), "raw transport by default");
+        assert_eq!(c.checkpoint_every_rounds, 0);
+
+        let c = c
+            .with_faults(FaultPlan::seeded(7).with_drop(0.05))
+            .with_checkpoints(4);
+        assert_eq!(c.faults.as_ref().unwrap().seed, 7);
+        assert_eq!(c.checkpoint_every_rounds, 4);
     }
 }

@@ -4,8 +4,7 @@
 //! [`crate::basp`] by [`ExecutionModel`], with the trace sink always in the
 //! signature (pass a [`crate::trace::NoopSink`] for untraced runs — a
 //! disabled sink skips all record assembly, so the untraced path costs
-//! nothing). This replaces the former four-way
-//! `run_bsp`/`run_bsp_traced`/`run_basp`/`run_basp_traced` split.
+//! nothing).
 
 use dirgl_comm::{NetModel, SyncPlan};
 use dirgl_partition::Partition;

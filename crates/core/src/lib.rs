@@ -12,6 +12,9 @@
 //! * [`trace`] — the per-round, per-device observability layer: both
 //!   engines emit [`trace::RoundRecord`]s through a [`trace::TraceSink`]
 //!   (no-op by default, collecting for tests, JSON-lines for benches);
+//! * [`resilience`] — checkpoint/rollback recovery and graceful
+//!   degradation, driven by the fault layer in `dirgl_comm::faults` when
+//!   [`config::RunConfig::faults`] is set;
 //! * [`runtime::Runtime`] — partition, load (with device-memory OOM
 //!   checking), execute, and report;
 //! * [`report::ExecutionReport`] — the Max Compute / Min Wait / Device
@@ -25,6 +28,7 @@ pub mod device;
 pub mod engine;
 pub mod program;
 pub mod report;
+pub mod resilience;
 pub mod runtime;
 pub mod trace;
 
@@ -33,7 +37,9 @@ pub use config::{ExecModel, RunConfig, Variant};
 pub use engine::{run_engine, ExecutionModel};
 pub use program::{InitCtx, Style, VertexProgram};
 pub use report::{ExecutionReport, RoundSummary};
+pub use resilience::ResilienceStats;
 pub use runtime::{PartitionArg, RunError, RunOutput, Runner, Runtime};
 pub use trace::{
-    CollectingSink, EngineKind, JsonLinesSink, NoopSink, RoundRecord, TraceDirection, TraceSink,
+    CollectingSink, EngineKind, FaultEvent, JsonLinesSink, NoopSink, RoundRecord, TraceDirection,
+    TraceSink,
 };

@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 use dirgl_comm::SimTime;
 use dirgl_partition::metrics::max_over_mean_f64;
 
+use crate::resilience::ResilienceStats;
 use crate::trace::RoundRecord;
 
 /// One round's cross-device summary, distilled from the trace records of
@@ -101,6 +102,8 @@ pub struct ExecutionReport {
     /// Per-round summaries, populated only when the run was traced (empty
     /// otherwise — assembling them costs per-round work).
     pub rounds_detail: Vec<RoundSummary>,
+    /// Fault, retry and recovery counters (all zero on a healthy run).
+    pub resilience: ResilienceStats,
 }
 
 impl ExecutionReport {
@@ -188,6 +191,7 @@ mod tests {
             work_items: 1000,
             memory_per_device: vec![300, 100],
             rounds_detail: Vec::new(),
+            resilience: ResilienceStats::default(),
         }
     }
 

@@ -1,0 +1,192 @@
+//! Checkpointing, rollback and graceful degradation — what the engines do
+//! when the fault layer takes a device away.
+//!
+//! Three pieces:
+//!
+//! * [`DeviceSnapshot`] — a copy of one device's *logical* execution state
+//!   (labels, worklists, sync marks, round ordinal). Monotonic accounting
+//!   (accumulated compute time, work items, idle time) is deliberately
+//!   *not* part of a snapshot: work lost to a rollback was still
+//!   performed, and the report should say so.
+//! * [`HomeMap`] — the logical→physical device mapping that graceful
+//!   degradation rewrites. Engines compute on *logical* partitions; the
+//!   transport is addressed by *physical* device. Killing device `d`
+//!   without rejoin re-homes logical partition `d` onto a surviving
+//!   physical device, which then executes both partitions (serially, like
+//!   the real oversubscribed GPU would).
+//! * [`ResilienceStats`] — the recovery counters surfaced through
+//!   [`crate::report::ExecutionReport`].
+
+use serde::{Deserialize, Serialize};
+
+use dirgl_comm::{FaultCounters, SimTime};
+use dirgl_gpusim::ClusterSpec;
+
+use crate::device::DeviceRun;
+use crate::program::VertexProgram;
+
+/// Fault, retry and recovery counters for one run. All zero on a healthy
+/// run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceStats {
+    /// Link-level injection and retry counters from the reliable
+    /// transport.
+    pub faults: FaultCounters,
+    /// Device crashes that occurred.
+    pub crashes: u32,
+    /// Checkpoints taken.
+    pub checkpoints_taken: u32,
+    /// Total paper-equivalent bytes captured across all checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Rollbacks performed (each restores every device from the last
+    /// checkpoint).
+    pub rollbacks: u32,
+    /// Device-rounds re-executed because of rollbacks (replay overhead;
+    /// the headline round counts stay logical).
+    pub rounds_replayed: u32,
+    /// Crashed devices that rejoined after a rollback.
+    pub rejoins: u32,
+    /// Master vertices permanently reassigned to a surviving device
+    /// (graceful degradation; 0 when every crash rejoined).
+    pub masters_reassigned: u64,
+    /// Simulated time spent detecting failures and restoring state.
+    pub recovery_time: SimTime,
+}
+
+/// One device's restorable execution state.
+pub(crate) struct DeviceSnapshot<P: VertexProgram> {
+    state: Vec<P::State>,
+    active: dirgl_comm::DenseBitset,
+    updated: dirgl_comm::DenseBitset,
+    bcast_dirty: dirgl_comm::DenseBitset,
+    rounds: u32,
+}
+
+impl<P: VertexProgram> DeviceSnapshot<P> {
+    /// Captures `dev`'s logical state.
+    pub(crate) fn capture(dev: &DeviceRun<P>) -> DeviceSnapshot<P> {
+        DeviceSnapshot {
+            state: dev.state.clone(),
+            active: dev.active.clone(),
+            updated: dev.updated.clone(),
+            bcast_dirty: dev.bcast_dirty.clone(),
+            rounds: dev.rounds,
+        }
+    }
+
+    /// Restores the captured state into `dev`, leaving monotonic
+    /// accounting (compute/idle time, work items, peak memory) untouched.
+    pub(crate) fn restore(&self, dev: &mut DeviceRun<P>) {
+        dev.state.clone_from(&self.state);
+        dev.active = self.active.clone();
+        dev.updated = self.updated.clone();
+        dev.bcast_dirty = self.bcast_dirty.clone();
+        dev.rounds = self.rounds;
+    }
+
+    /// Round ordinal the snapshot was taken at.
+    pub(crate) fn rounds(&self) -> u32 {
+        self.rounds
+    }
+}
+
+/// Paper-equivalent bytes a checkpoint of `dev` writes: every proxy label
+/// plus the three tracking bitsets.
+pub(crate) fn checkpoint_bytes<P: VertexProgram>(dev: &DeviceRun<P>, divisor: u64) -> u64 {
+    let n = dev.lg.num_vertices() as u64;
+    (n * std::mem::size_of::<P::State>() as u64 + 3 * n.div_ceil(8)) * divisor
+}
+
+/// Simulated time to move `bytes` over a device's PCIe link — the cost of
+/// dumping a checkpoint to host memory, or of restoring one.
+pub(crate) fn pcie_transfer_time(cluster: &ClusterSpec, bytes: u64) -> SimTime {
+    SimTime::from_secs_f64(cluster.pcie_latency + bytes as f64 / cluster.pcie_bandwidth)
+}
+
+/// Logical→physical device mapping. Starts as the identity; graceful
+/// degradation re-homes a dead device's logical partition onto a
+/// survivor.
+#[derive(Clone, Debug)]
+pub(crate) struct HomeMap {
+    home: Vec<u32>,
+}
+
+impl HomeMap {
+    /// Identity mapping over `n` devices.
+    pub(crate) fn identity(n: u32) -> HomeMap {
+        HomeMap {
+            home: (0..n).collect(),
+        }
+    }
+
+    /// Physical device hosting logical partition `l`.
+    pub(crate) fn phys(&self, l: u32) -> u32 {
+        self.home[l as usize]
+    }
+
+    /// True while no partition has moved.
+    pub(crate) fn is_identity(&self) -> bool {
+        self.home.iter().enumerate().all(|(i, &h)| i as u32 == h)
+    }
+
+    /// Logical partitions hosted on physical device `d`, ascending.
+    pub(crate) fn residents(&self, d: u32) -> Vec<u32> {
+        (0..self.home.len() as u32)
+            .filter(|&l| self.home[l as usize] == d)
+            .collect()
+    }
+
+    /// Picks the adopter for a failed device's partition: the alive
+    /// physical device hosting the fewest logical partitions, lowest index
+    /// on ties — deterministic and load-spreading.
+    pub(crate) fn pick_adopter(&self, alive: &[bool]) -> Option<u32> {
+        (0..self.home.len() as u32)
+            .filter(|&d| alive[d as usize])
+            .min_by_key(|&d| (self.residents(d).len(), d))
+    }
+
+    /// Re-homes every logical partition living on `dead` onto `adopter`.
+    pub(crate) fn rehome(&mut self, dead: u32, adopter: u32) {
+        for h in self.home.iter_mut() {
+            if *h == dead {
+                *h = adopter;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn home_map_identity_and_rehoming() {
+        let mut hm = HomeMap::identity(4);
+        assert!(hm.is_identity());
+        assert_eq!(hm.phys(2), 2);
+        assert_eq!(hm.residents(1), vec![1]);
+
+        // Device 2 dies; 0..=3 alive flags with 2 dead.
+        let alive = [true, true, false, true];
+        let adopter = hm.pick_adopter(&alive).unwrap();
+        assert_eq!(adopter, 0, "lowest index among equally-loaded survivors");
+        hm.rehome(2, adopter);
+        assert!(!hm.is_identity());
+        assert_eq!(hm.phys(2), 0);
+        assert_eq!(hm.residents(0), vec![0, 2]);
+        assert_eq!(hm.residents(2), Vec::<u32>::new());
+
+        // Next failure prefers the lighter-loaded survivors.
+        let alive = [true, false, false, true];
+        assert_eq!(hm.pick_adopter(&alive), Some(3));
+    }
+
+    #[test]
+    fn stats_default_is_all_zero() {
+        let s = ResilienceStats::default();
+        assert_eq!(s.crashes, 0);
+        assert_eq!(s.rollbacks, 0);
+        assert!(!s.faults.any());
+        assert_eq!(s.recovery_time, SimTime::ZERO);
+    }
+}

@@ -13,8 +13,8 @@
 //!
 //! ([`Runner::execute_with_states`] additionally gathers the final master
 //! *states* per global vertex, for multi-phase drivers like betweenness
-//! centrality.) The former six `run*` entry points remain as deprecated
-//! shims over this builder.
+//! centrality.) The former six `run*` entry points have been removed;
+//! the builder is the only way in.
 
 use dirgl_comm::{NetModel, SimTime, SyncPlan};
 use dirgl_gpusim::{OomError, Platform};
@@ -310,6 +310,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             work_items: devices.iter().map(|d| d.work_items).sum(),
             memory_per_device: devices.iter().map(|d| d.peak_memory).collect(),
             rounds_detail,
+            resilience: outcome.resilience,
         };
         Ok((RunOutput { report, values }, states))
     }
@@ -331,98 +332,6 @@ impl Runtime {
             aux: None,
             sink: None,
         }
-    }
-
-    /// Runs `program` on `graph` to convergence.
-    #[deprecated(since = "0.2.0", note = "use `rt.runner(graph, program).execute()`")]
-    pub fn run<P: VertexProgram>(&self, graph: &Csr, program: &P) -> Result<RunOutput, RunError> {
-        self.runner(graph, program).execute()
-    }
-
-    /// [`Runtime::run`] with per-round trace emission into `sink`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `rt.runner(graph, program).trace(sink).execute()`"
-    )]
-    pub fn run_traced<P: VertexProgram>(
-        &self,
-        graph: &Csr,
-        program: &P,
-        sink: &mut dyn TraceSink,
-    ) -> Result<RunOutput, RunError> {
-        self.runner(graph, program).trace(sink).execute()
-    }
-
-    /// Runs on an existing partition.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `rt.runner(graph, program).partition(part).execute()`"
-    )]
-    pub fn run_partitioned<P: VertexProgram>(
-        &self,
-        g: &Csr,
-        part: Partition,
-        program: &P,
-    ) -> Result<RunOutput, RunError> {
-        self.runner(g, program).partition(part).execute()
-    }
-
-    /// [`Runtime::run_partitioned`] with per-round trace emission.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `rt.runner(graph, program).partition(part).trace(sink).execute()`"
-    )]
-    pub fn run_partitioned_traced<P: VertexProgram>(
-        &self,
-        g: &Csr,
-        part: Partition,
-        program: &P,
-        sink: &mut dyn TraceSink,
-    ) -> Result<RunOutput, RunError> {
-        self.runner(g, program)
-            .partition(part)
-            .trace(sink)
-            .execute()
-    }
-
-    /// [`Runtime::run_partitioned`] with optional auxiliary init data and
-    /// gathered final states.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `rt.runner(graph, program).partition(part).aux(a).execute_with_states()`"
-    )]
-    pub fn run_partitioned_aux<P: VertexProgram>(
-        &self,
-        g: &Csr,
-        part: Partition,
-        program: &P,
-        aux: Option<&[u64]>,
-    ) -> Result<(RunOutput, Vec<P::State>), RunError> {
-        let mut r = self.runner(g, program).partition(part);
-        if let Some(a) = aux {
-            r = r.aux(a);
-        }
-        r.execute_with_states()
-    }
-
-    /// [`Runtime::run_partitioned_aux`] with per-round trace emission.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `rt.runner(graph, program).partition(part).aux(a).trace(sink).execute_with_states()`"
-    )]
-    pub fn run_partitioned_aux_traced<P: VertexProgram>(
-        &self,
-        g: &Csr,
-        part: Partition,
-        program: &P,
-        aux: Option<&[u64]>,
-        sink: &mut dyn TraceSink,
-    ) -> Result<(RunOutput, Vec<P::State>), RunError> {
-        let mut r = self.runner(g, program).partition(part).trace(sink);
-        if let Some(a) = aux {
-            r = r.aux(a);
-        }
-        r.execute_with_states()
     }
 
     /// True when the benchmark is expected to traverse from a source (bfs,

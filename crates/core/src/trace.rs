@@ -94,6 +94,161 @@ pub struct RoundRecord {
     pub clock_end: SimTime,
 }
 
+/// A fault-layer incident: something the fault injector did, the reliable
+/// transport absorbed, or the recovery machinery performed. Emitted
+/// through [`TraceSink::fault`] alongside the per-round records, so a
+/// trace of a faulty run reads as one chronology.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// The injector hurt something: a crash or straggler window on
+    /// `device`, or a link fault attributed to the sending device.
+    /// `kind` ∈ {`crash`, `straggler`, `straggler-end`, `link-drop`,
+    /// `link-duplicate`, `link-delay`}.
+    FaultInjected {
+        /// When (simulated).
+        at: SimTime,
+        /// Affected device (sender, for link faults).
+        device: u32,
+        /// What kind of fault.
+        kind: &'static str,
+    },
+    /// A sender's ack timer expired.
+    Timeout {
+        /// When the timer fired.
+        at: SimTime,
+        /// Sending device.
+        from: u32,
+        /// Unresponsive receiver.
+        to: u32,
+        /// Transmission attempt that timed out (0 = first send).
+        attempt: u32,
+    },
+    /// A sender retransmitted a lost message.
+    Retransmit {
+        /// When the retransmission departed.
+        at: SimTime,
+        /// Sending device.
+        from: u32,
+        /// Receiving device.
+        to: u32,
+        /// Attempt number of the retransmission (≥ 1).
+        attempt: u32,
+    },
+    /// A checkpoint of every device's state was captured.
+    CheckpointTaken {
+        /// When the capture completed (simulated).
+        at: SimTime,
+        /// Round the checkpoint represents (replay resumes here).
+        round: u32,
+        /// Paper-equivalent bytes captured.
+        bytes: u64,
+    },
+    /// A crash was detected and every device rolled back to the last
+    /// checkpoint.
+    Rollback {
+        /// Detection + restore completion time.
+        at: SimTime,
+        /// Round execution resumes from.
+        to_round: u32,
+        /// Device whose crash forced the rollback.
+        device: u32,
+    },
+    /// A dead device's masters were permanently reassigned to a survivor
+    /// (graceful degradation).
+    MastersReassigned {
+        /// When the reassignment took effect.
+        at: SimTime,
+        /// Dead device.
+        from_device: u32,
+        /// Surviving adopter.
+        to_device: u32,
+        /// Master vertices moved.
+        masters: u64,
+    },
+}
+
+impl FaultEvent {
+    /// Lower-case event name as printed in traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultEvent::FaultInjected { .. } => "fault_injected",
+            FaultEvent::Timeout { .. } => "timeout",
+            FaultEvent::Retransmit { .. } => "retransmit",
+            FaultEvent::CheckpointTaken { .. } => "checkpoint_taken",
+            FaultEvent::Rollback { .. } => "rollback",
+            FaultEvent::MastersReassigned { .. } => "masters_reassigned",
+        }
+    }
+
+    /// The event as one JSON object (hand-written, like
+    /// [`RoundRecord::to_json`]).
+    pub fn to_json(&self) -> String {
+        match self {
+            FaultEvent::FaultInjected { at, device, kind } => format!(
+                "{{\"event\":\"fault_injected\",\"at_s\":{:.9},\"device\":{},\"kind\":\"{}\"}}",
+                at.as_secs_f64(),
+                device,
+                kind
+            ),
+            FaultEvent::Timeout {
+                at,
+                from,
+                to,
+                attempt,
+            } => format!(
+                "{{\"event\":\"timeout\",\"at_s\":{:.9},\"from\":{},\"to\":{},\"attempt\":{}}}",
+                at.as_secs_f64(),
+                from,
+                to,
+                attempt
+            ),
+            FaultEvent::Retransmit {
+                at,
+                from,
+                to,
+                attempt,
+            } => format!(
+                "{{\"event\":\"retransmit\",\"at_s\":{:.9},\"from\":{},\"to\":{},\"attempt\":{}}}",
+                at.as_secs_f64(),
+                from,
+                to,
+                attempt
+            ),
+            FaultEvent::CheckpointTaken { at, round, bytes } => format!(
+                "{{\"event\":\"checkpoint_taken\",\"at_s\":{:.9},\"round\":{},\"bytes\":{}}}",
+                at.as_secs_f64(),
+                round,
+                bytes
+            ),
+            FaultEvent::Rollback {
+                at,
+                to_round,
+                device,
+            } => format!(
+                "{{\"event\":\"rollback\",\"at_s\":{:.9},\"to_round\":{},\"device\":{}}}",
+                at.as_secs_f64(),
+                to_round,
+                device
+            ),
+            FaultEvent::MastersReassigned {
+                at,
+                from_device,
+                to_device,
+                masters,
+            } => format!(
+                concat!(
+                    "{{\"event\":\"masters_reassigned\",\"at_s\":{:.9},",
+                    "\"from_device\":{},\"to_device\":{},\"masters\":{}}}"
+                ),
+                at.as_secs_f64(),
+                from_device,
+                to_device,
+                masters
+            ),
+        }
+    }
+}
+
 impl RoundRecord {
     /// The record as one JSON object (hand-written: the workspace has no
     /// serde runtime).
@@ -139,6 +294,12 @@ pub trait TraceSink {
     /// Delivers one record.
     fn record(&mut self, rec: RoundRecord);
 
+    /// Delivers one fault-layer event. Default: discard — sinks that
+    /// predate the fault layer keep working unchanged.
+    fn fault(&mut self, ev: FaultEvent) {
+        let _ = ev;
+    }
+
     /// Called once when the run completes (writers flush here).
     fn finish(&mut self) {}
 }
@@ -159,6 +320,8 @@ impl TraceSink for NoopSink {
 pub struct CollectingSink {
     /// Records in delivery order.
     pub records: Vec<RoundRecord>,
+    /// Fault events in delivery order.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl CollectingSink {
@@ -171,6 +334,10 @@ impl CollectingSink {
 impl TraceSink for CollectingSink {
     fn record(&mut self, rec: RoundRecord) {
         self.records.push(rec);
+    }
+
+    fn fault(&mut self, ev: FaultEvent) {
+        self.faults.push(ev);
     }
 }
 
@@ -194,19 +361,30 @@ impl<W: Write> JsonLinesSink<W> {
     }
 }
 
-impl<W: Write> TraceSink for JsonLinesSink<W> {
-    fn record(&mut self, rec: RoundRecord) {
+impl<W: Write> JsonLinesSink<W> {
+    fn emit(&mut self, body: String) {
         let line = match &self.label {
             Some(label) => {
-                let body = rec.to_json();
                 // Splice the label in as the first field.
                 format!("{{\"run\":\"{}\",{}", label, &body[1..])
             }
-            None => rec.to_json(),
+            None => body,
         };
         // Trace emission is best-effort: an unwritable sink must not abort
         // a simulation that is otherwise succeeding.
         let _ = writeln!(self.out, "{line}");
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn record(&mut self, rec: RoundRecord) {
+        let body = rec.to_json();
+        self.emit(body);
+    }
+
+    fn fault(&mut self, ev: FaultEvent) {
+        let body = ev.to_json();
+        self.emit(body);
     }
 
     fn finish(&mut self) {
@@ -231,6 +409,13 @@ impl TraceSink for ForkSink<'_> {
             self.outer.record(rec.clone());
         }
         self.collected.record(rec);
+    }
+
+    fn fault(&mut self, ev: FaultEvent) {
+        if self.outer.enabled() {
+            self.outer.fault(ev.clone());
+        }
+        self.collected.fault(ev);
     }
 
     fn finish(&mut self) {
@@ -292,6 +477,86 @@ mod tests {
         assert!(c.enabled());
         c.record(record());
         assert_eq!(c.records.len(), 1);
+    }
+
+    #[test]
+    fn fault_events_serialize_and_flow_through_sinks() {
+        let ev = FaultEvent::Rollback {
+            at: SimTime::from_secs_f64(1.5),
+            to_round: 4,
+            device: 2,
+        };
+        let j = ev.to_json();
+        assert!(j.starts_with("{\"event\":\"rollback\""));
+        assert!(j.contains("\"to_round\":4"));
+        assert!(j.contains("\"device\":2"));
+        assert_eq!(ev.name(), "rollback");
+
+        let mut c = CollectingSink::new();
+        c.fault(ev.clone());
+        assert_eq!(c.faults, vec![ev.clone()]);
+
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonLinesSink::new(&mut buf);
+            sink.set_label("faulty");
+            sink.fault(ev);
+            sink.finish();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"run\":\"faulty\",\"event\":\"rollback\""));
+
+        // Default impl discards without complaint.
+        NoopSink.fault(FaultEvent::Timeout {
+            at: SimTime::ZERO,
+            from: 0,
+            to: 1,
+            attempt: 0,
+        });
+    }
+
+    #[test]
+    fn every_fault_event_kind_has_valid_json() {
+        let evs = [
+            FaultEvent::FaultInjected {
+                at: SimTime::ZERO,
+                device: 0,
+                kind: "crash",
+            },
+            FaultEvent::Timeout {
+                at: SimTime::ZERO,
+                from: 0,
+                to: 1,
+                attempt: 2,
+            },
+            FaultEvent::Retransmit {
+                at: SimTime::ZERO,
+                from: 0,
+                to: 1,
+                attempt: 1,
+            },
+            FaultEvent::CheckpointTaken {
+                at: SimTime::ZERO,
+                round: 3,
+                bytes: 99,
+            },
+            FaultEvent::Rollback {
+                at: SimTime::ZERO,
+                to_round: 0,
+                device: 1,
+            },
+            FaultEvent::MastersReassigned {
+                at: SimTime::ZERO,
+                from_device: 1,
+                to_device: 0,
+                masters: 512,
+            },
+        ];
+        for ev in evs {
+            let j = ev.to_json();
+            assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+            assert!(j.contains(&format!("\"event\":\"{}\"", ev.name())), "{j}");
+        }
     }
 
     #[test]

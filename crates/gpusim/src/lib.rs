@@ -23,12 +23,14 @@
 //! (scaled degree × dataset divisor) so scheduler thresholds and reported
 //! times land on the paper's scale; see `DESIGN.md` §6.
 
+pub mod health;
 pub mod kernel;
 pub mod memory;
 pub mod platform;
 pub mod sched;
 pub mod spec;
 
+pub use health::{DeviceHealth, HealthTracker};
 pub use kernel::{KernelModel, KernelResult};
 pub use memory::{MemoryTracker, OomError};
 pub use platform::{ClusterSpec, Platform};

@@ -13,7 +13,8 @@
 //!   LB and per-vertex-thread-block edge schedulers.
 //! * [`comm`] — the Gluon-style communication substrate: update bitsets,
 //!   reduce/broadcast with structural-invariant elision, PCIe + network
-//!   virtual-time transport.
+//!   virtual-time transport, seeded fault injection and a retry/ack
+//!   reliable-delivery layer.
 //! * [`core`] — the D-IrGL-equivalent engine: BSP and BASP drivers, the
 //!   Var1–Var4 optimization variants, execution reports.
 //! * [`apps`] — bfs, cc, kcore, pagerank and sssp, plus sequential
@@ -48,11 +49,11 @@ pub mod prelude {
     pub use dirgl_apps::{
         betweenness_centrality, reference, Bfs, Cc, KCore, PageRank, PageRankPush, Sssp,
     };
-    pub use dirgl_comm::{CommMode, SimTime};
+    pub use dirgl_comm::{CommMode, FaultCounters, FaultPlan, RetryConfig, SimTime};
     pub use dirgl_core::{
-        run_engine, CollectingSink, ExecModel, ExecutionModel, ExecutionReport, JsonLinesSink,
-        NoopSink, PartitionArg, RoundRecord, RunConfig, RunError, Runner, Runtime, TraceSink,
-        Variant,
+        run_engine, CollectingSink, ExecModel, ExecutionModel, ExecutionReport, FaultEvent,
+        JsonLinesSink, NoopSink, PartitionArg, ResilienceStats, RoundRecord, RunConfig, RunError,
+        Runner, Runtime, TraceSink, Variant,
     };
     pub use dirgl_gpusim::{Balancer, ClusterSpec, GpuSpec, Platform};
     pub use dirgl_graph::{

@@ -1,0 +1,115 @@
+//! The two determinism contracts of the fault layer, pinned by proptest:
+//!
+//! 1. **Null-plan byte-identity** — `faults: Some(FaultPlan::none())`
+//!    routes every message through the retry/ack reliable transport, yet
+//!    must be *byte-identical* to `faults: None` (the raw transport):
+//!    same `ExecutionReport` (compared via `Debug`), same vertex values
+//!    (compared bit-for-bit), same trace JSONL stream. This is what makes
+//!    the layer free until faults are actually scheduled.
+//! 2. **Seeded-fault reproducibility** — a faulty run is a function of
+//!    its seed: the same `FaultPlan` twice gives the same report, values
+//!    and trace, byte for byte. Fault fates are keyed by message
+//!    coordinates (link, sequence number, attempt), not by host-side
+//!    iteration order.
+
+use proptest::prelude::*;
+
+use dirgl::prelude::*;
+
+const POLICIES: [Policy; 4] = [Policy::Oec, Policy::Iec, Policy::Hvc, Policy::Cvc];
+
+/// Runs `app` under `cfg` and returns (report Debug, value bits, trace
+/// JSONL bytes).
+fn run_traced<P: dirgl::core::VertexProgram>(
+    g: &Csr,
+    app: &P,
+    cfg: RunConfig,
+    devices: u32,
+) -> (String, Vec<u64>, Vec<u8>) {
+    let rt = Runtime::new(Platform::bridges(devices), cfg);
+    let mut buf = Vec::new();
+    let mut sink = JsonLinesSink::new(&mut buf);
+    let out = rt.runner(g, app).trace(&mut sink).execute().unwrap();
+    let report = format!("{:?}", out.report);
+    let bits = out.values.iter().map(|v| v.to_bits()).collect();
+    drop(sink);
+    (report, bits, buf)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Contract 1, bfs: every policy, both engines.
+    #[test]
+    fn null_plan_is_byte_identical_bfs(
+        gseed in 0u64..1_000,
+        policy in prop::sample::select(POLICIES.to_vec()),
+        sync in any::<bool>(),
+        devices in 2u32..6,
+    ) {
+        let g = RmatConfig::new(8, 8).seed(gseed).generate();
+        let app = Bfs::from_max_out_degree(&g);
+        let variant = if sync { Variant::var3() } else { Variant::var4() };
+        let raw = run_traced(&g, &app, RunConfig::new(policy, variant), devices);
+        let null = run_traced(
+            &g,
+            &app,
+            RunConfig::new(policy, variant).with_faults(FaultPlan::none()),
+            devices,
+        );
+        prop_assert_eq!(&raw.0, &null.0, "report diverged ({policy}, sync={sync})");
+        prop_assert_eq!(&raw.1, &null.1, "values diverged ({policy}, sync={sync})");
+        prop_assert_eq!(&raw.2, &null.2, "trace diverged ({policy}, sync={sync})");
+    }
+
+    /// Contract 1, pagerank: the tolerance-converging workload takes the
+    /// same byte-identical guarantee — no drift allowed.
+    #[test]
+    fn null_plan_is_byte_identical_pagerank(
+        gseed in 0u64..1_000,
+        policy in prop::sample::select(POLICIES.to_vec()),
+        sync in any::<bool>(),
+    ) {
+        let g = RmatConfig::new(8, 8).seed(gseed).generate();
+        let app = PageRank::new();
+        let variant = if sync { Variant::var3() } else { Variant::var4() };
+        let base = RunConfig::new(policy, variant).scale(1024);
+        let raw = run_traced(&g, &app, base.clone(), 4);
+        let null = run_traced(&g, &app, base.with_faults(FaultPlan::none()), 4);
+        prop_assert_eq!(&raw.0, &null.0, "report diverged ({policy}, sync={sync})");
+        prop_assert_eq!(&raw.1, &null.1, "values diverged ({policy}, sync={sync})");
+        prop_assert_eq!(&raw.2, &null.2, "trace diverged ({policy}, sync={sync})");
+    }
+
+    /// Contract 2: same seed, same faults, same bytes — including runs
+    /// with drops, duplicates, delays and a crash.
+    #[test]
+    fn seeded_fault_runs_are_reproducible(
+        gseed in 0u64..1_000,
+        fseed in 0u64..1_000_000,
+        drop in 0.0f64..0.25,
+        dup in 0.0f64..0.1,
+        crash in any::<bool>(),
+        rejoin in any::<bool>(),
+        sync in any::<bool>(),
+    ) {
+        let g = RmatConfig::new(8, 8).seed(gseed).generate();
+        let app = Bfs::from_max_out_degree(&g);
+        let variant = if sync { Variant::var3() } else { Variant::var4() };
+        let mut plan = FaultPlan::seeded(fseed)
+            .with_drop(drop)
+            .with_duplicate(dup)
+            .with_delay(0.02, 0.002);
+        if crash {
+            plan = plan.with_crash(1, 2, rejoin);
+        }
+        let cfg = RunConfig::new(Policy::Cvc, variant)
+            .with_faults(plan)
+            .with_checkpoints(2);
+        let a = run_traced(&g, &app, cfg.clone(), 4);
+        let b = run_traced(&g, &app, cfg, 4);
+        prop_assert_eq!(&a.0, &b.0, "report not reproducible");
+        prop_assert_eq!(&a.1, &b.1, "values not reproducible");
+        prop_assert_eq!(&a.2, &b.2, "trace not reproducible");
+    }
+}
