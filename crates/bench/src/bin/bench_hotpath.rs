@@ -1,0 +1,165 @@
+//! Before/after wall-clock + allocation benchmark for the host hot path:
+//! fig3-style 16-device runs (twitter50, IEC, Var3) timed with the legacy
+//! round loop (dense UO walks, fresh per-round allocations) and with the
+//! optimized one (sparsity-proportional [`ExtractIndex`] extraction,
+//! scratch-buffer pooling), asserting byte-identical `ExecutionReport`s
+//! and vertex values, then writing the numbers to `BENCH_hotpath.json`.
+//!
+//! Heap allocations are counted by a `#[global_allocator]` wrapper, so the
+//! `allocs_*` columns are exact call counts, not estimates.
+//!
+//! ```sh
+//! cargo run --release --bin bench_hotpath -- [--scale N] [--out PATH]
+//! ```
+//!
+//! [`ExtractIndex`]: dirgl_comm::ExtractIndex
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dirgl_bench::cli::{or_exit, ArgStream, CliError};
+use dirgl_bench::{run_dirgl_cfg, BenchId, LoadedDataset, PartitionCache};
+use dirgl_core::{RunConfig, Variant};
+use dirgl_gpusim::Platform;
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+
+/// [`System`] with a heap-allocation call counter.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const DEVICES: u32 = 16;
+const BENCHES: [BenchId; 2] = [BenchId::Bfs, BenchId::Pagerank];
+
+const USAGE: &str = "usage: bench_hotpath [--scale N] [--out PATH]";
+
+struct Opts {
+    extra_scale: u64,
+    out_path: String,
+}
+
+fn try_parse(mut it: ArgStream) -> Result<Opts, CliError> {
+    let mut o = Opts {
+        extra_scale: 1,
+        out_path: "BENCH_hotpath.json".to_string(),
+    };
+    while let Some(a) = it.next_arg() {
+        match a.as_str() {
+            "--scale" => o.extra_scale = it.parsed("--scale", "a positive integer")?,
+            "--out" => o.out_path = it.value("--out")?,
+            other => return Err(CliError::unknown_arg(other)),
+        }
+    }
+    Ok(o)
+}
+
+fn cfg(legacy: bool) -> RunConfig {
+    RunConfig::new(Policy::Iec, Variant::var3()).with_legacy_hotpath(legacy)
+}
+
+fn main() {
+    let Opts {
+        extra_scale,
+        out_path,
+    } = or_exit(try_parse(ArgStream::from_env()), USAGE);
+
+    let ld = LoadedDataset::load(DatasetId::Twitter50, extra_scale);
+    let platform = Platform::bridges(DEVICES);
+    let mut cache = PartitionCache::new();
+    // Warm the partition cache so both timed passes measure only the engine.
+    for bench in BENCHES {
+        cache.get(&ld, bench, Policy::Iec, DEVICES);
+    }
+
+    println!("bench_hotpath: twitter50/IEC/Var3 @ {DEVICES} devices, legacy vs optimized\n");
+
+    let mut rows = Vec::new();
+    let (mut wall_legacy, mut wall_opt) = (0.0f64, 0.0f64);
+    let mut identical = true;
+    for bench in BENCHES {
+        // Untimed warm-up: first contact with a workload pays allocator and
+        // page-fault costs that would otherwise be billed to the first pass.
+        run_dirgl_cfg(bench, &ld, &mut cache, &platform, cfg(true)).unwrap();
+
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        let legacy = run_dirgl_cfg(bench, &ld, &mut cache, &platform, cfg(true)).unwrap();
+        let legacy_s = t0.elapsed().as_secs_f64();
+        let allocs_legacy = ALLOCS.load(Ordering::Relaxed) - a0;
+
+        let a1 = ALLOCS.load(Ordering::Relaxed);
+        let t1 = Instant::now();
+        let opt = run_dirgl_cfg(bench, &ld, &mut cache, &platform, cfg(false)).unwrap();
+        let opt_s = t1.elapsed().as_secs_f64();
+        let allocs_opt = ALLOCS.load(Ordering::Relaxed) - a1;
+
+        let same = format!("{:?}", legacy.report) == format!("{:?}", opt.report)
+            && legacy
+                .values
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+                == opt.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        identical &= same;
+        println!(
+            "{:>8}: legacy {legacy_s:.3}s / {allocs_legacy} allocs, \
+             optimized {opt_s:.3}s / {allocs_opt} allocs, speedup {:.2}x, identical: {same}",
+            bench.name(),
+            legacy_s / opt_s
+        );
+        wall_legacy += legacy_s;
+        wall_opt += opt_s;
+        rows.push(format!(
+            "    {{\"bench\": \"{}\", \"wall_legacy_s\": {legacy_s:.6}, \
+             \"wall_opt_s\": {opt_s:.6}, \"speedup\": {:.4}, \
+             \"allocs_legacy\": {allocs_legacy}, \"allocs_opt\": {allocs_opt}, \
+             \"identical\": {same}}}",
+            bench.name(),
+            legacy_s / opt_s
+        ));
+    }
+
+    assert!(
+        identical,
+        "optimized hot path diverged from the legacy path"
+    );
+    let speedup = wall_legacy / wall_opt;
+    println!("\ntotal: legacy {wall_legacy:.3}s, optimized {wall_opt:.3}s, speedup {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"dataset\": \"twitter50\",\n  \"policy\": \"iec\",\n  \"variant\": \"Var3\",\n  \
+         \"devices\": {DEVICES},\n  \"extra_scale\": {extra_scale},\n  \
+         \"wall_legacy_s\": {wall_legacy:.6},\n  \"wall_opt_s\": {wall_opt:.6},\n  \
+         \"speedup\": {speedup:.4},\n  \"identical_reports\": {identical},\n  \
+         \"per_bench\": [\n{}\n  ],\n  \
+         \"note\": \"Wall-clock and exact heap-allocation counts for the engine only (partition \
+         cache pre-warmed), legacy hot path (dense UO walks, per-round allocation) vs optimized \
+         (ExtractIndex extraction with a density gate, scratch pooling). identical_reports \
+         asserts the byte-identical ExecutionReport + vertex values contract between the two \
+         paths.\"\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -160,8 +160,11 @@ fn main() {
          \"note\": \"Wall-clock for the engine only (partition cache pre-warmed). Speedup is \
          bounded by the host core count: on a single-core host the pool adds scheduling \
          overhead and cannot beat 1 thread; the >=2x target applies to hosts with >=4 cores. \
-         identical_reports asserts the byte-identical ExecutionReport + vertex values \
-         contract between the two pool sizes.\"\n}}\n",
+         Payload pooling + indexed UO extraction (see BENCH_hotpath.json) removed the \
+         per-round allocator churn that previously made allocation-heavy pagerank regress \
+         under the pool, so per-bench speedups should sit at or above their single-thread \
+         baseline once cores allow. identical_reports asserts the byte-identical \
+         ExecutionReport + vertex values contract between the two pool sizes.\"\n}}\n",
         rows.join(",\n")
     );
     std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));

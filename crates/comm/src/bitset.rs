@@ -66,12 +66,75 @@ impl DenseBitset {
         self.words.iter().map(|w| w.count_ones()).sum()
     }
 
+    /// Read-only view of the backing words (64 positions per word, LSB
+    /// first). Exposed for rank/intersection structures layered over
+    /// bitsets (see `dirgl_comm::plan::ExtractIndex`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Ascending iterator over set bit positions.
     pub fn iter_set(&self) -> impl Iterator<Item = u32> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
             let base = wi as u32 * 64;
             BitIter { word: w, base }
         })
+    }
+
+    /// Ascending iterator over positions set in both `self` and `other` —
+    /// `a ∧ b` word by word, without materializing the intersection. The
+    /// cost is proportional to the word count plus the number of common
+    /// bits, never to the set sizes.
+    pub fn intersect_iter<'a>(&'a self, other: &'a DenseBitset) -> impl Iterator<Item = u32> + 'a {
+        assert_eq!(self.len, other.len);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .flat_map(|(wi, (&a, &b))| BitIter {
+                word: a & b,
+                base: wi as u32 * 64,
+            })
+    }
+
+    /// Ascending iterator over set positions within `range` (clamped to
+    /// the bitset's capacity). Touches only the words overlapping the
+    /// range.
+    pub fn iter_set_in_range(&self, range: std::ops::Range<u32>) -> impl Iterator<Item = u32> + '_ {
+        let lo = range.start.min(self.len);
+        let hi = range.end.min(self.len);
+        let (w0, w1) = if lo >= hi {
+            (0, 0)
+        } else {
+            ((lo / 64) as usize, (hi as usize).div_ceil(64))
+        };
+        self.words[w0..w1]
+            .iter()
+            .enumerate()
+            .flat_map(move |(k, &w)| {
+                let base = (w0 + k) as u32 * 64;
+                BitIter {
+                    word: mask_word(w, base, lo, hi),
+                    base,
+                }
+            })
+    }
+
+    /// True when any bit is set within `range` (clamped to capacity).
+    /// Word-level early exit — the cheap guard in front of a range
+    /// iteration.
+    pub fn any_in_range(&self, range: std::ops::Range<u32>) -> bool {
+        let lo = range.start.min(self.len);
+        let hi = range.end.min(self.len);
+        if lo >= hi {
+            return false;
+        }
+        let (w0, w1) = ((lo / 64) as usize, (hi as usize).div_ceil(64));
+        self.words[w0..w1]
+            .iter()
+            .enumerate()
+            .any(|(k, &w)| mask_word(w, (w0 + k) as u32 * 64, lo, hi) != 0)
     }
 
     /// In-place union.
@@ -86,6 +149,20 @@ impl DenseBitset {
     pub fn wire_bytes(&self) -> u64 {
         self.words.len() as u64 * 8
     }
+}
+
+/// Masks `word` (whose bit 0 is position `base`) down to the positions in
+/// `[lo, hi)`.
+#[inline]
+fn mask_word(word: u64, base: u32, lo: u32, hi: u32) -> u64 {
+    let mut w = word;
+    if lo > base {
+        w &= !0u64 << (lo - base);
+    }
+    if hi < base + 64 {
+        w &= (1u64 << (hi - base)) - 1;
+    }
+    w
 }
 
 struct BitIter {
@@ -155,6 +232,56 @@ mod tests {
         assert_eq!(DenseBitset::new(1).wire_bytes(), 8);
         assert_eq!(DenseBitset::new(64).wire_bytes(), 8);
         assert_eq!(DenseBitset::new(65).wire_bytes(), 16);
+    }
+
+    #[test]
+    fn intersect_iter_matches_filtered_iteration() {
+        let mut a = DenseBitset::new(300);
+        let mut b = DenseBitset::new(300);
+        for i in (0..300).step_by(3) {
+            a.set(i);
+        }
+        for i in (0..300).step_by(5) {
+            b.set(i);
+        }
+        let fast: Vec<u32> = a.intersect_iter(&b).collect();
+        let slow: Vec<u32> = a.iter_set().filter(|&i| b.get(i)).collect();
+        assert_eq!(fast, slow);
+        assert_eq!(fast, (0..300).step_by(15).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn range_iteration_masks_both_endpoints() {
+        let mut b = DenseBitset::new(200);
+        for i in [0u32, 5, 63, 64, 65, 100, 127, 128, 199] {
+            b.set(i);
+        }
+        let in_range: Vec<u32> = b.iter_set_in_range(5..128).collect();
+        assert_eq!(in_range, [5, 63, 64, 65, 100, 127]);
+        // Sub-word range.
+        assert_eq!(b.iter_set_in_range(64..66).collect::<Vec<u32>>(), [64, 65]);
+        // Empty and inverted ranges.
+        assert_eq!(b.iter_set_in_range(6..6).count(), 0);
+        #[allow(clippy::reversed_empty_ranges)]
+        let inverted = 10..5;
+        assert_eq!(b.iter_set_in_range(inverted).count(), 0);
+        // Range clamped to capacity.
+        assert_eq!(b.iter_set_in_range(190..999).collect::<Vec<u32>>(), [199]);
+    }
+
+    #[test]
+    fn any_in_range_agrees_with_iteration() {
+        let mut b = DenseBitset::new(200);
+        b.set(70);
+        b.set(199);
+        for lo in 0..20u32 {
+            for hi in 0..210u32 {
+                assert_eq!(
+                    b.any_in_range(lo * 10..hi),
+                    b.iter_set_in_range(lo * 10..hi).next().is_some()
+                );
+            }
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use faults::{
 };
 pub use message::{as_message_bytes, uo_message_bytes, CommMode, VAL_BYTES};
 pub use net::{Delivery, ExchangeOutcome, MessageTrace, NetModel, NetState, SendDesc};
-pub use plan::SyncPlan;
+pub use plan::{ExtractIndex, SyncPlan};
 pub use reliable::{
     Failure, LinkEvent, LinkEventKind, ReliableExchange, ReliableNet, ReliableState, SendVerdict,
 };

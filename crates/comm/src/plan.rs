@@ -21,6 +21,73 @@ use serde::{Deserialize, Serialize};
 
 use dirgl_partition::Partition;
 
+use crate::bitset::DenseBitset;
+
+/// Per-link inverse index: local vertex → link entry, plus the participant
+/// membership bitset, so Updated-Only extraction can iterate
+/// `updated ∧ members` and touch only updated entries instead of probing
+/// every link entry bit-by-bit.
+///
+/// The index exists only when the link's side array is strictly ascending
+/// in local ids (which the partition builder guarantees — masters and
+/// mirrors are laid out in ascending global-id order on both sides). Then
+/// the entry index of a local vertex is its *rank* in the full-link
+/// membership bitset, recoverable from per-word prefix popcounts without
+/// storing a `local vertex → entry` vector. Hand-built links that violate
+/// the ordering get no index ([`ExtractIndex::build`] returns `None`) and
+/// fall back to the dense walk.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExtractIndex {
+    /// Local vertices that participate in this direction's exchange (the
+    /// filtered entry subset, as a bitset over the device's local ids).
+    members: DenseBitset,
+    /// Local vertices appearing anywhere on this link's side array.
+    all: DenseBitset,
+    /// Per-word prefix popcounts of `all`: number of link entries whose
+    /// local id is below `64 * w`.
+    rank: Vec<u32>,
+}
+
+impl ExtractIndex {
+    /// Builds the index for one link direction, or `None` when `side` is
+    /// not strictly ascending (fallback to the dense walk).
+    pub fn build(local_len: u32, side: &[u32], entries: &[u32]) -> Option<ExtractIndex> {
+        if entries.is_empty() || side.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        let mut all = DenseBitset::new(local_len);
+        for &lv in side {
+            all.set(lv);
+        }
+        let mut members = DenseBitset::new(local_len);
+        for &e in entries {
+            members.set(side[e as usize]);
+        }
+        let mut rank = Vec::with_capacity(all.words().len());
+        let mut acc = 0u32;
+        for &w in all.words() {
+            rank.push(acc);
+            acc += w.count_ones();
+        }
+        Some(ExtractIndex { members, all, rank })
+    }
+
+    /// Participant membership over local vertices.
+    #[inline]
+    pub fn members(&self) -> &DenseBitset {
+        &self.members
+    }
+
+    /// Link entry index of participating local vertex `lv` (rank of `lv`
+    /// in the full-link membership).
+    #[inline]
+    pub fn entry_of(&self, lv: u32) -> u32 {
+        let w = (lv / 64) as usize;
+        let below = self.all.words()[w] & ((1u64 << (lv % 64)) - 1);
+        self.rank[w] + below.count_ones()
+    }
+}
+
 /// Precomputed participant sets for one (program, partition) pairing.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SyncPlan {
@@ -30,6 +97,14 @@ pub struct SyncPlan {
     reduce_entries: Vec<Vec<u32>>,
     /// Same indexing: entries whose mirror is read — the broadcast set.
     bcast_entries: Vec<Vec<u32>>,
+    /// Inverse indexes over the *holder's* local ids for each reduce set
+    /// (mirror side extracts). `None` where the pair is empty or unsorted.
+    #[serde(default)]
+    reduce_index: Vec<Option<ExtractIndex>>,
+    /// Inverse indexes over the *owner's* local ids for each broadcast set
+    /// (master side extracts).
+    #[serde(default)]
+    bcast_index: Vec<Option<ExtractIndex>>,
 }
 
 impl SyncPlan {
@@ -41,22 +116,40 @@ impl SyncPlan {
         let p = part.num_devices;
         let mut reduce_entries = Vec::with_capacity((p * p) as usize);
         let mut bcast_entries = Vec::with_capacity((p * p) as usize);
+        let mut reduce_index = Vec::with_capacity((p * p) as usize);
+        let mut bcast_index = Vec::with_capacity((p * p) as usize);
         for holder in 0..p {
             for owner in 0..p {
                 let link = part.link(holder, owner);
                 if holder == owner || link.is_empty() {
                     reduce_entries.push(Vec::new());
                     bcast_entries.push(Vec::new());
+                    reduce_index.push(None);
+                    bcast_index.push(None);
                     continue;
                 }
-                reduce_entries.push(link.written_entries(write_at_dst));
-                bcast_entries.push(link.read_entries(read_at_src));
+                let red = link.written_entries(write_at_dst);
+                let bc = link.read_entries(read_at_src);
+                reduce_index.push(ExtractIndex::build(
+                    part.locals[holder as usize].num_vertices(),
+                    &link.mirror_side,
+                    &red,
+                ));
+                bcast_index.push(ExtractIndex::build(
+                    part.locals[owner as usize].num_vertices(),
+                    &link.master_side,
+                    &bc,
+                ));
+                reduce_entries.push(red);
+                bcast_entries.push(bc);
             }
         }
         SyncPlan {
             num_devices: p,
             reduce_entries,
             bcast_entries,
+            reduce_index,
+            bcast_index,
         }
     }
 
@@ -70,6 +163,26 @@ impl SyncPlan {
     #[inline]
     pub fn bcast(&self, holder: u32, owner: u32) -> &[u32] {
         &self.bcast_entries[(holder * self.num_devices + owner) as usize]
+    }
+
+    /// Inverse index for the `(holder, owner)` reduce set, over the
+    /// holder's local ids. `None` (dense-walk fallback) for empty pairs,
+    /// unsorted hand-built links, or plans deserialized from an older
+    /// format.
+    #[inline]
+    pub fn reduce_index(&self, holder: u32, owner: u32) -> Option<&ExtractIndex> {
+        self.reduce_index
+            .get((holder * self.num_devices + owner) as usize)?
+            .as_ref()
+    }
+
+    /// Inverse index for the `(holder, owner)` broadcast set, over the
+    /// owner's local ids.
+    #[inline]
+    pub fn bcast_index(&self, holder: u32, owner: u32) -> Option<&ExtractIndex> {
+        self.bcast_index
+            .get((holder * self.num_devices + owner) as usize)?
+            .as_ref()
     }
 
     /// Total shared proxies the plan can ever move (both directions), for
@@ -181,6 +294,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn extract_index_agrees_with_dense_walk() {
+        // For every link direction with an index, iterating
+        // `members ∧ full` must visit exactly the participant entries in
+        // ascending entry order, and `entry_of` must invert the side
+        // array.
+        let part = Partition::build(&graph(), Policy::Hvc, 8, 0);
+        let plan = SyncPlan::build(&part, true, true);
+        let mut indexed_links = 0;
+        for holder in 0..8 {
+            for owner in 0..8 {
+                let link = part.link(holder, owner);
+                if let Some(idx) = plan.reduce_index(holder, owner) {
+                    indexed_links += 1;
+                    let via_index: Vec<u32> = idx
+                        .members()
+                        .iter_set()
+                        .map(|lv| idx.entry_of(lv))
+                        .collect();
+                    assert_eq!(via_index, plan.reduce(holder, owner));
+                    for &e in plan.reduce(holder, owner) {
+                        assert_eq!(idx.entry_of(link.mirror_side[e as usize]), e);
+                    }
+                }
+                if let Some(idx) = plan.bcast_index(holder, owner) {
+                    let via_index: Vec<u32> = idx
+                        .members()
+                        .iter_set()
+                        .map(|lv| idx.entry_of(lv))
+                        .collect();
+                    assert_eq!(via_index, plan.bcast(holder, owner));
+                    for &e in plan.bcast(holder, owner) {
+                        assert_eq!(idx.entry_of(link.master_side[e as usize]), e);
+                    }
+                }
+            }
+        }
+        assert!(indexed_links > 0, "builder links must be ascending");
+    }
+
+    #[test]
+    fn extract_index_rejects_unsorted_sides() {
+        assert!(ExtractIndex::build(10, &[3, 1, 5], &[0, 1]).is_none());
+        assert!(ExtractIndex::build(10, &[3, 3, 5], &[0]).is_none());
+        assert!(ExtractIndex::build(10, &[1, 3, 5], &[]).is_none());
+        let idx = ExtractIndex::build(10, &[1, 3, 5], &[0, 2]).unwrap();
+        assert_eq!(idx.entry_of(1), 0);
+        assert_eq!(idx.entry_of(3), 1);
+        assert_eq!(idx.entry_of(5), 2);
+        assert!(idx.members().get(1) && !idx.members().get(3) && idx.members().get(5));
     }
 
     #[test]

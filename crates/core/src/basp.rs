@@ -159,6 +159,9 @@ struct LocalRound<P: VertexProgram> {
     absorb_changed: u32,
     /// Outgoing `(destination, payload, bytes)` in partner order.
     msgs: Vec<(u32, Payload<P>, u64)>,
+    /// The device's drained inbox vector, returned (emptied) so phase B
+    /// can hand it back to `inbox[d]` instead of allocating a fresh one.
+    mail: Vec<Payload<P>>,
 }
 
 /// One unit of parallel phase-A work: batch index, device id, the device's
@@ -362,6 +365,12 @@ pub fn run_basp<P: VertexProgram>(
     let balancer = config.variant.balancer;
     let pull = program.style() == Style::PullTopologyDriven;
     let tracing = sink.enabled();
+    // Sparsity-proportional UO extraction and payload-buffer pooling (see
+    // `run_bsp`; both paths byte-identical, pinned by tests).
+    let use_index = !config.legacy_hotpath;
+    for d in devices.iter_mut() {
+        d.scratch.pooling = use_index;
+    }
 
     let mut heap: BinaryHeap<Event<P>> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -512,14 +521,15 @@ pub fn run_basp<P: VertexProgram>(
                     // the pool.
                     let phase_a = |dev: &mut DeviceRun<P>,
                                    d: u32,
-                                   mail: Vec<Payload<P>>,
+                                   mut mail: Vec<Payload<P>>,
                                    mut conv: bool|
                      -> LocalRound<P> {
                         // 1. Drain arrived messages. Only payloads that actually
                         // change state un-converge the device: header-only sync
-                        // messages must not cause compute chatter.
+                        // messages must not cause compute chatter. Applied
+                        // payload vectors recycle into this device's pool.
                         let mut arrivals_changed = false;
-                        for payload in mail {
+                        for payload in mail.drain(..) {
                             match payload {
                                 Payload::Reduce {
                                     holder,
@@ -529,6 +539,7 @@ pub fn run_basp<P: VertexProgram>(
                                     debug_assert_eq!(owner, d);
                                     let link = part.link(holder, owner);
                                     arrivals_changed |= dev.apply_reduce(program, link, &data);
+                                    dev.scratch.recycle(data);
                                 }
                                 Payload::Bcast {
                                     owner,
@@ -539,6 +550,7 @@ pub fn run_basp<P: VertexProgram>(
                                     let link = part.link(holder, owner);
                                     arrivals_changed |=
                                         dev.apply_broadcast(program, link, &data, true);
+                                    dev.scratch.recycle(data);
                                 }
                             }
                         }
@@ -567,6 +579,7 @@ pub fn run_basp<P: VertexProgram>(
                                 pack: SimTime::ZERO,
                                 absorb_changed: 0,
                                 msgs: Vec::new(),
+                                mail,
                             };
                         }
 
@@ -593,6 +606,18 @@ pub fn run_basp<P: VertexProgram>(
                         // Gluon(-Async) does; an empty payload still costs the
                         // presence-bitset header.
                         let mut msgs: Vec<(u32, Payload<P>, u64)> = Vec::new();
+                        // Density gate (see `run_bsp`): the index engages
+                        // only when the frontier is sparse relative to the
+                        // link; the dense walk wins otherwise. Identical
+                        // bytes either way.
+                        let (upd, dirty) = if use_index {
+                            (
+                                dev.updated.count_ones() as usize,
+                                dev.bcast_dirty.count_ones() as usize,
+                            )
+                        } else {
+                            (usize::MAX, usize::MAX)
+                        };
                         for other in 0..p as u32 {
                             if other == d {
                                 continue;
@@ -601,8 +626,13 @@ pub fn run_basp<P: VertexProgram>(
                             let entries = plan.reduce(d, other);
                             if !entries.is_empty() {
                                 let link = part.link(d, other);
+                                let idx = if upd < entries.len() / 2 {
+                                    plan.reduce_index(d, other)
+                                } else {
+                                    None
+                                };
                                 let (data, bytes) =
-                                    dev.build_reduce(program, link, entries, mode, divisor);
+                                    dev.build_reduce(program, link, entries, idx, mode, divisor);
                                 msgs.push((
                                     other,
                                     Payload::Reduce {
@@ -617,8 +647,14 @@ pub fn run_basp<P: VertexProgram>(
                             let entries = plan.bcast(other, d);
                             if !entries.is_empty() {
                                 let link = part.link(other, d);
-                                let (data, bytes) = dev
-                                    .build_broadcast(program, link, entries, mode, divisor, true);
+                                let idx = if dirty < entries.len() / 2 {
+                                    plan.bcast_index(other, d)
+                                } else {
+                                    None
+                                };
+                                let (data, bytes) = dev.build_broadcast(
+                                    program, link, entries, idx, mode, divisor, true,
+                                );
                                 msgs.push((
                                     other,
                                     Payload::Bcast {
@@ -645,6 +681,7 @@ pub fn run_basp<P: VertexProgram>(
                             pack,
                             absorb_changed: pre_changed + changed,
                             msgs,
+                            mail,
                         }
                     };
 
@@ -689,8 +726,13 @@ pub fn run_basp<P: VertexProgram>(
                     // and emit trace records, sequentially in pop order —
                     // sequence numbers, link occupancy and the JSONL stream
                     // come out exactly as in an unbatched run.
-                    for (bd, a) in outs {
+                    for (bd, mut a) in outs {
                         let du = bd as usize;
+                        // Hand the drained (now empty) inbox vector back:
+                        // no Arrive event is processed between the take in
+                        // phase A and this point, so nothing was pushed to
+                        // the placeholder.
+                        inbox[du] = std::mem::take(&mut a.mail);
                         converged[du] = a.conv;
                         if a.idle {
                             idle_since[du] = Some(t);

@@ -43,14 +43,6 @@ use crate::trace::{EngineKind, FaultEvent, RoundRecord, TraceDirection, TraceSin
 
 /// A built sync payload awaiting application: (builder, partner, values).
 type Payloads<W> = Vec<(u32, u32, Vec<(u32, W)>)>;
-/// Per-builder output of a parallel payload-build stage: the pack time to
-/// charge (zero when the builder has no partners this round) and one
-/// `(partner, payload, bytes)` entry per partner, in ascending partner
-/// order.
-type Built<W> = Vec<(SimTime, Vec<(u32, Vec<(u32, W)>, u64)>)>;
-/// One receiving device's payloads, grouped in ascending-builder order:
-/// `(builder, values)` pairs.
-type Grouped<W> = Vec<(u32, Vec<(u32, W)>)>;
 use crate::program::{Style, VertexProgram};
 
 /// Raw outcome of a BSP/BASP run, consumed by the runtime's report
@@ -251,6 +243,13 @@ pub fn run_bsp<P: VertexProgram>(
     let term_cost =
         termination_check_cost(net) + SimTime::from_secs_f64(config.runtime_round_overhead_secs);
     let tracing = sink.enabled();
+    // Sparsity-proportional UO extraction and scratch-buffer reuse, unless
+    // the config pins the legacy path for before/after benchmarking. Both
+    // paths are byte-identical in every observable (pinned by tests).
+    let use_index = !config.legacy_hotpath;
+    for d in devices.iter_mut() {
+        d.scratch.pooling = use_index;
+    }
 
     let mut clocks = vec![SimTime::ZERO; p];
     let mut host_wait = vec![SimTime::ZERO; net.platform().num_hosts() as usize];
@@ -289,7 +288,16 @@ pub fn run_bsp<P: VertexProgram>(
     let mut tr_sent = vec![(0u64, 0u64); p]; // (bytes, messages)
     let mut tr_recv = vec![(0u64, 0u64); p];
 
+    // Round-lived vectors, hoisted out of the loop and refilled in place.
+    let mut alive = vec![true; p];
+    let mut times = vec![SimTime::ZERO; p];
+    let mut absorbed = vec![0u32; p];
+    let mut sends: Vec<SendDesc> = Vec::new();
+    let mut payloads: Payloads<P::Wire> = Vec::new();
+    let mut round_failures: Vec<SimTime> = Vec::new();
+
     loop {
+        round_failures.clear();
         // --- Scheduled checkpoint (skipped when a rollback just restored
         // this very round).
         if recovery_on
@@ -338,10 +346,11 @@ pub fn run_bsp<P: VertexProgram>(
                 }
             }
         }
-        let alive: Vec<bool> = match &fctx {
-            Some(ctx) => (0..p as u32).map(|l| ctx.alive_logical(l)).collect(),
-            None => vec![true; p],
-        };
+        if let Some(ctx) = &fctx {
+            for (l, a) in alive.iter_mut().enumerate() {
+                *a = ctx.alive_logical(l as u32);
+            }
+        }
 
         program.on_round_start(rounds);
         if tracing {
@@ -360,21 +369,20 @@ pub fn run_bsp<P: VertexProgram>(
             program.pull_when(frontier, total_vertices)
         };
         // --- Compute phase (devices in parallel; each sequential inside).
-        let times: Vec<SimTime> = devices
-            .par_iter_mut()
-            .enumerate()
-            .map(|(i, d)| {
-                if !alive[i] {
-                    SimTime::ZERO
-                } else if use_pull {
-                    d.compute_bottom_up(program, balancer, divisor)
-                } else if topo || d.has_work() {
-                    d.compute(program, balancer, divisor)
-                } else {
-                    SimTime::ZERO
-                }
-            })
-            .collect();
+        devices.par_iter_mut().enumerate().for_each(|(i, d)| {
+            d.scratch.compute_t = if !alive[i] {
+                SimTime::ZERO
+            } else if use_pull {
+                d.compute_bottom_up(program, balancer, divisor)
+            } else if topo || d.has_work() {
+                d.compute(program, balancer, divisor)
+            } else {
+                SimTime::ZERO
+            };
+        });
+        for (t, d) in times.iter_mut().zip(devices.iter()) {
+            *t = d.scratch.compute_t;
+        }
         advance_compute_clocks(&mut clocks, &times, fctx.as_ref(), |ctx, phys| {
             ctx.injector().slowdown(phys, rounds)
         });
@@ -384,43 +392,56 @@ pub fn run_bsp<P: VertexProgram>(
         // fans out per holder; pack charging and send stamping follow
         // sequentially in holder-major order (identical clocks and
         // `SendDesc` order to a sequential build).
-        let built: Built<P::Wire> = devices
-            .par_iter_mut()
-            .enumerate()
-            .map(|(h, dev)| {
-                let holder = h as u32;
-                if !alive[h] {
-                    return (SimTime::ZERO, Vec::new());
+        devices.par_iter_mut().enumerate().for_each(|(h, dev)| {
+            let holder = h as u32;
+            dev.scratch.built.clear();
+            dev.scratch.pack_t = SimTime::ZERO;
+            if !alive[h] {
+                return;
+            }
+            // Density gate: on near-dense frontiers (pagerank-style rounds)
+            // the sequential dense walk beats the intersection's per-hit
+            // rank arithmetic, so the index only engages when the frontier
+            // is small relative to the link. Either path emits identical
+            // bytes, so this is purely a cost heuristic.
+            let upd = if use_index {
+                dev.updated.count_ones() as usize
+            } else {
+                usize::MAX
+            };
+            for owner in 0..p as u32 {
+                if holder == owner {
+                    continue;
                 }
-                let mut out = Vec::new();
-                for owner in 0..p as u32 {
-                    if holder == owner {
-                        continue;
-                    }
-                    let entries = plan.reduce(holder, owner);
-                    if entries.is_empty() {
-                        continue;
-                    }
-                    let link = part.link(holder, owner);
-                    // Even an empty payload is sent: under BSP every host
-                    // waits to hear from each of its partners every round,
-                    // so UO messages carry at least the presence bitset.
-                    // This per-partner cost is what makes CVC's restricted
-                    // partner sets matter (SIII-D1).
-                    let (payload, bytes) = dev.build_reduce(program, link, entries, mode, divisor);
-                    out.push((owner, payload, bytes));
+                let entries = plan.reduce(holder, owner);
+                if entries.is_empty() {
+                    continue;
                 }
-                let pack = if out.is_empty() {
-                    SimTime::ZERO
+                let link = part.link(holder, owner);
+                let idx = if upd < entries.len() / 2 {
+                    plan.reduce_index(holder, owner)
                 } else {
-                    dev.pack_time(mode, divisor)
+                    None
                 };
-                (pack, out)
-            })
-            .collect();
-        let (sends, payloads) =
-            stamp_sends::<P>(&mut clocks, built, tracing.then_some(&mut tr_pack));
-        let mut round_failures: Vec<SimTime> = Vec::new();
+                // Even an empty payload is sent: under BSP every host
+                // waits to hear from each of its partners every round,
+                // so UO messages carry at least the presence bitset.
+                // This per-partner cost is what makes CVC's restricted
+                // partner sets matter (SIII-D1).
+                let (payload, bytes) = dev.build_reduce(program, link, entries, idx, mode, divisor);
+                dev.scratch.built.push((owner, payload, bytes));
+            }
+            if !dev.scratch.built.is_empty() {
+                dev.scratch.pack_t = dev.pack_time(mode, divisor);
+            }
+        });
+        stamp_sends::<P>(
+            &mut clocks,
+            devices,
+            &mut sends,
+            &mut payloads,
+            tracing.then_some(&mut tr_pack),
+        );
         let delivered = run_exchange(
             net,
             &mut net_state,
@@ -442,7 +463,7 @@ pub fn run_bsp<P: VertexProgram>(
         }
         apply_grouped(
             devices,
-            payloads,
+            &mut payloads,
             delivered.as_deref(),
             |dev, builder, payload| {
                 let link = part.link(builder, dev.dev);
@@ -451,53 +472,62 @@ pub fn run_bsp<P: VertexProgram>(
         );
 
         // --- Absorb: masters fold accumulators once per round.
-        let absorbed: Vec<u32> = devices
-            .par_iter_mut()
-            .enumerate()
-            .map(|(i, d)| {
-                if alive[i] {
-                    d.absorb_masters(program)
-                } else {
-                    0
-                }
-            })
-            .collect();
+        devices.par_iter_mut().enumerate().for_each(|(i, d)| {
+            d.scratch.absorbed = if alive[i] {
+                d.absorb_masters(program)
+            } else {
+                0
+            };
+        });
+        for (a, d) in absorbed.iter_mut().zip(devices.iter()) {
+            *a = d.scratch.absorbed;
+        }
         let changed: u32 = absorbed.iter().sum();
 
         // --- Broadcast exchange: masters -> mirrors (same parallel
         // build / sequential stamp split, owner-major).
-        let built: Built<P::Wire> = devices
-            .par_iter_mut()
-            .enumerate()
-            .map(|(o, dev)| {
-                let owner = o as u32;
-                if !alive[o] {
-                    return (SimTime::ZERO, Vec::new());
+        devices.par_iter_mut().enumerate().for_each(|(o, dev)| {
+            let owner = o as u32;
+            dev.scratch.built.clear();
+            dev.scratch.pack_t = SimTime::ZERO;
+            if !alive[o] {
+                return;
+            }
+            // Same density gate as the reduce build, over `bcast_dirty`.
+            let dirty = if use_index {
+                dev.bcast_dirty.count_ones() as usize
+            } else {
+                usize::MAX
+            };
+            for holder in 0..p as u32 {
+                if holder == owner {
+                    continue;
                 }
-                let mut out = Vec::new();
-                for holder in 0..p as u32 {
-                    if holder == owner {
-                        continue;
-                    }
-                    let entries = plan.bcast(holder, owner);
-                    if entries.is_empty() {
-                        continue;
-                    }
-                    let link = part.link(holder, owner);
-                    let (payload, bytes) =
-                        dev.build_broadcast(program, link, entries, mode, divisor, false);
-                    out.push((holder, payload, bytes));
+                let entries = plan.bcast(holder, owner);
+                if entries.is_empty() {
+                    continue;
                 }
-                let pack = if out.is_empty() {
-                    SimTime::ZERO
+                let link = part.link(holder, owner);
+                let idx = if dirty < entries.len() / 2 {
+                    plan.bcast_index(holder, owner)
                 } else {
-                    dev.pack_time(mode, divisor)
+                    None
                 };
-                (pack, out)
-            })
-            .collect();
-        let (sends, payloads) =
-            stamp_sends::<P>(&mut clocks, built, tracing.then_some(&mut tr_pack));
+                let (payload, bytes) =
+                    dev.build_broadcast(program, link, entries, idx, mode, divisor, false);
+                dev.scratch.built.push((holder, payload, bytes));
+            }
+            if !dev.scratch.built.is_empty() {
+                dev.scratch.pack_t = dev.pack_time(mode, divisor);
+            }
+        });
+        stamp_sends::<P>(
+            &mut clocks,
+            devices,
+            &mut sends,
+            &mut payloads,
+            tracing.then_some(&mut tr_pack),
+        );
         let delivered = run_exchange(
             net,
             &mut net_state,
@@ -519,7 +549,7 @@ pub fn run_bsp<P: VertexProgram>(
         }
         apply_grouped(
             devices,
-            payloads,
+            &mut payloads,
             delivered.as_deref(),
             |dev, builder, payload| {
                 let link = part.link(dev.dev, builder);
@@ -702,23 +732,27 @@ fn advance_compute_clocks(
 /// Sequential half of a payload build: walks builders in device order,
 /// charges each non-idle builder's pack time, and stamps every send with
 /// the builder's post-pack clock — exactly what the former inline loop
-/// produced.
+/// produced. Drains each device's `scratch.built` into the reused
+/// `sends`/`payloads` vectors.
 fn stamp_sends<P: VertexProgram>(
     clocks: &mut [SimTime],
-    built: Built<P::Wire>,
+    devices: &mut [DeviceRun<P>],
+    sends: &mut Vec<SendDesc>,
+    payloads: &mut Payloads<P::Wire>,
     mut tr_pack: Option<&mut Vec<SimTime>>,
-) -> (Vec<SendDesc>, Payloads<P::Wire>) {
-    let mut sends: Vec<SendDesc> = Vec::new();
-    let mut payloads: Payloads<P::Wire> = Vec::new();
-    for (builder, (pack, list)) in built.into_iter().enumerate() {
-        if list.is_empty() {
+) {
+    sends.clear();
+    payloads.clear();
+    for (builder, dev) in devices.iter_mut().enumerate() {
+        if dev.scratch.built.is_empty() {
             continue;
         }
+        let pack = dev.scratch.pack_t;
         clocks[builder] += pack;
         if let Some(tp) = tr_pack.as_deref_mut() {
             tp[builder] += pack;
         }
-        for (partner, payload, bytes) in list {
+        for (partner, payload, bytes) in dev.scratch.built.drain(..) {
             sends.push(SendDesc {
                 from: builder as u32,
                 to: partner,
@@ -728,7 +762,6 @@ fn stamp_sends<P: VertexProgram>(
             payloads.push((builder as u32, partner, payload));
         }
     }
-    (sends, payloads)
 }
 
 /// Applies payloads in parallel across receiving devices. Each receiver
@@ -736,30 +769,34 @@ fn stamp_sends<P: VertexProgram>(
 /// apply loop would deliver them, so accumulation order per device — and
 /// with it every float result — is unchanged. `delivered`, when present,
 /// is index-parallel to the payloads; undelivered ones (lost to a dead
-/// receiver) are skipped.
+/// receiver) are skipped. Grouping bins live in each receiver's
+/// `scratch.inbox`, and consumed payload vectors recycle into the
+/// receiver's own pool — no cross-device sharing, no locking.
 fn apply_grouped<P: VertexProgram>(
     devices: &mut [DeviceRun<P>],
-    payloads: Payloads<P::Wire>,
+    payloads: &mut Payloads<P::Wire>,
     delivered: Option<&[bool]>,
     apply: impl Fn(&mut DeviceRun<P>, u32, &[(u32, P::Wire)]) + Sync,
 ) {
     if payloads.is_empty() {
         return;
     }
-    let mut per_dev: Vec<Grouped<P::Wire>> = (0..devices.len()).map(|_| Vec::new()).collect();
-    for (i, (builder, partner, payload)) in payloads.into_iter().enumerate() {
+    for (i, (builder, partner, payload)) in payloads.drain(..).enumerate() {
+        let dev = &mut devices[partner as usize];
         if delivered.is_none_or(|d| d[i]) {
-            per_dev[partner as usize].push((builder, payload));
+            dev.scratch.inbox.push((builder, payload));
+        } else {
+            dev.scratch.recycle(payload);
         }
     }
-    devices
-        .par_iter_mut()
-        .zip(per_dev.into_par_iter())
-        .for_each(|(dev, items)| {
-            for (builder, payload) in items {
-                apply(dev, builder, &payload);
-            }
-        });
+    devices.par_iter_mut().for_each(|dev| {
+        let mut items = std::mem::take(&mut dev.scratch.inbox);
+        for (builder, payload) in items.drain(..) {
+            apply(dev, builder, &payload);
+            dev.scratch.recycle(payload);
+        }
+        dev.scratch.inbox = items;
+    });
 }
 
 /// Adds one exchange's sends to per-device (bytes, messages) tallies.

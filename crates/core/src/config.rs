@@ -128,6 +128,13 @@ pub struct RunConfig {
     /// checkpoint taken when the plan schedules a crash). Rollback-based
     /// recovery replays from the most recent checkpoint.
     pub checkpoint_every_rounds: u32,
+    /// Disable the host-side hot-path optimizations (sparsity-proportional
+    /// UO extraction via [`dirgl_comm::ExtractIndex`] and per-device
+    /// scratch-buffer reuse), reverting to the dense walk and per-round
+    /// allocation. Both paths produce byte-identical reports, values, and
+    /// traces (pinned by tests); the flag exists so `bench_hotpath` can
+    /// measure before/after in one binary.
+    pub legacy_hotpath: bool,
 }
 
 impl RunConfig {
@@ -149,6 +156,7 @@ impl RunConfig {
             faults: None,
             retry: RetryConfig::default(),
             checkpoint_every_rounds: 0,
+            legacy_hotpath: false,
         }
     }
 
@@ -173,6 +181,12 @@ impl RunConfig {
     /// Sets the retry policy (builder style).
     pub fn with_retry(mut self, retry: RetryConfig) -> RunConfig {
         self.retry = retry;
+        self
+    }
+
+    /// Reverts to the pre-optimization host hot path (builder style).
+    pub fn with_legacy_hotpath(mut self, legacy: bool) -> RunConfig {
+        self.legacy_hotpath = legacy;
         self
     }
 }

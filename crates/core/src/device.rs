@@ -6,11 +6,77 @@
 //! sequentially (devices run in parallel via rayon), which keeps the whole
 //! simulation bit-for-bit deterministic.
 
-use dirgl_comm::{message, CommMode, DenseBitset, SimTime, SyncPlan};
+use dirgl_comm::{message, CommMode, DenseBitset, ExtractIndex, SimTime, SyncPlan};
 use dirgl_gpusim::{Balancer, GpuSpec, KernelModel};
 use dirgl_partition::{LocalGraph, PairLink};
 
 use crate::program::{InitCtx, Style, VertexProgram};
+
+/// A built sync message awaiting stamping: `(partner, payload, bytes)`.
+pub type BuiltMsg<W> = (u32, Vec<(u32, W)>, u64);
+
+/// Per-device reusable buffers for the round hot path. Everything here is
+/// *host-side* scratch with no simulated-model meaning: the engines clear
+/// and refill these instead of reallocating every round. Never
+/// checkpointed — a rollback restores logical state only, and every field
+/// is (re)filled from scratch at the start of the phase that uses it.
+pub struct RoundScratch<W> {
+    /// Recycled payload vectors for `build_reduce`/`build_broadcast`.
+    pool: Vec<Vec<(u32, W)>>,
+    /// When false, `take_buf` always allocates and `recycle` drops — the
+    /// pre-optimization allocation behavior, kept reachable for
+    /// before/after benchmarking ([`crate::RunConfig::legacy_hotpath`]).
+    pub pooling: bool,
+    /// Active-list staging for the push compute phase.
+    pub actives: Vec<u32>,
+    /// Probe-count staging for the bottom-up compute phase.
+    pub probes: Vec<u32>,
+    /// Built sync messages of the current build phase, in ascending
+    /// partner order.
+    pub built: Vec<BuiltMsg<W>>,
+    /// Grouped-apply inbox: `(builder, payload)` per delivered message, in
+    /// ascending-builder order.
+    pub inbox: Vec<(u32, Vec<(u32, W)>)>,
+    /// Kernel time of this round's compute phase (BSP staging).
+    pub compute_t: SimTime,
+    /// Pack time of this round's build phase (BSP staging).
+    pub pack_t: SimTime,
+    /// Masters changed by this round's absorb (BSP staging).
+    pub absorbed: u32,
+}
+
+impl<W> RoundScratch<W> {
+    fn new() -> RoundScratch<W> {
+        RoundScratch {
+            pool: Vec::new(),
+            pooling: true,
+            actives: Vec::new(),
+            probes: Vec::new(),
+            built: Vec::new(),
+            inbox: Vec::new(),
+            compute_t: SimTime::ZERO,
+            pack_t: SimTime::ZERO,
+            absorbed: 0,
+        }
+    }
+
+    /// An empty payload buffer: recycled when available, fresh otherwise.
+    pub fn take_buf(&mut self) -> Vec<(u32, W)> {
+        if self.pooling {
+            self.pool.pop().unwrap_or_default()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Returns a payload buffer to the pool (dropped when pooling is off).
+    pub fn recycle(&mut self, mut buf: Vec<(u32, W)>) {
+        if self.pooling {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+}
 
 /// One device's live state during a run.
 pub struct DeviceRun<P: VertexProgram> {
@@ -44,6 +110,8 @@ pub struct DeviceRun<P: VertexProgram> {
     pub work_items: u64,
     /// Paper-equivalent peak device memory.
     pub peak_memory: u64,
+    /// Reusable host-side round buffers (never checkpointed).
+    pub scratch: RoundScratch<P::Wire>,
 }
 
 impl<P: VertexProgram> DeviceRun<P> {
@@ -76,6 +144,7 @@ impl<P: VertexProgram> DeviceRun<P> {
             rounds: 0,
             work_items: 0,
             peak_memory: 0,
+            scratch: RoundScratch::new(),
         }
     }
 
@@ -136,7 +205,9 @@ impl<P: VertexProgram> DeviceRun<P> {
     }
 
     fn compute_push(&mut self, program: &P, balancer: Balancer, work_scale: u64) -> f64 {
-        let actives: Vec<u32> = self.active.iter_set().collect();
+        let mut actives = std::mem::take(&mut self.scratch.actives);
+        actives.clear();
+        actives.extend(self.active.iter_set());
         self.active.clear_all();
         let kr = self.kernel.launch(
             balancer,
@@ -144,6 +215,9 @@ impl<P: VertexProgram> DeviceRun<P> {
             work_scale,
         );
         self.work_items += kr.work.total_work;
+        // Weighted edges are a per-graph property, not per-edge: bind the
+        // slice once instead of probing the Option on every edge.
+        let ws = self.lg.csr.weights().unwrap_or(&[]);
         for &lv in &actives {
             let before = self.state[lv as usize];
             let mut src = before;
@@ -163,7 +237,7 @@ impl<P: VertexProgram> DeviceRun<P> {
             let hi = self.lg.csr.offsets()[lv as usize + 1] as usize;
             for i in lo..hi {
                 let n = self.lg.csr.targets()[i];
-                let w = self.lg.csr.weights().map_or(0, |ws| ws[i]);
+                let w = if ws.is_empty() { 0 } else { ws[i] };
                 if let Some(m) = program.edge_msg(&src, w) {
                     if program.accumulate(&mut self.state[n as usize], m) {
                         self.updated.set(n);
@@ -171,6 +245,7 @@ impl<P: VertexProgram> DeviceRun<P> {
                 }
             }
         }
+        self.scratch.actives = actives;
         kr.time
     }
 
@@ -182,6 +257,7 @@ impl<P: VertexProgram> DeviceRun<P> {
             work_scale,
         );
         self.work_items += kr.work.total_work;
+        let ws = self.lg.in_csr.weights().unwrap_or(&[]);
         for lv in 0..n {
             let lo = self.lg.in_csr.offsets()[lv as usize] as usize;
             let hi = self.lg.in_csr.offsets()[lv as usize + 1] as usize;
@@ -194,7 +270,7 @@ impl<P: VertexProgram> DeviceRun<P> {
             let mut st = self.state[lv as usize];
             for i in lo..hi {
                 let u = self.lg.in_csr.targets()[i];
-                let w = self.lg.in_csr.weights().map_or(0, |ws| ws[i]);
+                let w = if ws.is_empty() { 0 } else { ws[i] };
                 if let Some(c) = program.pull_contribution(&self.state[u as usize], w) {
                     changed |= program.accumulate(&mut st, c);
                 }
@@ -224,7 +300,9 @@ impl<P: VertexProgram> DeviceRun<P> {
         // settled in-neighbor of an unsettled vertex carries the current
         // level, so the first hit is also the minimum). Only the probes
         // are charged — the whole point of bottom-up traversal.
-        let mut probes: Vec<u32> = Vec::new();
+        let mut probes = std::mem::take(&mut self.scratch.probes);
+        probes.clear();
+        let ws = self.lg.in_csr.weights().unwrap_or(&[]);
         for lv in 0..self.lg.num_vertices() {
             if !program.pull_ready(&self.state[lv as usize]) {
                 continue;
@@ -236,7 +314,7 @@ impl<P: VertexProgram> DeviceRun<P> {
             for i in lo..hi {
                 probed += 1;
                 let u = self.lg.in_csr.targets()[i];
-                let w = self.lg.in_csr.weights().map_or(0, |ws| ws[i]);
+                let w = if ws.is_empty() { 0 } else { ws[i] };
                 if let Some(m) = program.edge_msg(&self.state[u as usize], w) {
                     if program.accumulate(&mut st, m) {
                         self.updated.set(lv);
@@ -250,6 +328,7 @@ impl<P: VertexProgram> DeviceRun<P> {
         let kr = self
             .kernel
             .launch(balancer, probes.iter().copied(), work_scale);
+        self.scratch.probes = probes;
         self.work_items += kr.work.total_work;
         let t = SimTime::from_secs_f64(kr.time);
         self.compute_time += t;
@@ -271,16 +350,18 @@ impl<P: VertexProgram> DeviceRun<P> {
         let mut changed = 0;
         match program.style() {
             Style::PushDataDriven | Style::HybridPushPull | Style::PushTopologyDriven => {
-                let updated: Vec<u32> = self
-                    .updated
-                    .iter_set()
-                    .take_while(|&lv| lv < self.lg.num_masters)
-                    .collect();
-                for lv in updated {
-                    if program.absorb(&mut self.state[lv as usize]) {
-                        self.active.set(lv);
-                        self.bcast_dirty.set(lv);
-                        changed += 1;
+                // Direct masters-range iteration: no per-round temporary,
+                // and the word-level guard exits before touching any state
+                // when no master was updated. `absorb` never writes
+                // `updated`, so iterating it while mutating the other
+                // fields is sound.
+                if self.updated.any_in_range(0..self.lg.num_masters) {
+                    for lv in self.updated.iter_set_in_range(0..self.lg.num_masters) {
+                        if program.absorb(&mut self.state[lv as usize]) {
+                            self.active.set(lv);
+                            self.bcast_dirty.set(lv);
+                            changed += 1;
+                        }
                     }
                 }
             }
@@ -299,19 +380,39 @@ impl<P: VertexProgram> DeviceRun<P> {
     /// Builds the reduce payload for one link: `(entry index, delta)` pairs
     /// plus the wire size (paper-equivalent bytes). Under UO only updated
     /// mirrors are extracted; under AS every participating entry is sent.
+    ///
+    /// With an [`ExtractIndex`], UO extraction iterates
+    /// `updated ∧ members` word-by-word and touches only updated entries —
+    /// cost proportional to the update density, not the link size. The
+    /// link's sides are strictly ascending in local ids (an index exists
+    /// only then), so ascending local-id order *is* ascending entry order
+    /// and the payload is byte-identical to the dense walk's. Simulated
+    /// pack time is unchanged: the GPU-side prefix scan the model charges
+    /// still runs over all local proxies.
     pub fn build_reduce(
         &mut self,
         program: &P,
         link: &PairLink,
         entries: &[u32],
+        index: Option<&ExtractIndex>,
         mode: CommMode,
         divisor: u64,
     ) -> (Vec<(u32, P::Wire)>, u64) {
-        let mut payload = Vec::new();
-        for &e in entries {
-            let lv = link.mirror_side[e as usize];
-            if mode == CommMode::AllShared || self.updated.get(lv) {
-                payload.push((e, program.take_delta(&mut self.state[lv as usize])));
+        let mut payload = self.scratch.take_buf();
+        match index {
+            Some(idx) if mode == CommMode::UpdatedOnly => {
+                for lv in self.updated.intersect_iter(idx.members()) {
+                    let v = program.take_delta(&mut self.state[lv as usize]);
+                    payload.push((idx.entry_of(lv), v));
+                }
+            }
+            _ => {
+                for &e in entries {
+                    let lv = link.mirror_side[e as usize];
+                    if mode == CommMode::AllShared || self.updated.get(lv) {
+                        payload.push((e, program.take_delta(&mut self.state[lv as usize])));
+                    }
+                }
             }
         }
         let bytes = message::message_bytes(
@@ -343,26 +444,44 @@ impl<P: VertexProgram> DeviceRun<P> {
     }
 
     /// Builds the broadcast payload for one link (master side): canonical
-    /// values of updated (UO) or all (AS) participating masters.
+    /// values of updated (UO) or all (AS) participating masters. Same
+    /// index fast path and ordering argument as [`DeviceRun::build_reduce`],
+    /// over `bcast_dirty ∧ members` of the link's master side.
+    #[allow(clippy::too_many_arguments)]
     pub fn build_broadcast(
         &mut self,
         program: &P,
         link: &PairLink,
         entries: &[u32],
+        index: Option<&ExtractIndex>,
         mode: CommMode,
         divisor: u64,
         async_take: bool,
     ) -> (Vec<(u32, P::Wire)>, u64) {
-        let mut payload = Vec::new();
-        for &e in entries {
-            let lv = link.master_side[e as usize];
-            if mode == CommMode::AllShared || self.bcast_dirty.get(lv) {
-                let v = if async_take {
-                    program.canonical_async(&self.state[lv as usize])
-                } else {
-                    program.canonical(&self.state[lv as usize])
-                };
-                payload.push((e, v));
+        let mut payload = self.scratch.take_buf();
+        match index {
+            Some(idx) if mode == CommMode::UpdatedOnly => {
+                for lv in self.bcast_dirty.intersect_iter(idx.members()) {
+                    let v = if async_take {
+                        program.canonical_async(&self.state[lv as usize])
+                    } else {
+                        program.canonical(&self.state[lv as usize])
+                    };
+                    payload.push((idx.entry_of(lv), v));
+                }
+            }
+            _ => {
+                for &e in entries {
+                    let lv = link.master_side[e as usize];
+                    if mode == CommMode::AllShared || self.bcast_dirty.get(lv) {
+                        let v = if async_take {
+                            program.canonical_async(&self.state[lv as usize])
+                        } else {
+                            program.canonical(&self.state[lv as usize])
+                        };
+                        payload.push((e, v));
+                    }
+                }
             }
         }
         let bytes = message::message_bytes(
@@ -426,12 +545,9 @@ impl<P: VertexProgram> DeviceRun<P> {
     /// generations reset their "unsent" portion exactly once per round,
     /// after all mirror holders received it).
     pub fn after_broadcast_round(&mut self, program: &P) {
-        let dirty: Vec<u32> = self
-            .bcast_dirty
-            .iter_set()
-            .take_while(|&lv| lv < self.lg.num_masters)
-            .collect();
-        for lv in dirty {
+        // `after_broadcast` never writes `bcast_dirty`, so the direct
+        // range iteration needs no temporary.
+        for lv in self.bcast_dirty.iter_set_in_range(0..self.lg.num_masters) {
             program.after_broadcast(&mut self.state[lv as usize]);
         }
     }
