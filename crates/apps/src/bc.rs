@@ -290,17 +290,27 @@ pub fn betweenness_centrality(
     g: &Csr,
     source: VertexId,
 ) -> Result<BcOutput, RunError> {
-    use dirgl_partition::Partition;
+    // One-shot path: prepare both phase views here, then run the shared
+    // driver. A resident service prepares them once and calls
+    // [`betweenness_centrality_prepared`] directly.
+    let fwd = runtime.prepare(g, false)?;
+    let bwd = runtime.prepare(&g.transpose(), false)?;
+    betweenness_centrality_prepared(runtime, &fwd, &bwd, source)
+}
+
+/// [`betweenness_centrality`] against resident prepared views: `fwd` is
+/// the graph itself, `bwd` its transpose (both unsymmetrized). The
+/// partition/plan build cost is the caller's, paid once and amortized over
+/// any number of sources — the service shape.
+pub fn betweenness_centrality_prepared(
+    runtime: &Runtime,
+    fwd: &dirgl_core::PreparedPartition,
+    bwd: &dirgl_core::PreparedPartition,
+    source: VertexId,
+) -> Result<BcOutput, RunError> {
     // Forward: levels and path counts.
-    let fwd_part = Partition::build(
-        g,
-        runtime.config.policy,
-        runtime.platform.num_devices(),
-        runtime.config.seed,
-    );
     let (fwd_out, fwd_states) = runtime
-        .runner(g, &BcForward { source })
-        .partition(fwd_part)
+        .job(fwd, &BcForward { source })
         .execute_with_states()?;
     let max_level = fwd_states
         .iter()
@@ -313,16 +323,8 @@ pub fn betweenness_centrality(
         .collect();
 
     // Backward: dependency sweep on the transpose.
-    let rev = g.transpose();
-    let bwd_part = Partition::build(
-        &rev,
-        runtime.config.policy,
-        runtime.platform.num_devices(),
-        runtime.config.seed,
-    );
     let (bwd_out, bwd_states) = runtime
-        .runner(&rev, &BcBackward::new(max_level))
-        .partition(bwd_part)
+        .job(bwd, &BcBackward::new(max_level))
         .aux(&aux)
         .execute_with_states()?;
 

@@ -25,7 +25,7 @@ pub mod pagerank_push;
 pub mod reference;
 pub mod sssp;
 
-pub use bc::{betweenness_centrality, BcOutput};
+pub use bc::{betweenness_centrality, betweenness_centrality_prepared, BcOutput};
 pub use bfs::Bfs;
 pub use cc::Cc;
 pub use kcore::KCore;

@@ -26,7 +26,7 @@
 
 use std::time::Instant;
 
-use dirgl_bench::cli::{or_exit, ArgStream, CliError};
+use dirgl_bench::cli::{or_exit, write_output, ArgStream, CliError};
 use dirgl_bench::{run_dirgl_cfg, BenchId, LoadedDataset, PartitionCache};
 use dirgl_comm::FaultPlan;
 use dirgl_core::{RunConfig, RunOutput, Variant};
@@ -219,6 +219,6 @@ fn main() {
         sweep_rows.join(",\n"),
         crash_rows.join(",\n"),
     );
-    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    or_exit(write_output(&out_path, &json), USAGE);
     println!("wrote {out_path}");
 }

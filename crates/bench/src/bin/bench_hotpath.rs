@@ -18,7 +18,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use dirgl_bench::cli::{or_exit, ArgStream, CliError};
+use dirgl_bench::cli::{or_exit, write_output, ArgStream, CliError};
 use dirgl_bench::{run_dirgl_cfg, BenchId, LoadedDataset, PartitionCache};
 use dirgl_core::{RunConfig, Variant};
 use dirgl_gpusim::Platform;
@@ -160,6 +160,6 @@ fn main() {
          paths.\"\n}}\n",
         rows.join(",\n")
     );
-    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    or_exit(write_output(&out_path, &json), USAGE);
     println!("wrote {out_path}");
 }

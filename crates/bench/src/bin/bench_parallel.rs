@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use dirgl_bench::cli::{or_exit, ArgStream, CliError};
+use dirgl_bench::cli::{or_exit, write_output, ArgStream, CliError};
 use dirgl_bench::{run_dirgl, BenchId, LoadedDataset, PartitionCache};
 use dirgl_core::Variant;
 use dirgl_gpusim::Platform;
@@ -167,6 +167,6 @@ fn main() {
          ExecutionReport + vertex values contract between the two pool sizes.\"\n}}\n",
         rows.join(",\n")
     );
-    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    or_exit(write_output(&out_path, &json), USAGE);
     println!("wrote {out_path}");
 }

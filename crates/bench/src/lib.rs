@@ -337,6 +337,7 @@ pub fn fmt_result(r: &Result<RunOutput, RunError>) -> String {
     match r {
         Ok(out) => fmt_time(out.report.total_time),
         Err(RunError::Oom { .. }) => "OOM".to_string(),
+        Err(RunError::NoDevices | RunError::EmptyGraph) => "ERR".to_string(),
     }
 }
 

@@ -145,6 +145,21 @@ pub struct ExchangeOutcome {
     pub num_messages: u64,
 }
 
+impl ExchangeOutcome {
+    /// The exchange's makespan: the latest per-device done time, or
+    /// [`SimTime::ZERO`] when there are no devices. Callers used to take
+    /// `device_done.iter().max().unwrap()`, which panics the whole process
+    /// on a zero-device outcome — a resident server cannot afford that, so
+    /// the empty case is defined here instead of unwrapped at every site.
+    pub fn makespan(&self) -> SimTime {
+        self.device_done
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+}
+
 impl NetModel {
     /// Creates the model (host-staged transfers, as all frameworks in the
     /// paper do).
@@ -590,8 +605,18 @@ mod tests {
             })
             .collect();
         let spread = m.exchange(&clocks, &many);
-        let t1 = one.device_done.iter().max().unwrap().as_secs_f64();
-        let t7 = spread.device_done.iter().max().unwrap().as_secs_f64();
+        let t1 = one.makespan().as_secs_f64();
+        let t7 = spread.makespan().as_secs_f64();
         assert!(t7 > t1, "one={t1} seven={t7}");
+    }
+
+    #[test]
+    fn makespan_of_an_empty_outcome_is_zero() {
+        // A zero-device exchange must yield a value, not a panic.
+        let empty = ExchangeOutcome::default();
+        assert_eq!(empty.makespan(), SimTime::ZERO);
+        let m = model(4);
+        let out = m.exchange(&[SimTime::ZERO; 4], &[]);
+        assert_eq!(out.makespan(), SimTime::ZERO);
     }
 }

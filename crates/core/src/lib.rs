@@ -38,7 +38,7 @@ pub use engine::{run_engine, ExecutionModel};
 pub use program::{InitCtx, Style, VertexProgram};
 pub use report::{ExecutionReport, RoundSummary};
 pub use resilience::ResilienceStats;
-pub use runtime::{PartitionArg, RunError, RunOutput, Runner, Runtime};
+pub use runtime::{PartitionArg, PreparedPartition, RunError, RunOutput, Runner, Runtime};
 pub use trace::{
     CollectingSink, EngineKind, FaultEvent, JsonLinesSink, NoopSink, RoundRecord, TraceDirection,
     TraceSink,

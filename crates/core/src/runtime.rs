@@ -15,11 +15,30 @@
 //! *states* per global vertex, for multi-phase drivers like betweenness
 //! centrality.) The former six `run*` entry points have been removed;
 //! the builder is the only way in.
+//!
+//! ## Prepared partitions: build once, execute many
+//!
+//! A one-shot run pays partition construction, [`SyncPlan`] assembly (with
+//! its per-link `ExtractIndex` inverse indexes) and out-degree gathering on
+//! every call — fine for a figure harness, wasteful for a service answering
+//! many queries against one graph. [`PreparedPartition`] hoists all of that
+//! into a build-once handle that is immutable afterwards, so it can sit
+//! behind an `Arc` and be shared by any number of concurrent jobs:
+//!
+//! ```text
+//! let prep = rt.prepare(&graph, /*symmetrize=*/ false);   // once
+//! let out  = rt.job(&prep, &Bfs::new(src)).execute()?;    // per query
+//! ```
+//!
+//! A job gets its own per-device state (including the round scratch), so
+//! `(shared PreparedPartition, program, source)` is the unit of concurrent
+//! execution; results are byte-identical to the equivalent one-shot
+//! `runner(...).execute()` (pinned by `crates/serve` tests).
 
 use dirgl_comm::{NetModel, SimTime, SyncPlan};
 use dirgl_gpusim::{OomError, Platform};
 use dirgl_graph::csr::Csr;
-use dirgl_partition::Partition;
+use dirgl_partition::{LocalGraph, Partition};
 
 use crate::config::RunConfig;
 use crate::device::DeviceRun;
@@ -38,12 +57,20 @@ pub enum RunError {
         /// Allocation detail.
         err: OomError,
     },
+    /// The platform has no devices to execute on.
+    NoDevices,
+    /// The input graph has no vertices — nothing to partition or run. A
+    /// resident server must refuse the job instead of crashing, so this is
+    /// an error value, not a panic.
+    EmptyGraph,
 }
 
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::Oom { device, err } => write!(f, "device {device}: {err}"),
+            RunError::NoDevices => write!(f, "platform has no devices"),
+            RunError::EmptyGraph => write!(f, "graph has no vertices"),
         }
     }
 }
@@ -68,15 +95,103 @@ pub struct Runtime {
     pub config: RunConfig,
 }
 
+/// Everything about a partitioned graph that is independent of the program
+/// being run: the resolved graph view, its partition, the sync plan (with
+/// the per-link `ExtractIndex` inverse indexes), and the per-vertex
+/// out-degrees the programs' init contexts need.
+///
+/// Build once with [`PreparedPartition::build`] (or [`Runtime::prepare`]),
+/// then execute any number of jobs against it via [`Runtime::job`]; the
+/// handle is never mutated by execution, so `Arc<PreparedPartition>` is
+/// safe to share across concurrently running jobs.
+#[derive(Clone, Debug)]
+pub struct PreparedPartition {
+    graph: Csr,
+    part: Partition,
+    plan: SyncPlan,
+    out_degrees: Vec<u32>,
+}
+
+impl PreparedPartition {
+    /// Partitions `graph` under `policy` across `devices` devices (seeded
+    /// like [`Partition::build`]) and precomputes the sync plan and
+    /// out-degrees. Fails on degenerate inputs a panic would otherwise hide
+    /// until deep inside a run.
+    pub fn build(
+        graph: Csr,
+        policy: dirgl_partition::Policy,
+        devices: u32,
+        seed: u64,
+    ) -> Result<PreparedPartition, RunError> {
+        if devices == 0 {
+            return Err(RunError::NoDevices);
+        }
+        if graph.num_vertices() == 0 {
+            return Err(RunError::EmptyGraph);
+        }
+        let part = Partition::build(&graph, policy, devices, seed);
+        Ok(Self::from_partition(graph, part))
+    }
+
+    /// Wraps an existing partition of `graph` (the caller vouches they
+    /// match, as the `Runner::partition` contract already requires).
+    pub fn from_partition(graph: Csr, part: Partition) -> PreparedPartition {
+        let plan = SyncPlan::build(&part, true, true);
+        let out_degrees = (0..graph.num_vertices())
+            .map(|v| graph.out_degree(v))
+            .collect();
+        PreparedPartition {
+            graph,
+            part,
+            plan,
+            out_degrees,
+        }
+    }
+
+    /// The resolved graph view jobs run on.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// The resident partition.
+    pub fn partition(&self) -> &Partition {
+        &self.part
+    }
+
+    /// The resident sync plan (with its extract indexes).
+    pub fn plan(&self) -> &SyncPlan {
+        &self.plan
+    }
+
+    /// Number of global vertices in this view.
+    pub fn num_vertices(&self) -> u32 {
+        self.graph.num_vertices()
+    }
+
+    /// The paper's bfs/sssp source convention (highest out-degree vertex),
+    /// without rescanning the graph; `None` on an empty view.
+    pub fn max_out_degree_source(&self) -> Option<u32> {
+        self.out_degrees
+            .iter()
+            .enumerate()
+            .max_by(|(ia, da), (ib, db)| da.cmp(db).then(ib.cmp(ia)))
+            .map(|(v, _)| v as u32)
+    }
+}
+
 /// How a [`Runner`] receives its partition: borrowed (harnesses reusing a
 /// cached partition across variants pay one per-run copy of the local
-/// graphs, never of the exchange links) or owned (local graphs are moved
-/// straight into the devices).
+/// graphs, never of the exchange links), owned (local graphs are moved
+/// straight into the devices), or prepared (a resident
+/// [`PreparedPartition`] whose plan and degrees are reused as well — the
+/// handle's graph view overrides the runner's graph argument).
 pub enum PartitionArg<'a> {
     /// Reuse a caller-held partition.
     Borrowed(&'a Partition),
     /// Consume a partition built for this run.
     Owned(Partition),
+    /// Run against a resident prepared handle (see [`Runtime::job`]).
+    Prepared(&'a PreparedPartition),
 }
 
 impl<'a> From<&'a Partition> for PartitionArg<'a> {
@@ -88,6 +203,12 @@ impl<'a> From<&'a Partition> for PartitionArg<'a> {
 impl From<Partition> for PartitionArg<'_> {
     fn from(p: Partition) -> PartitionArg<'static> {
         PartitionArg::Owned(p)
+    }
+}
+
+impl<'a> From<&'a PreparedPartition> for PartitionArg<'a> {
+    fn from(p: &'a PreparedPartition) -> PartitionArg<'a> {
+        PartitionArg::Prepared(p)
     }
 }
 
@@ -109,7 +230,8 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
     /// Runs on an existing partition instead of building one. The graph is
     /// used as given (no symmetrization): a caller-supplied partition is
     /// taken to already match the intended graph view, as the former
-    /// `run_partitioned` contract did.
+    /// `run_partitioned` contract did. Passing a [`PreparedPartition`]
+    /// additionally substitutes the handle's own graph view.
     pub fn partition(mut self, part: impl Into<PartitionArg<'a>>) -> Self {
         self.part = Some(part.into());
         self
@@ -148,172 +270,229 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             aux,
             sink,
         } = self;
-        let config = &rt.config;
-        let divisor = config.scale_divisor;
+        if rt.platform.num_devices() == 0 {
+            return Err(RunError::NoDevices);
+        }
 
-        // --- Resolve the graph view and partition.
+        // --- Resolve the graph view, partition, plan and degrees. The
+        // prepared path reuses everything; the other paths build what they
+        // are missing. Storage for the owned variants lives here so the
+        // borrows handed to `execute_job` all have one lifetime.
         let sym;
-        let (g, mut owned_part, borrowed_part): (&Csr, Option<Partition>, Option<&Partition>) =
-            match part {
-                None => {
-                    let g = if program.needs_symmetric() {
-                        sym = graph.symmetrize();
-                        &sym
-                    } else {
-                        graph
-                    };
-                    let p =
-                        Partition::build(g, config.policy, rt.platform.num_devices(), config.seed);
-                    (g, Some(p), None)
-                }
-                Some(PartitionArg::Owned(p)) => (graph, Some(p), None),
-                Some(PartitionArg::Borrowed(p)) => (graph, None, Some(p)),
-            };
+        let mut owned_part;
+        let built_plan;
+        let built_degrees;
 
-        // --- Plan + load check (needs the partition's local graphs intact).
-        let plan;
-        let memory;
-        {
-            let pr: &Partition = borrowed_part
-                .or(owned_part.as_ref())
-                .expect("partition set");
-            plan = SyncPlan::build(pr, true, true);
-            let state_bytes = std::mem::size_of::<P::State>() as u64;
-            let mut mem = Vec::with_capacity(pr.locals.len());
-            for lg in &pr.locals {
-                let need = DeviceRun::<P>::required_bytes(lg, &plan, program, state_bytes, divisor);
-                let capacity = rt.platform.gpus[lg.device as usize].memory_bytes;
-                if need > capacity {
-                    return Err(RunError::Oom {
-                        device: lg.device,
-                        err: OomError {
-                            requested: need,
-                            in_use: 0,
-                            capacity,
-                        },
-                    });
+        let (g, part_ref, plan, out_degrees, locals): (
+            &Csr,
+            &Partition,
+            &SyncPlan,
+            &[u32],
+            Vec<LocalGraph>,
+        ) = match part {
+            Some(PartitionArg::Prepared(prep)) => (
+                &prep.graph,
+                &prep.part,
+                &prep.plan,
+                &prep.out_degrees,
+                prep.part.locals.clone(),
+            ),
+            Some(PartitionArg::Borrowed(p)) => {
+                if graph.num_vertices() == 0 {
+                    return Err(RunError::EmptyGraph);
                 }
-                mem.push(need);
+                built_plan = SyncPlan::build(p, true, true);
+                built_degrees = compute_out_degrees(graph);
+                (graph, p, &built_plan, &built_degrees, p.locals.clone())
             }
-            memory = mem;
-        }
-        // An owned partition donates its local graphs to the devices; a
-        // borrowed one is copied (links — the quadratically-sized half —
-        // are only ever borrowed).
-        let locals = match owned_part.as_mut() {
-            Some(p) => std::mem::take(&mut p.locals),
-            None => borrowed_part.expect("borrowed partition").locals.clone(),
+            Some(PartitionArg::Owned(p)) => {
+                if graph.num_vertices() == 0 {
+                    return Err(RunError::EmptyGraph);
+                }
+                owned_part = p;
+                built_plan = SyncPlan::build(&owned_part, true, true);
+                built_degrees = compute_out_degrees(graph);
+                // An owned partition donates its local graphs to the
+                // devices instead of copying them.
+                let locals = std::mem::take(&mut owned_part.locals);
+                (graph, &owned_part, &built_plan, &built_degrees, locals)
+            }
+            None => {
+                if graph.num_vertices() == 0 {
+                    return Err(RunError::EmptyGraph);
+                }
+                let g = if program.needs_symmetric() {
+                    sym = graph.symmetrize();
+                    &sym
+                } else {
+                    graph
+                };
+                owned_part = Partition::build(
+                    g,
+                    rt.config.policy,
+                    rt.platform.num_devices(),
+                    rt.config.seed,
+                );
+                built_plan = SyncPlan::build(&owned_part, true, true);
+                built_degrees = compute_out_degrees(g);
+                let locals = std::mem::take(&mut owned_part.locals);
+                (g, &owned_part, &built_plan, &built_degrees, locals)
+            }
         };
-        let part: &Partition = borrowed_part
-            .or(owned_part.as_ref())
-            .expect("partition set");
 
-        // --- Initialize device state.
-        let out_degrees: Vec<u32> = (0..g.num_vertices()).map(|v| g.out_degree(v)).collect();
-        let ctx = InitCtx {
-            num_vertices: g.num_vertices(),
-            out_degrees: &out_degrees,
+        execute_job(
+            rt,
+            g,
+            part_ref,
+            plan,
+            out_degrees,
+            locals,
+            program,
             aux,
-        };
-        let mut devices: Vec<DeviceRun<P>> = locals
-            .into_iter()
-            .map(|lg| {
-                let spec = rt.platform.gpus[lg.device as usize];
-                let mut d = DeviceRun::new(lg, spec, program, &ctx);
-                d.peak_memory = memory[d.dev as usize];
-                d
-            })
-            .collect();
-
-        // --- Execute.
-        let mut net = NetModel::new(rt.platform.clone());
-        net.direct_device = config.gpudirect;
-        // Programs that cannot run asynchronously fall back to BSP, as
-        // D-IrGL does for benchmarks that "can[not] be run asynchronously"
-        // (SIII-B).
-        let model = if program.supports_async() {
-            config.variant.model
-        } else {
-            crate::config::ExecModel::Sync
-        };
-        // Enabled sinks are forked so the same records both reach the
-        // caller and feed the report's round summaries; the disabled
-        // (no-op) path keeps zero per-round assembly cost.
-        let mut noop = NoopSink;
-        let sink: &mut dyn TraceSink = match sink {
-            Some(s) => s,
-            None => &mut noop,
-        };
-        let (outcome, rounds_detail) = if sink.enabled() {
-            let mut fork = ForkSink {
-                outer: sink,
-                collected: Default::default(),
-            };
-            let o = run_engine(
-                model,
-                program,
-                &mut devices,
-                part,
-                &plan,
-                &net,
-                config,
-                &mut fork,
-            );
-            (o, RoundSummary::from_records(&fork.collected.records))
-        } else {
-            (
-                run_engine(
-                    model,
-                    program,
-                    &mut devices,
-                    part,
-                    &plan,
-                    &net,
-                    config,
-                    sink,
-                ),
-                Vec::new(),
-            )
-        };
-
-        // --- Gather outputs and states from masters.
-        let mut values = vec![0.0f64; g.num_vertices() as usize];
-        let mut states: Vec<P::State> = Vec::with_capacity(g.num_vertices() as usize);
-        // Seed with any master's copy; overwritten per global vertex below.
-        let template = devices
-            .iter()
-            .find_map(|d| d.state.first().copied())
-            .unwrap_or_else(|| program.init_state(0, &ctx));
-        states.resize(g.num_vertices() as usize, template);
-        for d in &devices {
-            for lv in 0..d.lg.num_masters {
-                let gv = d.lg.l2g[lv as usize] as usize;
-                values[gv] = program.output(&d.state[lv as usize]);
-                states[gv] = d.state[lv as usize];
-            }
-        }
-
-        let report = ExecutionReport {
-            total_time: outcome
-                .clocks
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(SimTime::ZERO),
-            compute_per_device: devices.iter().map(|d| d.compute_time).collect(),
-            wait_per_host: outcome.host_wait,
-            comm_bytes: outcome.comm_bytes,
-            messages: outcome.messages,
-            rounds: outcome.rounds,
-            min_rounds: outcome.min_rounds,
-            max_rounds: outcome.max_rounds,
-            work_items: devices.iter().map(|d| d.work_items).sum(),
-            memory_per_device: devices.iter().map(|d| d.peak_memory).collect(),
-            rounds_detail,
-            resilience: outcome.resilience,
-        };
-        Ok((RunOutput { report, values }, states))
+            sink,
+        )
     }
+}
+
+/// Per-vertex out-degrees of `g`, as the programs' init contexts expect.
+fn compute_out_degrees(g: &Csr) -> Vec<u32> {
+    (0..g.num_vertices()).map(|v| g.out_degree(v)).collect()
+}
+
+/// The per-job execution path: OOM admission, device-state initialization
+/// (each job gets its own `DeviceRun`s — and thus its own round scratch),
+/// engine dispatch, and master gather. Everything passed in is shared
+/// immutable state a resident service keeps loaded; nothing here mutates
+/// it.
+#[allow(clippy::too_many_arguments)]
+fn execute_job<P: VertexProgram>(
+    rt: &Runtime,
+    g: &Csr,
+    part: &Partition,
+    plan: &SyncPlan,
+    out_degrees: &[u32],
+    locals: Vec<LocalGraph>,
+    program: &P,
+    aux: Option<&[u64]>,
+    sink: Option<&mut dyn TraceSink>,
+) -> Result<(RunOutput, Vec<P::State>), RunError> {
+    let config = &rt.config;
+    let divisor = config.scale_divisor;
+
+    // --- Load check: every device must hold its partition.
+    let state_bytes = std::mem::size_of::<P::State>() as u64;
+    let mut memory = Vec::with_capacity(locals.len());
+    for lg in &locals {
+        let need = DeviceRun::<P>::required_bytes(lg, plan, program, state_bytes, divisor);
+        let capacity = rt.platform.gpus[lg.device as usize].memory_bytes;
+        if need > capacity {
+            return Err(RunError::Oom {
+                device: lg.device,
+                err: OomError {
+                    requested: need,
+                    in_use: 0,
+                    capacity,
+                },
+            });
+        }
+        memory.push(need);
+    }
+
+    // --- Initialize device state.
+    let ctx = InitCtx {
+        num_vertices: g.num_vertices(),
+        out_degrees,
+        aux,
+    };
+    let mut devices: Vec<DeviceRun<P>> = locals
+        .into_iter()
+        .map(|lg| {
+            let spec = rt.platform.gpus[lg.device as usize];
+            let mut d = DeviceRun::new(lg, spec, program, &ctx);
+            d.peak_memory = memory[d.dev as usize];
+            d
+        })
+        .collect();
+
+    // --- Execute.
+    let mut net = NetModel::new(rt.platform.clone());
+    net.direct_device = config.gpudirect;
+    // Programs that cannot run asynchronously fall back to BSP, as
+    // D-IrGL does for benchmarks that "can[not] be run asynchronously"
+    // (SIII-B).
+    let model = if program.supports_async() {
+        config.variant.model
+    } else {
+        crate::config::ExecModel::Sync
+    };
+    // Enabled sinks are forked so the same records both reach the
+    // caller and feed the report's round summaries; the disabled
+    // (no-op) path keeps zero per-round assembly cost.
+    let mut noop = NoopSink;
+    let sink: &mut dyn TraceSink = match sink {
+        Some(s) => s,
+        None => &mut noop,
+    };
+    let (outcome, rounds_detail) = if sink.enabled() {
+        let mut fork = ForkSink {
+            outer: sink,
+            collected: Default::default(),
+        };
+        let o = run_engine(
+            model,
+            program,
+            &mut devices,
+            part,
+            plan,
+            &net,
+            config,
+            &mut fork,
+        );
+        (o, RoundSummary::from_records(&fork.collected.records))
+    } else {
+        (
+            run_engine(model, program, &mut devices, part, plan, &net, config, sink),
+            Vec::new(),
+        )
+    };
+
+    // --- Gather outputs and states from masters.
+    let mut values = vec![0.0f64; g.num_vertices() as usize];
+    let mut states: Vec<P::State> = Vec::with_capacity(g.num_vertices() as usize);
+    // Seed with any master's copy; overwritten per global vertex below.
+    let template = devices
+        .iter()
+        .find_map(|d| d.state.first().copied())
+        .unwrap_or_else(|| program.init_state(0, &ctx));
+    states.resize(g.num_vertices() as usize, template);
+    for d in &devices {
+        for lv in 0..d.lg.num_masters {
+            let gv = d.lg.l2g[lv as usize] as usize;
+            values[gv] = program.output(&d.state[lv as usize]);
+            states[gv] = d.state[lv as usize];
+        }
+    }
+
+    let report = ExecutionReport {
+        total_time: outcome
+            .clocks
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO),
+        compute_per_device: devices.iter().map(|d| d.compute_time).collect(),
+        wait_per_host: outcome.host_wait,
+        comm_bytes: outcome.comm_bytes,
+        messages: outcome.messages,
+        rounds: outcome.rounds,
+        min_rounds: outcome.min_rounds,
+        max_rounds: outcome.max_rounds,
+        work_items: devices.iter().map(|d| d.work_items).sum(),
+        memory_per_device: devices.iter().map(|d| d.peak_memory).collect(),
+        rounds_detail,
+        resilience: outcome.resilience,
+    };
+    Ok((RunOutput { report, values }, states))
 }
 
 impl Runtime {
@@ -334,9 +513,49 @@ impl Runtime {
         }
     }
 
-    /// True when the benchmark is expected to traverse from a source (bfs,
-    /// sssp) — convenience for harnesses picking sources.
-    pub fn max_out_degree_source(g: &Csr) -> u32 {
-        g.max_out_degree_vertex()
+    /// Builds a resident [`PreparedPartition`] of `graph` under this
+    /// runtime's policy, device count and seed — exactly the partition a
+    /// bare `runner(...).execute()` would build, so jobs against the
+    /// handle reproduce one-shot results byte for byte. Pass
+    /// `symmetrize = true` for programs that run on the undirected view
+    /// (cc, kcore).
+    pub fn prepare(&self, graph: &Csr, symmetrize: bool) -> Result<PreparedPartition, RunError> {
+        let g = if symmetrize {
+            graph.symmetrize()
+        } else {
+            graph.clone()
+        };
+        PreparedPartition::build(
+            g,
+            self.config.policy,
+            self.platform.num_devices(),
+            self.config.seed,
+        )
+    }
+
+    /// Starts building one job of `program` against a resident prepared
+    /// handle: the service-shaped execution unit `(shared partition,
+    /// program, source)`. Sugar for
+    /// `runner(prep.graph(), program).partition(prep)`.
+    pub fn job<'a, P: VertexProgram>(
+        &'a self,
+        prep: &'a PreparedPartition,
+        program: &'a P,
+    ) -> Runner<'a, P> {
+        Runner {
+            rt: self,
+            graph: &prep.graph,
+            program,
+            part: Some(PartitionArg::Prepared(prep)),
+            aux: None,
+            sink: None,
+        }
+    }
+
+    /// The benchmark source convention (bfs, sssp traverse from the vertex
+    /// with the highest out-degree). `None` when the graph has no vertices
+    /// — callers must treat a degenerate input as an error, not a panic.
+    pub fn max_out_degree_source(g: &Csr) -> Option<u32> {
+        (g.num_vertices() > 0).then(|| g.max_out_degree_vertex())
     }
 }

@@ -1,0 +1,147 @@
+//! Keyed result cache: `(graph epoch × program × params) → outcome`, with
+//! LRU eviction.
+//!
+//! The key's program×params half is the [`JobSpec`] itself (it is `Hash +
+//! Eq` and carries every parameter that changes the answer: source vertex,
+//! k, …); the epoch half ties results to a graph version so a future
+//! mutation path invalidates by bumping the epoch instead of chasing
+//! entries. Repeated queries are O(lookup): a hit returns the same
+//! `Arc`-shared [`JobOutcome`] bytes the cold run produced.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::job::{JobOutcome, JobSpec};
+
+/// Cache key: graph epoch × the full job spec.
+pub(crate) type CacheKey = (u64, JobSpec);
+
+struct Entry {
+    outcome: Arc<JobOutcome>,
+    /// Logical-clock stamp of the last hit or insertion; the entry with
+    /// the smallest stamp is the LRU eviction victim.
+    last_used: u64,
+}
+
+/// Bounded LRU map. Not thread-safe by itself — the server wraps it in a
+/// mutex; keeping the lock out of here keeps eviction testable.
+pub(crate) struct ResultCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// Cache holding at most `capacity` outcomes (0 disables caching).
+    pub(crate) fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            map: HashMap::new(),
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<Arc<JobOutcome>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.outcome)
+        })
+    }
+
+    /// Inserts `outcome` under `key`, evicting the least-recently-used
+    /// entry when full. A no-op when the capacity is 0.
+    pub(crate) fn insert(&mut self, key: CacheKey, outcome: Arc<JobOutcome>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // Evict the stalest entry; ties broken by key hash-map order
+            // cannot happen (stamps are unique).
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                outcome,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Drops every entry whose epoch is older than `epoch` (cache
+    /// invalidation on graph mutation). Returns how many were dropped.
+    pub(crate) fn purge_before(&mut self, epoch: u64) -> usize {
+        let before = self.map.len();
+        self.map.retain(|(e, _), _| *e >= epoch);
+        before - self.map.len()
+    }
+
+    /// Resident entries.
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total LRU evictions so far.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> Arc<JobOutcome> {
+        Arc::new(JobOutcome {
+            reports: Vec::new(),
+            values: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest() {
+        let mut c = ResultCache::new(2);
+        c.insert((0, JobSpec::Bfs { source: 1 }), outcome());
+        c.insert((0, JobSpec::Bfs { source: 2 }), outcome());
+        // Touch source 1 so source 2 is the LRU victim.
+        assert!(c.get(&(0, JobSpec::Bfs { source: 1 })).is_some());
+        c.insert((0, JobSpec::Bfs { source: 3 }), outcome());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.get(&(0, JobSpec::Bfs { source: 2 })).is_none());
+        assert!(c.get(&(0, JobSpec::Bfs { source: 1 })).is_some());
+        assert!(c.get(&(0, JobSpec::Bfs { source: 3 })).is_some());
+    }
+
+    #[test]
+    fn epoch_purge_invalidates_old_results() {
+        let mut c = ResultCache::new(8);
+        c.insert((0, JobSpec::Pagerank), outcome());
+        c.insert((1, JobSpec::Pagerank), outcome());
+        assert_eq!(c.purge_before(1), 1);
+        assert!(c.get(&(0, JobSpec::Pagerank)).is_none());
+        assert!(c.get(&(1, JobSpec::Pagerank)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        c.insert((0, JobSpec::Cc), outcome());
+        assert_eq!(c.len(), 0);
+        assert!(c.get(&(0, JobSpec::Cc)).is_none());
+    }
+}

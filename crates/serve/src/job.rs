@@ -1,0 +1,291 @@
+//! Job vocabulary: what a client asks for, how it is prioritized, and the
+//! handle it waits on.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use dirgl_core::{ExecutionReport, RunError};
+
+/// One analytics query against the resident graph. The spec is the
+/// cache-key payload: two jobs with equal specs (in the same graph epoch)
+/// are the same computation and may be served from the result cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JobSpec {
+    /// Breadth-first search from an arbitrary source.
+    Bfs {
+        /// Root vertex.
+        source: u32,
+    },
+    /// Single-source shortest paths from an arbitrary source.
+    Sssp {
+        /// Root vertex.
+        source: u32,
+    },
+    /// Residual pagerank (topology-driven pull; no parameters).
+    Pagerank,
+    /// Weakly connected components (runs on the symmetrized view).
+    Cc,
+    /// k-core decomposition (runs on the symmetrized view).
+    KCore {
+        /// Core threshold.
+        k: u32,
+    },
+    /// Single-source betweenness centrality (two-phase: forward on the
+    /// graph, backward on its resident transpose).
+    Bc {
+        /// Source vertex.
+        source: u32,
+    },
+}
+
+impl JobSpec {
+    /// Benchmark-style name (matches the paper's program names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobSpec::Bfs { .. } => "bfs",
+            JobSpec::Sssp { .. } => "sssp",
+            JobSpec::Pagerank => "pagerank",
+            JobSpec::Cc => "cc",
+            JobSpec::KCore { .. } => "kcore",
+            JobSpec::Bc { .. } => "bc",
+        }
+    }
+
+    /// The source vertex, for specs that traverse from one.
+    pub fn source(&self) -> Option<u32> {
+        match *self {
+            JobSpec::Bfs { source } | JobSpec::Sssp { source } | JobSpec::Bc { source } => {
+                Some(source)
+            }
+            JobSpec::Pagerank | JobSpec::Cc | JobSpec::KCore { .. } => None,
+        }
+    }
+
+    /// True when the job runs on the symmetrized (undirected) view.
+    pub fn needs_symmetric(&self) -> bool {
+        matches!(self, JobSpec::Cc | JobSpec::KCore { .. })
+    }
+
+    /// True when the job also needs the resident transpose view (bc's
+    /// backward phase).
+    pub fn needs_transpose(&self) -> bool {
+        matches!(self, JobSpec::Bc { .. })
+    }
+}
+
+/// Scheduling priority; higher runs first, FIFO within a level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work (cache warming, speculative queries).
+    Low,
+    /// The default.
+    Normal,
+    /// Latency-sensitive interactive queries.
+    High,
+}
+
+/// A submission: the spec plus its scheduling envelope.
+#[derive(Clone, Copy, Debug)]
+pub struct JobRequest {
+    /// What to compute.
+    pub spec: JobSpec,
+    /// Queue ordering class.
+    pub priority: Priority,
+    /// Give-up budget measured from submission: a job still queued when
+    /// its deadline passes completes with [`JobError::DeadlineExpired`]
+    /// instead of executing (admission control for stale work).
+    pub deadline: Option<Duration>,
+}
+
+impl JobRequest {
+    /// Normal-priority request with no deadline.
+    pub fn new(spec: JobSpec) -> JobRequest {
+        JobRequest {
+            spec,
+            priority: Priority::Normal,
+            deadline: None,
+        }
+    }
+
+    /// Sets the priority (builder style).
+    pub fn priority(mut self, p: Priority) -> JobRequest {
+        self.priority = p;
+        self
+    }
+
+    /// Sets the deadline (builder style).
+    pub fn deadline(mut self, d: Duration) -> JobRequest {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// A completed job's output: one [`ExecutionReport`] per phase (exactly
+/// one for the single-phase programs; bc has forward + backward) and the
+/// per-global-vertex values. Shared behind `Arc` between the requester and
+/// the result cache, so a cache hit returns the very same bytes the cold
+/// run produced.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Per-phase reports, in phase order.
+    pub reports: Vec<ExecutionReport>,
+    /// Final per-global-vertex outputs.
+    pub values: Vec<f64>,
+}
+
+impl JobOutcome {
+    /// The primary (last-phase) report — the one whose total time answers
+    /// "how long did this query take" for multi-phase jobs too.
+    pub fn report(&self) -> &ExecutionReport {
+        self.reports
+            .last()
+            .expect("job outcome has at least one phase")
+    }
+}
+
+/// What a successful [`crate::JobHandle::wait`] returns.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The (possibly cache-shared) output.
+    pub outcome: Arc<JobOutcome>,
+    /// True when served from the result cache instead of executed.
+    pub from_cache: bool,
+    /// Graph epoch the result belongs to.
+    pub epoch: u64,
+}
+
+/// Why a submission was refused at the door (admission control). The job
+/// never entered the queue; nothing will complete later.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The waiting queue is at capacity. Back off and retry.
+    Saturated {
+        /// Jobs currently waiting.
+        queued: usize,
+        /// Configured queue bound.
+        capacity: usize,
+    },
+    /// The spec names a source vertex outside the resident graph — the
+    /// degenerate-job class a resident server must refuse, not die on.
+    InvalidSource {
+        /// Requested source.
+        source: u32,
+        /// Vertices in the resident graph.
+        num_vertices: u32,
+    },
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated { queued, capacity } => {
+                write!(
+                    f,
+                    "server saturated: {queued} jobs queued (capacity {capacity})"
+                )
+            }
+            SubmitError::InvalidSource {
+                source,
+                num_vertices,
+            } => write!(
+                f,
+                "source vertex {source} out of range (graph has {num_vertices} vertices)"
+            ),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an *accepted* job did not produce a result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobError {
+    /// The engine refused the run (OOM, degenerate input).
+    Run(RunError),
+    /// The job's deadline passed while it was still queued.
+    DeadlineExpired,
+    /// The server shut down before the job ran.
+    ShutDown,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Run(e) => write!(f, "run failed: {e}"),
+            JobError::DeadlineExpired => write!(f, "deadline expired before execution"),
+            JobError::ShutDown => write!(f, "server shut down before the job ran"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The slot a worker fulfills and a client waits on.
+pub(crate) struct JobCell {
+    slot: Mutex<Option<Result<JobResult, JobError>>>,
+    done: Condvar,
+}
+
+impl JobCell {
+    pub(crate) fn new() -> Arc<JobCell> {
+        Arc::new(JobCell {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// A cell born completed (cache fast path at submission).
+    pub(crate) fn completed(r: Result<JobResult, JobError>) -> Arc<JobCell> {
+        Arc::new(JobCell {
+            slot: Mutex::new(Some(r)),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Writes the result exactly once and wakes waiters.
+    pub(crate) fn fulfill(&self, r: Result<JobResult, JobError>) {
+        let mut s = self.slot.lock().unwrap();
+        if s.is_none() {
+            *s = Some(r);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// The client's ticket for one accepted job.
+pub struct JobHandle {
+    pub(crate) cell: Arc<JobCell>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// Blocks until the job completes (or fails), returning its result.
+    /// May be called from any thread and more than once.
+    pub fn wait(&self) -> Result<JobResult, JobError> {
+        let mut s = self.cell.slot.lock().unwrap();
+        while s.is_none() {
+            s = self.cell.done.wait(s).unwrap();
+        }
+        s.as_ref().expect("slot filled").clone()
+    }
+
+    /// The result if the job already completed, without blocking.
+    pub fn try_result(&self) -> Option<Result<JobResult, JobError>> {
+        self.cell.slot.lock().unwrap().clone()
+    }
+
+    /// True once a result (or error) is available.
+    pub fn is_done(&self) -> bool {
+        self.cell.slot.lock().unwrap().is_some()
+    }
+}

@@ -1,0 +1,58 @@
+//! # dirgl-serve — the resident analytics service
+//!
+//! The one-shot harness pays the full residency cost — load, partition,
+//! sync-plan construction — on every `runner(...).execute()` call. This
+//! crate turns that around for the interactive-analytics shape the paper's
+//! framework ultimately serves: load a dataset **once** into a
+//! [`JobServer`], keep the partitioned graph, per-device local graphs and
+//! communication plans resident behind `Arc`-shared immutable state, and
+//! answer many concurrent queries (bfs/sssp/bc from arbitrary sources,
+//! pagerank, cc, kcore) against it.
+//!
+//! Three layers:
+//!
+//! * [`JobSpec`]/[`JobRequest`]/[`JobHandle`] ([`mod@crate::job`] items) —
+//!   the client vocabulary: what to compute, at which [`Priority`], with
+//!   what deadline; the handle to block on.
+//! * the result cache — completed outcomes keyed by
+//!   `(graph epoch × program × params)` with LRU eviction, so repeated
+//!   queries return the very bytes the cold run produced.
+//! * [`JobServer`] — admission control (source validation, bounded queue
+//!   with reject-with-reason), a priority queue, a fixed executor pool
+//!   bounding jobs in flight, and counters ([`ServerStats`]).
+//!
+//! Determinism carries over: each served job is byte-identical to its
+//! serial `runner(...).execute()` equivalent, because the server's
+//! prepared views are built by the exact same path
+//! ([`dirgl_core::Runtime::prepare`]) the one-shot runner uses.
+//!
+//! ```
+//! use dirgl_serve::{JobServer, JobSpec, ServeConfig};
+//! use dirgl_core::{RunConfig, Runtime};
+//! use dirgl_gpusim::Platform;
+//! use dirgl_partition::Policy;
+//!
+//! let g = dirgl_graph::RmatConfig::new(8, 6).seed(7).generate();
+//! let server = JobServer::load(
+//!     &g,
+//!     Platform::bridges(4),
+//!     RunConfig::var4(Policy::Cvc),
+//!     ServeConfig::default(),
+//! )
+//! .unwrap();
+//! let src = server.default_source().unwrap();
+//! let h = server.submit_spec(JobSpec::Bfs { source: src }).unwrap();
+//! let r = h.wait().unwrap();
+//! assert!(!r.outcome.values.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod job;
+mod server;
+
+pub use job::{
+    JobError, JobHandle, JobOutcome, JobRequest, JobResult, JobSpec, Priority, SubmitError,
+};
+pub use server::{JobServer, ServeConfig, ServerStats};

@@ -1,0 +1,577 @@
+//! The resident job-server.
+//!
+//! [`JobServer::load`] pays the graph-residency cost once — partitioning
+//! the dataset under the runtime's policy into three prepared views
+//! (directed, symmetrized, transposed), each with its sync plan and
+//! extract indexes — then serves any number of concurrent jobs against
+//! that `Arc`-shared immutable state. Per job, only the per-device
+//! program state (including the round scratch) is materialized, which is
+//! exactly what the `(shared partition, program, source)` execution unit
+//! of [`dirgl_core::Runtime::job`] needs.
+//!
+//! Scheduling: submissions pass admission control (source validation and a
+//! bounded waiting queue — refusals say why), then wait in a priority
+//! queue (higher [`Priority`] first, FIFO within a level). A fixed set of
+//! executor threads bounds the jobs in flight; inside a job, the engine's
+//! per-device loops fan out over the process-wide worker pool as usual, so
+//! concurrent jobs share the same pool the one-shot harness uses.
+//! Completed outcomes land in the keyed result cache
+//! (epoch × program × params) with LRU eviction; repeated queries are
+//! O(lookup) and return the very bytes the cold run produced.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dirgl_apps::{betweenness_centrality_prepared, Bfs, Cc, KCore, PageRank, Sssp};
+use dirgl_core::{PreparedPartition, RunConfig, RunError, RunOutput, Runtime};
+use dirgl_gpusim::Platform;
+use dirgl_graph::Csr;
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::job::{
+    JobCell, JobError, JobHandle, JobOutcome, JobRequest, JobResult, JobSpec, Priority, SubmitError,
+};
+
+/// Server sizing and policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Executor threads = maximum jobs in flight at once.
+    pub workers: usize,
+    /// Maximum jobs waiting in the queue; submissions beyond it are
+    /// rejected with [`SubmitError::Saturated`].
+    pub queue_capacity: usize,
+    /// Result-cache entries (LRU-evicted; 0 disables caching).
+    pub cache_capacity: usize,
+    /// Start with execution paused; jobs queue (and admission control
+    /// applies) but nothing runs until [`JobServer::resume`]. Tests use
+    /// this to make saturation and deadline behavior deterministic.
+    pub start_paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            start_paused: false,
+        }
+    }
+}
+
+/// Monotonic counters, readable at any time via [`JobServer::stats`].
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    rejected_saturated: AtomicU64,
+    rejected_invalid: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    expired: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+/// A point-in-time statistics snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Submissions seen (accepted or not).
+    pub submitted: u64,
+    /// Jobs admitted to the queue (including cache fast-path completions).
+    pub accepted: u64,
+    /// Submissions refused because the queue was full.
+    pub rejected_saturated: u64,
+    /// Submissions refused for naming an out-of-range source.
+    pub rejected_invalid: u64,
+    /// Jobs that executed to completion.
+    pub completed: u64,
+    /// Jobs whose execution returned a [`RunError`].
+    pub failed: u64,
+    /// Jobs dropped because their deadline passed while queued.
+    pub expired: u64,
+    /// Results served from the cache (at submission or at dequeue).
+    pub cache_hits: u64,
+    /// Jobs that had to execute because no cached result existed.
+    pub cache_misses: u64,
+    /// Cached results dropped by epoch invalidation.
+    pub invalidated: u64,
+    /// Cache entries currently resident.
+    pub cache_entries: usize,
+    /// LRU evictions so far.
+    pub cache_evictions: u64,
+    /// Jobs waiting in the queue right now.
+    pub queued: usize,
+    /// Jobs executing right now.
+    pub in_flight: usize,
+    /// Current graph epoch.
+    pub epoch: u64,
+}
+
+/// One queued job. The heap orders by priority (higher first), then by
+/// submission sequence (earlier first) — deterministic FIFO within a
+/// priority level.
+struct Queued {
+    priority: Priority,
+    seq: u64,
+    deadline: Option<Instant>,
+    spec: JobSpec,
+    epoch: u64,
+    cell: Arc<JobCell>,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Mutable scheduler state behind one mutex.
+struct Sched {
+    queue: BinaryHeap<Queued>,
+    in_flight: usize,
+    paused: bool,
+    shutdown: bool,
+    next_seq: u64,
+}
+
+struct Inner {
+    rt: Runtime,
+    /// The dataset as given (bfs, sssp, pagerank, bc forward).
+    directed: Arc<PreparedPartition>,
+    /// Symmetrized view (cc, kcore).
+    symmetric: Arc<PreparedPartition>,
+    /// Transposed view (bc backward).
+    transpose: Arc<PreparedPartition>,
+    queue_capacity: usize,
+    cache_enabled: bool,
+    sched: Mutex<Sched>,
+    /// Signaled when work arrives, pause state flips, or shutdown begins.
+    work: Condvar,
+    /// Signaled when the server goes idle (empty queue, nothing in
+    /// flight) — what [`JobServer::drain`] waits on.
+    idle: Condvar,
+    cache: Mutex<ResultCache>,
+    epoch: AtomicU64,
+    c: Counters,
+}
+
+impl Inner {
+    /// The prepared view `spec` runs on (bc's second view is handled by
+    /// its driver).
+    fn view_for(&self, spec: &JobSpec) -> &Arc<PreparedPartition> {
+        if spec.needs_symmetric() {
+            &self.symmetric
+        } else {
+            &self.directed
+        }
+    }
+
+    /// Executes `spec` against the resident views. Pure with respect to
+    /// server state: all shared inputs are immutable, every mutable buffer
+    /// is job-local, so any number of these may run concurrently and each
+    /// reproduces its one-shot equivalent byte for byte.
+    fn execute(&self, spec: &JobSpec) -> Result<JobOutcome, RunError> {
+        let single = |out: RunOutput| JobOutcome {
+            reports: vec![out.report],
+            values: out.values,
+        };
+        match *spec {
+            JobSpec::Bfs { source } => self
+                .rt
+                .job(&self.directed, &Bfs::new(source))
+                .execute()
+                .map(single),
+            JobSpec::Sssp { source } => self
+                .rt
+                .job(&self.directed, &Sssp::new(source))
+                .execute()
+                .map(single),
+            JobSpec::Pagerank => self
+                .rt
+                .job(&self.directed, &PageRank::new())
+                .execute()
+                .map(single),
+            JobSpec::Cc => self.rt.job(&self.symmetric, &Cc).execute().map(single),
+            JobSpec::KCore { k } => self
+                .rt
+                .job(&self.symmetric, &KCore::new(k))
+                .execute()
+                .map(single),
+            JobSpec::Bc { source } => {
+                betweenness_centrality_prepared(&self.rt, &self.directed, &self.transpose, source)
+                    .map(|bc| JobOutcome {
+                        reports: vec![bc.forward, bc.backward],
+                        values: bc.scores,
+                    })
+            }
+        }
+    }
+
+    /// The executor loop: pop the highest-priority job, serve it from the
+    /// cache or execute it, fulfill its handle. Exits on shutdown after
+    /// the queue has been drained (drained jobs complete with
+    /// [`JobError::ShutDown`]).
+    fn worker_loop(self: &Arc<Inner>) {
+        loop {
+            let job = {
+                let mut s = self.sched.lock().unwrap();
+                loop {
+                    if s.shutdown {
+                        // Fail whatever is still queued, exactly once
+                        // across workers (whoever holds the lock first).
+                        while let Some(q) = s.queue.pop() {
+                            q.cell.fulfill(Err(JobError::ShutDown));
+                        }
+                        self.idle.notify_all();
+                        return;
+                    }
+                    if !s.paused {
+                        if let Some(j) = s.queue.pop() {
+                            s.in_flight += 1;
+                            break j;
+                        }
+                    }
+                    s = self.work.wait(s).unwrap();
+                }
+            };
+
+            let result = self.serve_one(&job);
+            job.cell.fulfill(result);
+
+            let mut s = self.sched.lock().unwrap();
+            s.in_flight -= 1;
+            if s.in_flight == 0 && s.queue.is_empty() {
+                self.idle.notify_all();
+            }
+        }
+    }
+
+    /// Serves one dequeued job: deadline check, cache re-check (an
+    /// identical job may have completed while this one queued), then
+    /// execution + cache fill.
+    fn serve_one(&self, job: &Queued) -> Result<JobResult, JobError> {
+        if let Some(dl) = job.deadline {
+            if Instant::now() > dl {
+                self.c.expired.fetch_add(1, Ordering::Relaxed);
+                return Err(JobError::DeadlineExpired);
+            }
+        }
+        let key: CacheKey = (job.epoch, job.spec);
+        if self.cache_enabled {
+            if let Some(outcome) = self.cache.lock().unwrap().get(&key) {
+                self.c.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(JobResult {
+                    outcome,
+                    from_cache: true,
+                    epoch: job.epoch,
+                });
+            }
+        }
+        self.c.cache_misses.fetch_add(1, Ordering::Relaxed);
+        match self.execute(&job.spec) {
+            Ok(outcome) => {
+                let outcome = Arc::new(outcome);
+                if self.cache_enabled {
+                    self.cache.lock().unwrap().insert(key, Arc::clone(&outcome));
+                }
+                self.c.completed.fetch_add(1, Ordering::Relaxed);
+                Ok(JobResult {
+                    outcome,
+                    from_cache: false,
+                    epoch: job.epoch,
+                })
+            }
+            Err(e) => {
+                self.c.failed.fetch_add(1, Ordering::Relaxed);
+                Err(JobError::Run(e))
+            }
+        }
+    }
+}
+
+/// A long-lived analytics server over one resident dataset. See the
+/// module docs for the lifecycle; construct with [`JobServer::load`].
+pub struct JobServer {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl JobServer {
+    /// Loads `graph` once: builds the three prepared views under
+    /// `config`'s policy/seed on `platform`, then starts the executor
+    /// threads. The partitions a bare `runner(...).execute()` would build
+    /// per call are exactly the ones prepared here, so served results are
+    /// byte-identical to their one-shot equivalents.
+    pub fn load(
+        graph: &Csr,
+        platform: Platform,
+        config: RunConfig,
+        serve: ServeConfig,
+    ) -> Result<JobServer, RunError> {
+        let rt = Runtime::new(platform, config);
+        let directed = Arc::new(rt.prepare(graph, false)?);
+        let symmetric = Arc::new(rt.prepare(graph, true)?);
+        let transpose = Arc::new(rt.prepare(&graph.transpose(), false)?);
+        let inner = Arc::new(Inner {
+            rt,
+            directed,
+            symmetric,
+            transpose,
+            queue_capacity: serve.queue_capacity,
+            cache_enabled: serve.cache_capacity > 0,
+            sched: Mutex::new(Sched {
+                queue: BinaryHeap::new(),
+                in_flight: 0,
+                paused: serve.start_paused,
+                shutdown: false,
+                next_seq: 0,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            cache: Mutex::new(ResultCache::new(serve.cache_capacity)),
+            epoch: AtomicU64::new(0),
+            c: Counters::default(),
+        });
+        let workers = (0..serve.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dirgl-serve-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("failed to spawn serve worker")
+            })
+            .collect();
+        Ok(JobServer { inner, workers })
+    }
+
+    /// Submits one job. Admission control happens here: an out-of-range
+    /// source or a full queue is refused with the reason; a cached result
+    /// completes immediately without queueing. Accepted jobs return a
+    /// [`JobHandle`] to wait on.
+    pub fn submit(&self, req: JobRequest) -> Result<JobHandle, SubmitError> {
+        let inner = &self.inner;
+        inner.c.submitted.fetch_add(1, Ordering::Relaxed);
+
+        // Degenerate jobs are refused at the door — the resident process
+        // must never die (or even spin) on one.
+        if let Some(source) = req.spec.source() {
+            let n = inner.view_for(&req.spec).num_vertices();
+            if source >= n {
+                inner.c.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::InvalidSource {
+                    source,
+                    num_vertices: n,
+                });
+            }
+        }
+
+        let epoch = inner.epoch.load(Ordering::SeqCst);
+
+        // Cache fast path: a repeated query never occupies a queue slot.
+        if inner.cache_enabled {
+            if let Some(outcome) = inner.cache.lock().unwrap().get(&(epoch, req.spec)) {
+                inner.c.cache_hits.fetch_add(1, Ordering::Relaxed);
+                inner.c.accepted.fetch_add(1, Ordering::Relaxed);
+                return Ok(JobHandle {
+                    cell: JobCell::completed(Ok(JobResult {
+                        outcome,
+                        from_cache: true,
+                        epoch,
+                    })),
+                });
+            }
+        }
+
+        let deadline = req.deadline.map(|d| Instant::now() + d);
+        let mut s = inner.sched.lock().unwrap();
+        if s.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if s.queue.len() >= inner.queue_capacity {
+            inner.c.rejected_saturated.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::Saturated {
+                queued: s.queue.len(),
+                capacity: inner.queue_capacity,
+            });
+        }
+        let cell = JobCell::new();
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.queue.push(Queued {
+            priority: req.priority,
+            seq,
+            deadline,
+            spec: req.spec,
+            epoch,
+            cell: Arc::clone(&cell),
+        });
+        drop(s);
+        inner.c.accepted.fetch_add(1, Ordering::Relaxed);
+        inner.work.notify_one();
+        Ok(JobHandle { cell })
+    }
+
+    /// Convenience: submit with default priority and no deadline.
+    pub fn submit_spec(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.submit(JobRequest::new(spec))
+    }
+
+    /// Stops dequeueing (in-flight jobs finish; submissions still queue).
+    pub fn pause(&self) {
+        self.inner.sched.lock().unwrap().paused = true;
+        self.inner.work.notify_all();
+    }
+
+    /// Resumes dequeueing after [`JobServer::pause`].
+    pub fn resume(&self) {
+        self.inner.sched.lock().unwrap().paused = false;
+        self.inner.work.notify_all();
+    }
+
+    /// Blocks until the queue is empty and nothing is in flight. Panics if
+    /// called while paused with work queued (it could never return).
+    pub fn drain(&self) {
+        let mut s = self.inner.sched.lock().unwrap();
+        assert!(
+            !s.paused || (s.queue.is_empty() && s.in_flight == 0),
+            "drain() on a paused server with queued work would block forever"
+        );
+        while !(s.queue.is_empty() && s.in_flight == 0) {
+            s = self.inner.idle.wait(s).unwrap();
+        }
+    }
+
+    /// Advances the graph epoch (a mutation hook for the streaming path):
+    /// all cached results of earlier epochs become unreachable and are
+    /// purged; queued jobs keep the epoch they were submitted under.
+    pub fn bump_epoch(&self) -> u64 {
+        let new = self.inner.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let purged = self.inner.cache.lock().unwrap().purge_before(new);
+        self.inner
+            .c
+            .invalidated
+            .fetch_add(purged as u64, Ordering::Relaxed);
+        new
+    }
+
+    /// The current graph epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::SeqCst)
+    }
+
+    /// The resident directed view (source of truth for vertex count and
+    /// the bfs/sssp source convention).
+    pub fn directed_view(&self) -> &Arc<PreparedPartition> {
+        &self.inner.directed
+    }
+
+    /// The paper's default traversal source (highest out-degree vertex of
+    /// the directed view); `None` on an empty graph.
+    pub fn default_source(&self) -> Option<u32> {
+        self.inner.directed.max_out_degree_source()
+    }
+
+    /// Counter + occupancy snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let inner = &self.inner;
+        let (queued, in_flight) = {
+            let s = inner.sched.lock().unwrap();
+            (s.queue.len(), s.in_flight)
+        };
+        let (cache_entries, cache_evictions) = {
+            let c = inner.cache.lock().unwrap();
+            (c.len(), c.evictions())
+        };
+        let c = &inner.c;
+        ServerStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            rejected_saturated: c.rejected_saturated.load(Ordering::Relaxed),
+            rejected_invalid: c.rejected_invalid.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            invalidated: c.invalidated.load(Ordering::Relaxed),
+            cache_entries,
+            cache_evictions,
+            queued,
+            in_flight,
+            epoch: inner.epoch.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Shuts the server down: refuses new submissions, fails queued jobs
+    /// with [`JobError::ShutDown`], lets in-flight jobs finish, joins the
+    /// executors.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut s = self.inner.sched.lock().unwrap();
+            s.shutdown = true;
+            // A paused server must still wake workers so they observe
+            // shutdown and drain the queue.
+            s.paused = false;
+        }
+        self.inner.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(priority: Priority, seq: u64) -> Queued {
+        Queued {
+            priority,
+            seq,
+            deadline: None,
+            spec: JobSpec::Pagerank,
+            epoch: 0,
+            cell: JobCell::new(),
+        }
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_fifo() {
+        let mut h = BinaryHeap::new();
+        h.push(q(Priority::Normal, 0));
+        h.push(q(Priority::Low, 1));
+        h.push(q(Priority::High, 2));
+        h.push(q(Priority::High, 3));
+        h.push(q(Priority::Low, 4));
+        let order: Vec<u64> = std::iter::from_fn(|| h.pop().map(|x| x.seq)).collect();
+        assert_eq!(order, vec![2, 3, 0, 1, 4]);
+    }
+}

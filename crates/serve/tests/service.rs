@@ -1,0 +1,323 @@
+//! End-to-end contracts of the resident job-server.
+//!
+//! The load-bearing one: any number of concurrent jobs against one
+//! resident prepared partition produce **byte-identical** reports and
+//! values to the serial one-shot `runner(...).execute()` path, on both
+//! the synchronous (Var1/BSP) and asynchronous (Var4/BASP) engines. Plus
+//! the service semantics: cache hits return the cold run's exact bytes,
+//! admission control rejects with a reason, deadlines expire, priorities
+//! order the queue, and epoch bumps invalidate cached results.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dirgl_apps::{betweenness_centrality, Bfs, Cc, PageRank, Sssp};
+use dirgl_core::{ExecutionReport, RunConfig, Runtime, Variant};
+use dirgl_gpusim::Platform;
+use dirgl_graph::Csr;
+use dirgl_partition::Policy;
+use dirgl_serve::{JobError, JobRequest, JobServer, JobSpec, Priority, ServeConfig, SubmitError};
+
+fn graph() -> Csr {
+    dirgl_graph::RmatConfig::new(8, 6).seed(13).generate()
+}
+
+fn config(variant: Variant) -> RunConfig {
+    RunConfig::new(Policy::Cvc, variant)
+}
+
+fn server(variant: Variant, serve: ServeConfig) -> JobServer {
+    JobServer::load(&graph(), Platform::bridges(4), config(variant), serve).unwrap()
+}
+
+fn fingerprint(report: &ExecutionReport, values: &[f64]) -> (String, Vec<u64>) {
+    (
+        format!("{report:?}"),
+        values.iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+/// The acceptance matrix: 16 concurrent mixed jobs (bfs from 4 sources ×2
+/// submissions, sssp from 2 sources ×2, pagerank ×2, cc ×2) against one
+/// resident partition, each byte-identical to its serial one-shot
+/// equivalent — on both engines.
+#[test]
+fn sixteen_concurrent_jobs_match_serial_one_shots_on_both_engines() {
+    let g = graph();
+    let sources: Vec<u32> = {
+        let n = g.num_vertices();
+        (0..4)
+            .map(|k| (g.max_out_degree_vertex() + k * (n / 5 + 1)) % n)
+            .collect()
+    };
+
+    for variant in [Variant::var1(), Variant::var4()] {
+        // Serial one-shot fingerprints, computed the pre-server way (fresh
+        // partition per call).
+        let rt = Runtime::new(Platform::bridges(4), config(variant));
+        let serial: Vec<(JobSpec, (String, Vec<u64>))> = {
+            let mut v = Vec::new();
+            for &s in &sources {
+                let out = rt.runner(&g, &Bfs::new(s)).execute().unwrap();
+                v.push((
+                    JobSpec::Bfs { source: s },
+                    fingerprint(&out.report, &out.values),
+                ));
+            }
+            for &s in &sources[..2] {
+                let out = rt.runner(&g, &Sssp::new(s)).execute().unwrap();
+                v.push((
+                    JobSpec::Sssp { source: s },
+                    fingerprint(&out.report, &out.values),
+                ));
+            }
+            let out = rt.runner(&g, &PageRank::new()).execute().unwrap();
+            v.push((JobSpec::Pagerank, fingerprint(&out.report, &out.values)));
+            let out = rt.runner(&g, &Cc).execute().unwrap();
+            v.push((JobSpec::Cc, fingerprint(&out.report, &out.values)));
+            v
+        };
+
+        // 16 jobs: the 8 distinct specs, each submitted twice, all in
+        // flight at once on a 4-executor server.
+        let srv = server(variant, ServeConfig::default());
+        let jobs: Vec<JobSpec> = serial
+            .iter()
+            .chain(serial.iter())
+            .map(|(spec, _)| *spec)
+            .collect();
+        assert_eq!(jobs.len(), 16);
+        let results: Vec<_> = std::thread::scope(|sc| {
+            let srv = &srv;
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|&spec| sc.spawn(move || srv.submit_spec(spec).unwrap().wait().unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (spec, result) in jobs.iter().zip(&results) {
+            let want = &serial.iter().find(|(s, _)| s == spec).unwrap().1;
+            let got = fingerprint(result.outcome.report(), &result.outcome.values);
+            assert_eq!(
+                &got,
+                want,
+                "{} served on {} diverged from its serial one-shot",
+                spec.name(),
+                variant.label()
+            );
+        }
+
+        // Every duplicate was either coalesced through the cache or
+        // executed — both are correct; the counters must account for all.
+        let stats = srv.stats();
+        assert_eq!(stats.submitted, 16);
+        assert_eq!(stats.accepted, 16);
+        assert_eq!(stats.cache_hits + stats.completed, 16);
+        assert!(stats.completed >= 8, "8 distinct specs must execute");
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.rejected_saturated + stats.rejected_invalid, 0);
+    }
+}
+
+/// bc (two-phase, forward + transpose backward) served from the resident
+/// views matches the one-shot driver bit for bit.
+#[test]
+fn served_bc_matches_one_shot_driver() {
+    let g = graph();
+    let src = g.max_out_degree_vertex();
+    let rt = Runtime::new(Platform::bridges(4), config(Variant::var4()));
+    let want = betweenness_centrality(&rt, &g, src).unwrap();
+
+    let srv = server(Variant::var4(), ServeConfig::default());
+    let r = srv
+        .submit_spec(JobSpec::Bc { source: src })
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        r.outcome.reports.len(),
+        2,
+        "bc has forward + backward phases"
+    );
+    assert_eq!(
+        fingerprint(&r.outcome.reports[0], &r.outcome.values),
+        fingerprint(&want.forward, &want.scores)
+    );
+    assert_eq!(
+        format!("{:?}", r.outcome.reports[1]),
+        format!("{:?}", want.backward)
+    );
+}
+
+/// A cache hit returns the very bytes of the cold run (the same `Arc`,
+/// even) and the hit/miss counters track it.
+#[test]
+fn cache_hit_is_bit_identical_to_the_cold_run() {
+    let srv = server(Variant::var4(), ServeConfig::default());
+    let spec = JobSpec::Bfs { source: 3 };
+
+    let cold = srv.submit_spec(spec).unwrap().wait().unwrap();
+    assert!(!cold.from_cache);
+    srv.drain();
+
+    let hit = srv.submit_spec(spec).unwrap().wait().unwrap();
+    assert!(hit.from_cache);
+    assert!(
+        Arc::ptr_eq(&cold.outcome, &hit.outcome),
+        "hit must share the cold run's allocation"
+    );
+    assert_eq!(
+        fingerprint(cold.outcome.report(), &cold.outcome.values),
+        fingerprint(hit.outcome.report(), &hit.outcome.values)
+    );
+
+    let stats = srv.stats();
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cache_entries, 1);
+}
+
+/// A saturated queue refuses with the observed occupancy; accepted work
+/// still completes after resume.
+#[test]
+fn saturation_rejects_with_reason() {
+    let srv = server(
+        Variant::var1(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            cache_capacity: 16,
+            start_paused: true,
+        },
+    );
+    let h1 = srv.submit_spec(JobSpec::Bfs { source: 1 }).unwrap();
+    let h2 = srv.submit_spec(JobSpec::Bfs { source: 2 }).unwrap();
+    let refused = srv.submit_spec(JobSpec::Bfs { source: 3 });
+    assert_eq!(
+        refused.unwrap_err(),
+        SubmitError::Saturated {
+            queued: 2,
+            capacity: 2
+        }
+    );
+
+    let stats = srv.stats();
+    assert_eq!(stats.rejected_saturated, 1);
+    assert_eq!(stats.queued, 2);
+
+    srv.resume();
+    assert!(h1.wait().is_ok());
+    assert!(h2.wait().is_ok());
+    assert_eq!(srv.stats().completed, 2);
+}
+
+/// An out-of-range source is refused at the door — the resident server
+/// must never crash (or queue useless work) for a degenerate job.
+#[test]
+fn invalid_source_is_refused_at_admission() {
+    let srv = server(Variant::var1(), ServeConfig::default());
+    let n = srv.directed_view().num_vertices();
+    let refused = srv.submit_spec(JobSpec::Sssp { source: n + 7 });
+    assert_eq!(
+        refused.unwrap_err(),
+        SubmitError::InvalidSource {
+            source: n + 7,
+            num_vertices: n
+        }
+    );
+    assert_eq!(srv.stats().rejected_invalid, 1);
+    assert_eq!(srv.stats().accepted, 0);
+}
+
+/// A job whose deadline passes while queued completes with
+/// `DeadlineExpired` instead of executing.
+#[test]
+fn deadline_expires_while_queued() {
+    let srv = server(
+        Variant::var1(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 16,
+            start_paused: true,
+        },
+    );
+    let h = srv
+        .submit(JobRequest::new(JobSpec::Bfs { source: 1 }).deadline(Duration::from_millis(1)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    srv.resume();
+    assert_eq!(h.wait().unwrap_err(), JobError::DeadlineExpired);
+    let stats = srv.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 0);
+}
+
+/// With one executor, a high-priority job submitted after a low-priority
+/// one still runs first (observed through completion: when the low job
+/// finishes, the high one is already done).
+#[test]
+fn high_priority_overtakes_low_in_the_queue() {
+    let srv = server(
+        Variant::var1(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 0, // no cache: both jobs must truly execute
+            start_paused: true,
+        },
+    );
+    let low = srv
+        .submit(JobRequest::new(JobSpec::Bfs { source: 1 }).priority(Priority::Low))
+        .unwrap();
+    let high = srv
+        .submit(JobRequest::new(JobSpec::Bfs { source: 2 }).priority(Priority::High))
+        .unwrap();
+    srv.resume();
+    low.wait().unwrap();
+    assert!(
+        high.is_done(),
+        "single executor finished the low job before the high one"
+    );
+}
+
+/// Bumping the graph epoch invalidates cached results: the same spec
+/// re-executes and lands under the new epoch.
+#[test]
+fn epoch_bump_invalidates_cached_results() {
+    let srv = server(Variant::var4(), ServeConfig::default());
+    let spec = JobSpec::Pagerank;
+    let first = srv.submit_spec(spec).unwrap().wait().unwrap();
+    assert_eq!(first.epoch, 0);
+    srv.drain();
+
+    assert_eq!(srv.bump_epoch(), 1);
+    let stats = srv.stats();
+    assert_eq!(stats.invalidated, 1);
+    assert_eq!(stats.cache_entries, 0);
+
+    let second = srv.submit_spec(spec).unwrap().wait().unwrap();
+    assert!(!second.from_cache, "old-epoch result must not be served");
+    assert_eq!(second.epoch, 1);
+    assert_eq!(srv.stats().cache_misses, 2);
+}
+
+/// Shutdown fails queued-but-unstarted jobs with `ShutDown` rather than
+/// leaving their waiters hanging.
+#[test]
+fn shutdown_fails_queued_jobs() {
+    let srv = server(
+        Variant::var1(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 16,
+            start_paused: true,
+        },
+    );
+    let h = srv.submit_spec(JobSpec::Cc).unwrap();
+    drop(srv); // shutdown path
+    assert_eq!(h.wait().unwrap_err(), JobError::ShutDown);
+}

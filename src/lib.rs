@@ -19,6 +19,9 @@
 //!   Var1–Var4 optimization variants, execution reports.
 //! * [`apps`] — bfs, cc, kcore, pagerank and sssp, plus sequential
 //!   reference implementations.
+//! * [`serve`] — the resident analytics job-server: load a dataset once,
+//!   answer many concurrent queries against the shared prepared partition,
+//!   with admission control and a keyed result cache.
 //! * [`lux`] — the Lux-like distributed baseline.
 //! * [`singlehost`] — Gunrock-like and Groute-like single-host baselines.
 //!
@@ -41,6 +44,7 @@ pub use dirgl_core as core;
 pub use dirgl_gpusim as gpusim;
 pub use dirgl_graph as graph;
 pub use dirgl_partition as partition;
+pub use dirgl_serve as serve;
 pub use lux_sim as lux;
 pub use singlehost_sim as singlehost;
 
@@ -52,14 +56,15 @@ pub mod prelude {
     pub use dirgl_comm::{CommMode, FaultCounters, FaultPlan, RetryConfig, SimTime};
     pub use dirgl_core::{
         run_engine, CollectingSink, ExecModel, ExecutionModel, ExecutionReport, FaultEvent,
-        JsonLinesSink, NoopSink, PartitionArg, ResilienceStats, RoundRecord, RunConfig, RunError,
-        Runner, Runtime, TraceSink, Variant,
+        JsonLinesSink, NoopSink, PartitionArg, PreparedPartition, ResilienceStats, RoundRecord,
+        RunConfig, RunError, Runner, Runtime, TraceSink, Variant,
     };
     pub use dirgl_gpusim::{Balancer, ClusterSpec, GpuSpec, Platform};
     pub use dirgl_graph::{
         Csr, Dataset, DatasetId, GraphStats, RmatConfig, SocialConfig, WebCrawlConfig,
     };
     pub use dirgl_partition::{Partition, PartitionMetrics, Policy};
+    pub use dirgl_serve::{JobRequest, JobServer, JobSpec, Priority, ServeConfig};
     pub use lux_sim::LuxRuntime;
     pub use singlehost_sim::{GrouteSim, GunrockSim};
 }
