@@ -21,7 +21,9 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use dirgl_core::{InitCtx, RunError, Runtime, Style, VertexProgram};
+use dirgl_core::{
+    InitCtx, Lanes, MultiSourceProgram, RunError, Runtime, Style, VertexProgram, LANE_WIDTH,
+};
 use dirgl_graph::csr::{Csr, VertexId};
 
 use crate::UNREACHED;
@@ -142,6 +144,22 @@ impl VertexProgram for BcForward {
 
     fn output(&self, state: &BcFwdState) -> f64 {
         state.dist as f64
+    }
+}
+
+/// The forward phase depends only on its source, so it batches
+/// lane-for-lane — even its non-idempotent σ tie-adds stay bit-identical
+/// per lane, because each lane's accumulate call sequence in a batched
+/// round is exactly the scalar run's sequence.
+impl MultiSourceProgram for BcForward {
+    type Batched = Lanes<BcForward>;
+
+    fn for_source(&self, source: VertexId) -> BcForward {
+        BcForward { source }
+    }
+
+    fn batched(&self, sources: &[VertexId]) -> Lanes<BcForward> {
+        Lanes::new(self, sources)
     }
 }
 
@@ -338,6 +356,69 @@ pub fn betweenness_centrality_prepared(
     })
 }
 
+/// [`betweenness_centrality_prepared`] for a batch of sources with
+/// K-lane batched phases: per ≤64-source chunk, **one** forward engine
+/// run and **one** backward engine run advance every source. Each
+/// lane's scores are identical to the corresponding single-source
+/// driver's (the short-lane rounds a longer lane forces are rejected by
+/// the child-level accumulate guard, so they never touch values).
+/// The per-chunk phase reports are shared: every output in a chunk
+/// carries the same forward/backward report.
+pub fn batched_betweenness_centrality_prepared(
+    runtime: &Runtime,
+    fwd: &dirgl_core::PreparedPartition,
+    bwd: &dirgl_core::PreparedPartition,
+    sources: &[VertexId],
+) -> Result<Vec<BcOutput>, RunError> {
+    let mut outs = Vec::with_capacity(sources.len());
+    for chunk in sources.chunks(LANE_WIDTH) {
+        // Forward: one batched run computes every lane's levels and σ.
+        let fwd_prog = Lanes::new(&BcForward { source: chunk[0] }, chunk);
+        let (fwd_out, fwd_states) = runtime.job(fwd, &fwd_prog).execute_with_states()?;
+
+        // Backward: each lane gets its own round gate (its forward max
+        // level) and its own aux words (its forward levels and σ).
+        let mut bwd_progs = Vec::with_capacity(chunk.len());
+        let mut lane_aux = Vec::with_capacity(chunk.len());
+        for l in 0..chunk.len() {
+            let max_level = fwd_states
+                .iter()
+                .map(|s| {
+                    let d = s.lane[l].dist;
+                    if d == UNREACHED {
+                        0
+                    } else {
+                        d
+                    }
+                })
+                .max()
+                .unwrap_or(0);
+            let aux: Vec<u64> = fwd_states
+                .iter()
+                .map(|s| ((s.lane[l].dist as u64) << 32) | s.lane[l].sigma.to_bits() as u64)
+                .collect();
+            bwd_progs.push(BcBackward::new(max_level));
+            lane_aux.push(aux);
+        }
+        let mut bwd_prog = Lanes::from_programs(bwd_progs);
+        for (l, aux) in lane_aux.into_iter().enumerate() {
+            bwd_prog.set_lane_aux(l, aux);
+        }
+        let (bwd_out, bwd_states) = runtime.job(bwd, &bwd_prog).execute_with_states()?;
+
+        for (l, &src) in chunk.iter().enumerate() {
+            let mut scores: Vec<f64> = bwd_states.iter().map(|s| s.lane[l].delta as f64).collect();
+            scores[src as usize] = 0.0;
+            outs.push(BcOutput {
+                scores,
+                forward: fwd_out.report.clone(),
+                backward: bwd_out.report.clone(),
+            });
+        }
+    }
+    Ok(outs)
+}
+
 /// Sequential Brandes reference (single source, unweighted).
 pub fn reference_bc(g: &Csr, source: VertexId) -> Vec<f64> {
     let n = g.num_vertices() as usize;
@@ -413,6 +494,32 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn batched_bc_lanes_match_single_source_runs() {
+        let g = dirgl_graph::RmatConfig::new(8, 6).seed(17).generate();
+        let n = g.num_vertices();
+        let sources: Vec<u32> = (0..5)
+            .map(|k| (g.max_out_degree_vertex() + k * (n / 7 + 1)) % n)
+            .collect();
+        let rt = Runtime::new(
+            Platform::bridges(4),
+            RunConfig::new(Policy::Cvc, Variant::var4()),
+        );
+        let fwd = rt.prepare(&g, false).unwrap();
+        let bwd = rt.prepare(&g.transpose(), false).unwrap();
+        let batched = batched_betweenness_centrality_prepared(&rt, &fwd, &bwd, &sources).unwrap();
+        assert_eq!(batched.len(), sources.len());
+        for (k, &src) in sources.iter().enumerate() {
+            let solo = betweenness_centrality_prepared(&rt, &fwd, &bwd, src).unwrap();
+            let same = batched[k]
+                .scores
+                .iter()
+                .zip(&solo.scores)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "lane {k} (source {src}) diverged from its solo run");
         }
     }
 

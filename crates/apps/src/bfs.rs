@@ -1,6 +1,6 @@
 //! Breadth-first search: data-driven push, min-reduction on level.
 
-use dirgl_core::{InitCtx, Style, VertexProgram};
+use dirgl_core::{InitCtx, MsBfs, MultiSourceProgram, Style, VertexProgram};
 use dirgl_graph::csr::{Csr, VertexId};
 
 use crate::UNREACHED;
@@ -103,6 +103,21 @@ impl VertexProgram for Bfs {
 
     fn output(&self, state: &BfsState) -> f64 {
         state.dist as f64
+    }
+}
+
+/// BFS batches as [`MsBfs`]: mask-only wires, levels derived from the
+/// round clock — see the core docs for why the generic value-lane form
+/// is never the right encoding for bfs.
+impl MultiSourceProgram for Bfs {
+    type Batched = MsBfs;
+
+    fn for_source(&self, source: VertexId) -> Bfs {
+        Bfs::new(source)
+    }
+
+    fn batched(&self, sources: &[VertexId]) -> MsBfs {
+        MsBfs::new(sources)
     }
 }
 

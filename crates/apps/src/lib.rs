@@ -25,7 +25,10 @@ pub mod pagerank_push;
 pub mod reference;
 pub mod sssp;
 
-pub use bc::{betweenness_centrality, betweenness_centrality_prepared, BcOutput};
+pub use bc::{
+    batched_betweenness_centrality_prepared, betweenness_centrality,
+    betweenness_centrality_prepared, BcOutput,
+};
 pub use bfs::Bfs;
 pub use cc::Cc;
 pub use kcore::KCore;

@@ -1,7 +1,7 @@
 //! Single-source shortest paths: data-driven push over the randomized edge
 //! weights, min-reduction on distance (distributed Bellman-Ford).
 
-use dirgl_core::{InitCtx, Style, VertexProgram};
+use dirgl_core::{InitCtx, Lanes, MultiSourceProgram, Style, VertexProgram};
 use dirgl_graph::csr::{Csr, VertexId};
 
 use crate::UNREACHED;
@@ -107,6 +107,19 @@ impl VertexProgram for Sssp {
 
     fn output(&self, state: &SsspState) -> f64 {
         state.dist as f64
+    }
+}
+
+/// SSSP semantics depend only on the source, so it batches lane-for-lane.
+impl MultiSourceProgram for Sssp {
+    type Batched = Lanes<Sssp>;
+
+    fn for_source(&self, source: VertexId) -> Sssp {
+        Sssp::new(source)
+    }
+
+    fn batched(&self, sources: &[VertexId]) -> Lanes<Sssp> {
+        Lanes::new(self, sources)
     }
 }
 

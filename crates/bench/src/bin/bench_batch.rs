@@ -1,0 +1,221 @@
+//! Multi-source batching benchmark: how many bfs sources per second does
+//! the K-lane bit-matrix backend sustain versus running the same sources
+//! as serial scalar jobs?
+//!
+//! One partition is built and reused; then for K ∈ {1, 8, 64} the same
+//! source set runs twice — `Backend::Scalar` (K one-source engine runs,
+//! the baseline) and `Backend::Lanes` (one engine pass advancing all K
+//! frontiers). Every lane is asserted byte-identical to its scalar run
+//! (`identical_reports`), so the speedup is never bought with divergent
+//! answers.
+//!
+//! The headline sources/sec and the asserted ≥4× floor are in
+//! *paper-equivalent simulated time* (the unit every BENCH file in this
+//! repo reports, and deterministic run to run); host wall times ride
+//! along for reference. The simulated win is the MS-BFS claim itself:
+//! a vertex on many lanes' frontiers is scanned once per round, not
+//! once per lane, so one batched pass costs about one scalar pass.
+//!
+//! ```sh
+//! cargo run --release --bin bench_batch -- [--scale N] [--gpus N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use dirgl_bench::cli::{or_exit, write_output, ArgStream, CliError};
+use dirgl_bench::{run_dirgl_batch, BenchId, LoadedDataset, PartitionCache};
+use dirgl_core::{Backend, MultiRunOutput, RunConfig, Variant};
+use dirgl_gpusim::Platform;
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+
+const USAGE: &str = "usage: bench_batch [--scale N] [--gpus N] [--out PATH]";
+const LANE_COUNTS: [usize; 3] = [1, 8, 64];
+
+struct Opts {
+    extra_scale: u64,
+    gpus: u32,
+    out_path: String,
+}
+
+fn try_parse(mut it: ArgStream) -> Result<Opts, CliError> {
+    let mut o = Opts {
+        extra_scale: 1,
+        gpus: 4,
+        out_path: "BENCH_batch.json".to_string(),
+    };
+    while let Some(a) = it.next_arg() {
+        match a.as_str() {
+            "--scale" => o.extra_scale = it.parsed("--scale", "a positive integer")?,
+            "--gpus" => o.gpus = it.parsed("--gpus", "a positive integer")?,
+            "--out" => o.out_path = it.value("--out")?,
+            other => return Err(CliError::unknown_arg(other)),
+        }
+    }
+    Ok(o)
+}
+
+/// K distinct sources spread across the id space, first one the paper's
+/// max-out-degree convention.
+fn spread_sources(n: u32, base: u32, k: usize) -> Vec<u32> {
+    assert!(n as usize > k, "graph too small for {k} distinct sources");
+    let step = n / k as u32 + 1;
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(k);
+    let mut s = base % n;
+    while out.len() < k {
+        while !seen.insert(s) {
+            s = (s + 1) % n;
+        }
+        out.push(s);
+        s = (s + step) % n;
+    }
+    out
+}
+
+/// Aggregate paper-equivalent execution time across a run's engine
+/// passes.
+fn sim_total(out: &MultiRunOutput) -> f64 {
+    out.engine_reports
+        .iter()
+        .map(|r| r.total_time.as_secs_f64())
+        .sum()
+}
+
+/// Every lane byte-identical between the two backends: same source
+/// labels, same value bits, same digests.
+fn identical(lanes: &MultiRunOutput, scalar: &MultiRunOutput) -> bool {
+    lanes.lanes.len() == scalar.lanes.len()
+        && lanes.lanes.iter().zip(&scalar.lanes).all(|(l, s)| {
+            l.source == s.source
+                && l.summary == s.summary
+                && l.values.len() == s.values.len()
+                && l.values
+                    .iter()
+                    .zip(&s.values)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        })
+}
+
+fn main() {
+    let Opts {
+        extra_scale,
+        gpus,
+        out_path,
+    } = or_exit(try_parse(ArgStream::from_env()), USAGE);
+
+    let ld = LoadedDataset::load(DatasetId::Indochina04, extra_scale);
+    let g = &ld.ds.graph;
+    let n = g.num_vertices();
+    let base = g.max_out_degree_vertex();
+    println!(
+        "bench_batch: indochina04 (|V|={} |E|={}), bfs, CVC/Var3 @ {gpus} GPUs\n",
+        n,
+        g.num_edges()
+    );
+
+    let platform = Platform::bridges(gpus);
+    let cfg = || RunConfig::new(Policy::Cvc, Variant::var3());
+    let mut cache = PartitionCache::new();
+
+    // Warm the partition cache so neither timed pass pays the build.
+    run_dirgl_batch(
+        BenchId::Bfs,
+        &ld,
+        &mut cache,
+        &platform,
+        cfg(),
+        &[base],
+        Backend::Scalar,
+    )
+    .expect("warmup failed");
+
+    let mut rows = Vec::new();
+    let mut speedup_64 = 0.0f64;
+    for k in LANE_COUNTS {
+        let sources = spread_sources(n, base, k);
+
+        let t = Instant::now();
+        let scalar = run_dirgl_batch(
+            BenchId::Bfs,
+            &ld,
+            &mut cache,
+            &platform,
+            cfg(),
+            &sources,
+            Backend::Scalar,
+        )
+        .expect("scalar batch failed");
+        let scalar_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let lanes = run_dirgl_batch(
+            BenchId::Bfs,
+            &ld,
+            &mut cache,
+            &platform,
+            cfg(),
+            &sources,
+            Backend::Lanes,
+        )
+        .expect("lanes batch failed");
+        let lanes_s = t.elapsed().as_secs_f64();
+
+        let same = identical(&lanes, &scalar);
+        assert!(same, "K={k}: a lane diverged from its scalar run");
+        assert_eq!(
+            scalar.engine_reports.len(),
+            k,
+            "scalar runs once per source"
+        );
+        assert_eq!(
+            lanes.engine_reports.len(),
+            k.div_ceil(64),
+            "lanes chunk by 64"
+        );
+
+        let scalar_sim = sim_total(&scalar);
+        let lanes_sim = sim_total(&lanes);
+        let scalar_sps = k as f64 / scalar_sim;
+        let lanes_sps = k as f64 / lanes_sim;
+        let speedup = lanes_sps / scalar_sps;
+        let host_speedup = scalar_s / lanes_s;
+        if k == 64 {
+            speedup_64 = speedup;
+        }
+        println!(
+            "K={k:>2}: scalar {scalar_sim:>8.3}s ({scalar_sps:>7.2} src/s) | lanes \
+             {lanes_sim:>8.3}s ({lanes_sps:>7.2} src/s) | speedup {speedup:>6.2}x \
+             (host {host_speedup:.2}x) | identical",
+        );
+        rows.push(format!(
+            "    {{\"k\": {k}, \"scalar_sim_s\": {scalar_sim:.6}, \"lanes_sim_s\": {lanes_sim:.6}, \
+             \"scalar_sources_per_s\": {scalar_sps:.3}, \"lanes_sources_per_s\": {lanes_sps:.3}, \
+             \"speedup\": {speedup:.3}, \"scalar_host_s\": {scalar_s:.6}, \
+             \"lanes_host_s\": {lanes_s:.6}, \"host_speedup\": {host_speedup:.3}, \
+             \"engine_passes\": {}, \"identical_reports\": {same}}}",
+            lanes.engine_reports.len(),
+        ));
+    }
+
+    println!("\nK=64 speedup: {speedup_64:.2}x (acceptance floor: 4x)");
+    assert!(
+        speedup_64 >= 4.0,
+        "K=64 batched bfs must sustain >= 4x the serial scalar sources/sec, got {speedup_64:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"dataset\": \"indochina04\",\n  \"benchmark\": \"bfs\",\n  \"policy\": \"cvc\",\n  \
+         \"variant\": \"Var3\",\n  \"devices\": {gpus},\n  \"extra_scale\": {extra_scale},\n  \
+         \"runs\": [\n{}\n  ],\n  \
+         \"note\": \"Same prepared partition for every run (warmed before timing). Scalar = one \
+         engine pass per source (the serial baseline); lanes = K sources packed into 64-lane \
+         bit-matrix frontiers, one engine pass per 64-lane chunk. identical_reports asserts every \
+         lane's values are byte-identical to its scalar single-source run. The headline \
+         sources/sec and speedup are paper-equivalent simulated time (deterministic); *_host_s \
+         are host wall clock, for reference.\"\n}}\n",
+        rows.join(",\n")
+    );
+    or_exit(write_output(&out_path, &json), USAGE);
+    println!("wrote {out_path}");
+}

@@ -55,13 +55,13 @@ fn job_matrix(server: &JobServer) -> Vec<JobSpec> {
     let spread = |k: u32| (base.wrapping_add(k.wrapping_mul(n / 8 + 1))) % n;
     let mut jobs = Vec::new();
     for k in 0..6 {
-        jobs.push(JobSpec::Bfs { source: spread(k) });
+        jobs.push(JobSpec::bfs(spread(k)));
     }
     for k in 0..4 {
-        jobs.push(JobSpec::Sssp { source: spread(k) });
+        jobs.push(JobSpec::sssp(spread(k)));
     }
     for k in 0..2 {
-        jobs.push(JobSpec::Bc { source: spread(k) });
+        jobs.push(JobSpec::bc(spread(k)));
     }
     jobs.push(JobSpec::Pagerank);
     jobs.push(JobSpec::Cc);
@@ -77,7 +77,8 @@ fn run_pass(server: &JobServer, jobs: &[JobSpec]) -> (f64, Vec<f64>) {
     let mut lats: Vec<f64> = std::thread::scope(|s| {
         let handles: Vec<_> = jobs
             .iter()
-            .map(|&spec| {
+            .map(|spec| {
+                let spec = spec.clone();
                 s.spawn(move || {
                     let t = Instant::now();
                     let h = server.submit_spec(spec).expect("submit refused");

@@ -16,10 +16,10 @@
 //!     --checkpoint-every 4
 //! ```
 
-use dirgl_bench::cli::{or_exit, ArgStream, CliError};
+use dirgl_bench::cli::{or_exit, parse_source_list, ArgStream, CliError};
 use dirgl_bench::{open_trace_file, BenchId, LoadedDataset, PartitionCache, TraceFileSink};
 use dirgl_comm::FaultPlan;
-use dirgl_core::{ExecModel, RunConfig, Variant};
+use dirgl_core::{Backend, ExecModel, RunConfig, Variant};
 use dirgl_gpusim::{Balancer, Platform};
 use dirgl_graph::DatasetId;
 use dirgl_partition::Policy;
@@ -37,6 +37,8 @@ struct Opts {
     trace: Option<String>,
     faults: Option<FaultPlan>,
     checkpoint_every: u32,
+    sources: Option<Vec<u32>>,
+    backend: Backend,
 }
 
 const USAGE: &str = "usage: run --bench <bfs|cc|kcore|pagerank|sssp> --input <table1 name> \
@@ -44,7 +46,9 @@ const USAGE: &str = "usage: run --bench <bfs|cc|kcore|pagerank|sssp> --input <ta
                      [--variant <var1..var4>] [--platform <bridges|tuxedo>] \
                      [--scale N] [--gpudirect] [--throttle-ms X] [--trace PATH] \
                      [--faults seed=S,drop=P,dup=P,delay=P,crash=D@R[+rejoin],straggler=D@R:N[xF]] \
-                     [--checkpoint-every K]";
+                     [--checkpoint-every K] \
+                     [--sources a,b,c (bfs/sssp: one batched run from every source)] \
+                     [--backend <scalar|lanes>]";
 
 fn try_parse(mut it: ArgStream) -> Result<Opts, CliError> {
     let mut o = Opts {
@@ -60,6 +64,8 @@ fn try_parse(mut it: ArgStream) -> Result<Opts, CliError> {
         trace: None,
         faults: None,
         checkpoint_every: 0,
+        sources: None,
+        backend: Backend::Scalar,
     };
     while let Some(a) = it.next_arg() {
         match a.as_str() {
@@ -115,6 +121,14 @@ fn try_parse(mut it: ArgStream) -> Result<Opts, CliError> {
             "--checkpoint-every" => {
                 o.checkpoint_every = it.parsed("--checkpoint-every", "a round count")?
             }
+            "--sources" => {
+                let v = it.value("--sources")?;
+                o.sources = Some(parse_source_list("--sources", &v)?);
+            }
+            "--backend" => {
+                let v = it.value("--backend")?;
+                o.backend = v.parse().map_err(CliError::new)?;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -154,6 +168,68 @@ fn main() {
     cfg.faults = o.faults.clone();
     cfg.checkpoint_every_rounds = o.checkpoint_every;
     let mut cache = PartitionCache::new();
+    if let Some(sources) = &o.sources {
+        if !matches!(o.bench, BenchId::Bfs | BenchId::Sssp) {
+            or_exit::<()>(
+                Err(CliError::new(format!(
+                    "--sources: {} takes no source (only bfs and sssp batch)",
+                    o.bench
+                ))),
+                USAGE,
+            );
+        }
+        let n = ld.ds.graph.num_vertices();
+        if let Some(&bad) = sources.iter().find(|&&s| s >= n) {
+            or_exit::<()>(
+                Err(CliError::new(format!(
+                    "--sources: vertex {bad} out of range (analogue has {n} vertices)"
+                ))),
+                USAGE,
+            );
+        }
+        println!(
+            "running {} from {} sources / {} / {} (backend {}) ...",
+            o.bench.name(),
+            sources.len(),
+            o.policy.name(),
+            o.variant.label(),
+            o.backend,
+        );
+        match dirgl_bench::run_dirgl_batch(
+            o.bench, &ld, &mut cache, &platform, cfg, sources, o.backend,
+        ) {
+            Ok(out) => {
+                let total: f64 = out
+                    .engine_reports
+                    .iter()
+                    .map(|r| r.total_time.as_secs_f64())
+                    .sum();
+                let rounds: u32 = out.engine_reports.iter().map(|r| r.max_rounds).sum();
+                let msgs: u64 = out.engine_reports.iter().map(|r| r.messages).sum();
+                println!("\nbatched multi-source report (paper-equivalent units):");
+                println!("  engine passes     : {}", out.engine_reports.len());
+                println!("  aggregate time    : {total:.2}s");
+                println!("  rounds (sum)      : {rounds}");
+                println!("  messages (sum)    : {msgs}");
+                println!(
+                    "  sources/sec (sim) : {:.3}",
+                    out.lanes.len() as f64 / total.max(f64::MIN_POSITIVE)
+                );
+                println!(
+                    "  {:>10}  {:>14}  {:>10}  {:>10}",
+                    "source", "sum", "min", "max"
+                );
+                for l in &out.lanes {
+                    println!(
+                        "  {:>10}  {:>14.3}  {:>10.3}  {:>10.3}",
+                        l.source, l.summary.sum, l.summary.min, l.summary.max
+                    );
+                }
+            }
+            Err(e) => println!("run failed: {e}"),
+        }
+        return;
+    }
     println!(
         "running {} / {} / {} ({}{}, {} GPUs on {}) ...",
         o.bench.name(),

@@ -83,6 +83,25 @@ impl ArgStream {
     }
 }
 
+/// Parses a comma-separated vertex-id list (`--sources 3,17,99`). Rejects
+/// an empty list and names the offending token on a parse failure.
+pub fn parse_source_list(flag: &str, v: &str) -> Result<Vec<u32>, CliError> {
+    let mut out = Vec::new();
+    for tok in v.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            return Err(CliError::new(format!(
+                "{flag} has an empty vertex id in `{v}`"
+            )));
+        }
+        out.push(
+            tok.parse()
+                .map_err(|_| CliError::new(format!("{flag}: `{tok}` is not a vertex id")))?,
+        );
+    }
+    Ok(out)
+}
+
 /// Writes a harness output file (`--out` results JSON and the like),
 /// routing failures through [`CliError`] so the binaries fail fast via
 /// [`or_exit`] instead of panicking with a backtrace hint. A missing
@@ -140,6 +159,19 @@ mod tests {
             err.message
         );
         assert!(err.message.contains("parent directory"), "{}", err.message);
+    }
+
+    #[test]
+    fn source_lists() {
+        assert_eq!(
+            parse_source_list("--sources", "3, 17,99"),
+            Ok(vec![3, 17, 99])
+        );
+        assert_eq!(parse_source_list("--sources", "0"), Ok(vec![0]));
+        let err = parse_source_list("--sources", "3,,9").unwrap_err();
+        assert!(err.message.contains("empty vertex id"), "{}", err.message);
+        let err = parse_source_list("--sources", "3,x").unwrap_err();
+        assert!(err.message.contains("`x`"), "{}", err.message);
     }
 
     #[test]

@@ -32,7 +32,8 @@ use cli::{ArgStream, CliError};
 use dirgl_apps::{Bfs, Cc, KCore, PageRank, Sssp};
 use dirgl_comm::SimTime;
 use dirgl_core::{
-    JsonLinesSink, NoopSink, RunConfig, RunError, RunOutput, Runtime, TraceSink, Variant,
+    Backend, JsonLinesSink, MultiRunOutput, NoopSink, RunConfig, RunError, RunOutput, Runtime,
+    TraceSink, Variant,
 };
 use dirgl_gpusim::Platform;
 use dirgl_graph::{Csr, Dataset, DatasetId};
@@ -314,6 +315,44 @@ pub fn run_dirgl_cfg_traced(
             .partition(part)
             .trace(sink)
             .execute(),
+    }
+}
+
+/// Runs `bench` from every source in `sources` under `backend`:
+/// [`Backend::Scalar`] executes one engine pass per source;
+/// [`Backend::Lanes`] packs up to 64 sources per pass into the K-lane
+/// bit-matrix frontier. Only the traversal benchmarks carry a source —
+/// the binaries reject `--sources` for the others at the CLI boundary,
+/// and this panics on them.
+pub fn run_dirgl_batch(
+    bench: BenchId,
+    ld: &LoadedDataset,
+    cache: &mut PartitionCache,
+    platform: &Platform,
+    mut cfg: RunConfig,
+    sources: &[u32],
+    backend: Backend,
+) -> Result<MultiRunOutput, RunError> {
+    cfg.scale_divisor = ld.ds.divisor;
+    let part = cache.get(ld, bench, cfg.policy, platform.num_devices());
+    let g = ld.graph_for(bench);
+    let rt = Runtime::new(platform.clone(), cfg);
+    match bench {
+        BenchId::Bfs => rt
+            .runner(g, &Bfs::new(sources[0]))
+            .partition(part)
+            .backend(backend)
+            .batch(sources)
+            .execute(),
+        BenchId::Sssp => rt
+            .runner(g, &Sssp::new(sources[0]))
+            .partition(part)
+            .backend(backend)
+            .batch(sources)
+            .execute(),
+        BenchId::Cc | BenchId::Kcore | BenchId::Pagerank => {
+            panic!("{bench} takes no source; --sources supports bfs and sssp")
+        }
     }
 }
 

@@ -31,12 +31,12 @@ pub mod net;
 pub mod plan;
 pub mod reliable;
 
-pub use bitset::DenseBitset;
+pub use bitset::{live_mask, DenseBitset, LaneFrontier};
 pub use clock::SimTime;
 pub use faults::{
     CrashSpec, FaultCounters, FaultInjector, FaultPlan, LinkFate, RetryConfig, StragglerSpec,
 };
-pub use message::{as_message_bytes, uo_message_bytes, CommMode, VAL_BYTES};
+pub use message::{as_message_bytes, message_bytes_sized, uo_message_bytes, CommMode, VAL_BYTES};
 pub use net::{Delivery, ExchangeOutcome, MessageTrace, NetModel, NetState, SendDesc};
 pub use plan::{ExtractIndex, SyncPlan};
 pub use reliable::{

@@ -65,6 +65,30 @@ pub fn message_bytes(mode: CommMode, entries: u64, updated: u64, val_bytes: u64)
     }
 }
 
+/// Wire size under `mode` for programs whose per-entry wire payload is not
+/// a fixed [`VAL_BYTES`] — the K-lane batched path, where an AS entry
+/// always carries every live lane but a UO entry carries only its active
+/// lanes (`uo_payload_bytes` is the caller-summed per-entry total).
+///
+/// * AS: `as_payload_bytes` — the positional full-width payload.
+/// * UO: the presence bitset over the memoized order plus
+///   `uo_payload_bytes` of extracted values.
+///
+/// With both payload arguments derived from a fixed `val_bytes`, this is
+/// exactly [`message_bytes`] (pinned by tests): the scalar path's
+/// accounting is the `val_bytes = VAL_BYTES` special case.
+pub fn message_bytes_sized(
+    mode: CommMode,
+    entries: u64,
+    as_payload_bytes: u64,
+    uo_payload_bytes: u64,
+) -> u64 {
+    match mode {
+        CommMode::AllShared => as_payload_bytes,
+        CommMode::UpdatedOnly => entries.div_ceil(64) * 8 + uo_payload_bytes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +126,43 @@ mod tests {
         let u = uo_message_bytes(entries, entries * 3 / 100, VAL_BYTES);
         assert!((1.5e6..3e6).contains(&(a as f64)), "as={a}");
         assert!((0.8e5..3e5).contains(&(u as f64)), "uo={u}");
+    }
+
+    #[test]
+    fn sized_accounting_reduces_to_fixed_width() {
+        // Scalar special case: payloads derived from VAL_BYTES reproduce
+        // message_bytes exactly.
+        for (entries, updated) in [(64u64, 3u64), (1000, 0), (1, 1), (130, 129)] {
+            assert_eq!(
+                message_bytes_sized(
+                    CommMode::AllShared,
+                    entries,
+                    entries * VAL_BYTES,
+                    updated * VAL_BYTES
+                ),
+                message_bytes(CommMode::AllShared, entries, updated, VAL_BYTES)
+            );
+            assert_eq!(
+                message_bytes_sized(
+                    CommMode::UpdatedOnly,
+                    entries,
+                    entries * VAL_BYTES,
+                    updated * VAL_BYTES
+                ),
+                message_bytes(CommMode::UpdatedOnly, entries, updated, VAL_BYTES)
+            );
+        }
+    }
+
+    #[test]
+    fn sized_uo_scales_with_active_lanes() {
+        // A K-lane entry carries its mask word plus one value per active
+        // lane: a 3-active-lane entry costs less than a 64-lane one.
+        let per_entry = |active: u64| 8 + active * VAL_BYTES;
+        let sparse = message_bytes_sized(CommMode::UpdatedOnly, 100, 0, 10 * per_entry(3));
+        let dense = message_bytes_sized(CommMode::UpdatedOnly, 100, 0, 10 * per_entry(64));
+        assert!(sparse < dense);
+        assert_eq!(dense - sparse, 10 * 61 * VAL_BYTES);
     }
 
     #[test]

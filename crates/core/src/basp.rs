@@ -190,6 +190,7 @@ struct BaspCheckpoint<P: VertexProgram> {
 
 #[allow(clippy::too_many_arguments)]
 fn take_basp_checkpoint<P: VertexProgram>(
+    program: &P,
     devices: &[DeviceRun<P>],
     busy: &mut [SimTime],
     idle_since: &[Option<SimTime>],
@@ -208,7 +209,7 @@ fn take_basp_checkpoint<P: VertexProgram>(
     let cluster = net.platform().cluster;
     let mut total = 0u64;
     for (i, dev) in devices.iter().enumerate() {
-        let bytes = checkpoint_bytes(dev, divisor);
+        let bytes = checkpoint_bytes(dev, program, divisor);
         total += bytes;
         busy[i] += pcie_transfer_time(&cluster, bytes);
     }
@@ -240,6 +241,7 @@ fn take_basp_checkpoint<P: VertexProgram>(
 /// device (rejoin) or re-homes its partition onto a survivor.
 #[allow(clippy::too_many_arguments)]
 fn recover_basp<P: VertexProgram>(
+    program: &P,
     net: &NetModel,
     divisor: u64,
     cr: CrashSpec,
@@ -273,7 +275,7 @@ fn recover_basp<P: VertexProgram>(
     let cluster = net.platform().cluster;
     let mut resume = detect_at;
     for dev in devices.iter() {
-        let cost = pcie_transfer_time(&cluster, checkpoint_bytes(dev, divisor));
+        let cost = pcie_transfer_time(&cluster, checkpoint_bytes(dev, program, divisor));
         resume = resume.max(detect_at + cost);
     }
     stats.recovery_time += resume.saturating_sub(pre_max);
@@ -423,6 +425,7 @@ pub fn run_basp<P: VertexProgram>(
     let mut checkpoint: Option<BaspCheckpoint<P>> = None;
     if recovery_on {
         checkpoint = Some(take_basp_checkpoint(
+            program,
             devices,
             &mut busy,
             &idle_since,
@@ -667,7 +670,7 @@ pub fn run_basp<P: VertexProgram>(
                             }
                         }
                         dev.after_broadcast_round(program);
-                        dev.clear_sync_marks();
+                        dev.clear_sync_marks(program);
                         let pack = if msgs.is_empty() {
                             SimTime::ZERO
                         } else {
@@ -930,6 +933,7 @@ pub fn run_basp<P: VertexProgram>(
                         let cr = crash_plan.expect("only a scheduled crash kills devices");
                         let ctx = fctx.as_mut().expect("failures imply a fault context");
                         recover_basp(
+                            program,
                             net,
                             divisor,
                             cr,
@@ -962,6 +966,7 @@ pub fn run_basp<P: VertexProgram>(
                         if minr >= next_ckpt && fctx.as_ref().is_none_or(|c| !c.dead_unrecovered(p))
                         {
                             checkpoint = Some(take_basp_checkpoint(
+                                program,
                                 devices,
                                 &mut busy,
                                 &idle_since,
@@ -994,6 +999,7 @@ pub fn run_basp<P: VertexProgram>(
             let cr = crash_plan.expect("only a scheduled crash kills devices");
             let ctx = fctx.as_mut().expect("dead device implies a fault context");
             recover_basp(
+                program,
                 net,
                 divisor,
                 cr,

@@ -189,7 +189,9 @@ struct BspCheckpoint<P: VertexProgram> {
 
 /// Captures every device, charging each device's PCIe dump time to its
 /// clock.
+#[allow(clippy::too_many_arguments)]
 fn take_bsp_checkpoint<P: VertexProgram>(
+    program: &P,
     devices: &[DeviceRun<P>],
     clocks: &mut [SimTime],
     round: u32,
@@ -201,7 +203,7 @@ fn take_bsp_checkpoint<P: VertexProgram>(
     let cluster = net.platform().cluster;
     let mut total = 0u64;
     for (l, dev) in devices.iter().enumerate() {
-        let bytes = checkpoint_bytes(dev, divisor);
+        let bytes = checkpoint_bytes(dev, program, divisor);
         total += bytes;
         clocks[l] += pcie_transfer_time(&cluster, bytes);
     }
@@ -271,6 +273,7 @@ pub fn run_bsp<P: VertexProgram>(
     let mut checkpoint: Option<BspCheckpoint<P>> = None;
     if recovery_on {
         checkpoint = Some(take_bsp_checkpoint(
+            program,
             devices,
             &mut clocks,
             0,
@@ -307,6 +310,7 @@ pub fn run_bsp<P: VertexProgram>(
             && checkpoint.as_ref().is_none_or(|c| c.round != rounds)
         {
             checkpoint = Some(take_bsp_checkpoint(
+                program,
                 devices,
                 &mut clocks,
                 rounds,
@@ -365,8 +369,13 @@ pub fn run_bsp<P: VertexProgram>(
         // --- Direction decision (hybrid programs): a global per-round
         // choice, like Gunrock's direction-optimizing alpha test.
         let use_pull = hybrid && {
-            let frontier: u64 = devices.iter().map(|d| d.active_count()).sum();
-            program.pull_when(frontier, total_vertices)
+            // K-lane programs weight each active vertex by its number of
+            // active lanes, so the density test compares total lane-work
+            // against the lane-scaled vertex count — for scalar programs
+            // (`lanes() == 1`, unit weights) this is bit-for-bit the old
+            // `active_count()` test.
+            let frontier: u64 = devices.iter().map(|d| d.frontier_weight(program)).sum();
+            program.pull_when(frontier, total_vertices * program.lanes())
         };
         // --- Compute phase (devices in parallel; each sequential inside).
         devices.par_iter_mut().enumerate().for_each(|(i, d)| {
@@ -562,7 +571,7 @@ pub fn run_bsp<P: VertexProgram>(
             .iter_mut()
             .enumerate()
             .filter(|(i, _)| alive[*i])
-            .for_each(|(_, d)| d.clear_sync_marks());
+            .for_each(|(_, d)| d.clear_sync_marks(program));
         for c in clocks.iter_mut() {
             *c += term_cost;
         }
@@ -618,7 +627,7 @@ pub fn run_bsp<P: VertexProgram>(
             let mut resume = detect_at;
             for (l, (dev, snap)) in devices.iter_mut().zip(&ckpt.devs).enumerate() {
                 snap.restore(dev);
-                let cost = pcie_transfer_time(&cluster, checkpoint_bytes(dev, divisor));
+                let cost = pcie_transfer_time(&cluster, checkpoint_bytes(dev, program, divisor));
                 clocks[l] = detect_at + cost;
                 resume = resume.max(clocks[l]);
             }

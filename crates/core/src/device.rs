@@ -172,7 +172,7 @@ impl<P: VertexProgram> DeviceRun<P> {
         if style != Style::PullTopologyDriven {
             raw += 4 * n; // worklist
         }
-        raw += plan.buffer_entries_for_device(lg.device) * message::VAL_BYTES * 2;
+        raw += plan.buffer_entries_for_device(lg.device) * program.wire_bytes() * 2;
         raw * divisor
     }
 
@@ -299,7 +299,11 @@ impl<P: VertexProgram> DeviceRun<P> {
         // until the first settled parent (in a synchronous round every
         // settled in-neighbor of an unsettled vertex carries the current
         // level, so the first hit is also the minimum). Only the probes
-        // are charged — the whole point of bottom-up traversal.
+        // are charged — the whole point of bottom-up traversal. K-lane
+        // programs opt into the exhaustive scan instead: one lane's first
+        // hit says nothing about the others, so every in-edge is probed and
+        // `accumulate` keeps the per-lane minimum.
+        let exhaustive = program.pull_exhaustive();
         let mut probes = std::mem::take(&mut self.scratch.probes);
         probes.clear();
         let ws = self.lg.in_csr.weights().unwrap_or(&[]);
@@ -315,11 +319,13 @@ impl<P: VertexProgram> DeviceRun<P> {
                 probed += 1;
                 let u = self.lg.in_csr.targets()[i];
                 let w = if ws.is_empty() { 0 } else { ws[i] };
-                if let Some(m) = program.edge_msg(&self.state[u as usize], w) {
+                if let Some(m) = program.pull_msg(&self.state[u as usize], w) {
                     if program.accumulate(&mut st, m) {
                         self.updated.set(lv);
                     }
-                    break;
+                    if !exhaustive {
+                        break;
+                    }
                 }
             }
             self.state[lv as usize] = st;
@@ -339,6 +345,21 @@ impl<P: VertexProgram> DeviceRun<P> {
     /// Global frontier contribution for the hybrid direction decision.
     pub fn active_count(&self) -> u64 {
         self.active.count_ones() as u64
+    }
+
+    /// Lane-weighted frontier contribution: identical to
+    /// [`DeviceRun::active_count`] for scalar programs, the aggregated
+    /// bit-matrix frontier weight (sum of pending-lane popcounts over
+    /// active vertices) for K-lane programs.
+    pub fn frontier_weight(&self, program: &P) -> u64 {
+        if program.lanes() == 1 {
+            self.active_count()
+        } else {
+            self.active
+                .iter_set()
+                .map(|lv| program.frontier_weight(&self.state[lv as usize]))
+                .sum()
+        }
     }
 
     /// Absorb phase: folds accumulators into canonical state on masters.
@@ -415,12 +436,7 @@ impl<P: VertexProgram> DeviceRun<P> {
                 }
             }
         }
-        let bytes = message::message_bytes(
-            mode,
-            entries.len() as u64,
-            payload.len() as u64,
-            message::VAL_BYTES,
-        ) * divisor;
+        let bytes = sized_wire_bytes(program, mode, entries.len() as u64, &payload) * divisor;
         (payload, bytes)
     }
 
@@ -484,12 +500,7 @@ impl<P: VertexProgram> DeviceRun<P> {
                 }
             }
         }
-        let bytes = message::message_bytes(
-            mode,
-            entries.len() as u64,
-            payload.len() as u64,
-            message::VAL_BYTES,
-        ) * divisor;
+        let bytes = sized_wire_bytes(program, mode, entries.len() as u64, &payload) * divisor;
         (payload, bytes)
     }
 
@@ -534,8 +545,15 @@ impl<P: VertexProgram> DeviceRun<P> {
     }
 
     /// Clears both synchronization tracking bitsets (end of a round's
-    /// sync).
-    pub fn clear_sync_marks(&mut self) {
+    /// sync). Programs with per-state sync bookkeeping (the K-lane
+    /// adapter's dirty-lane masks) get their [`VertexProgram::on_sync_cleared`]
+    /// hook on exactly the masters whose broadcast mark is being dropped.
+    pub fn clear_sync_marks(&mut self, program: &P) {
+        if program.wants_sync_clear() {
+            for lv in self.bcast_dirty.iter_set_in_range(0..self.lg.num_masters) {
+                program.on_sync_cleared(&mut self.state[lv as usize]);
+            }
+        }
         self.updated.clear_all();
         self.bcast_dirty.clear_all();
     }
@@ -563,6 +581,27 @@ impl<P: VertexProgram> DeviceRun<P> {
             ),
         }
     }
+}
+
+/// Wire size of one built sync message, sized per entry through the
+/// program's [`VertexProgram::wire_bytes`] /
+/// [`VertexProgram::wire_payload_bytes`] hooks. For scalar programs (fixed
+/// [`message::VAL_BYTES`] entries) this reproduces [`message::message_bytes`]
+/// exactly; K-lane payloads scale with per-entry active-lane popcounts.
+fn sized_wire_bytes<P: VertexProgram>(
+    program: &P,
+    mode: CommMode,
+    entries: u64,
+    payload: &[(u32, P::Wire)],
+) -> u64 {
+    let uo_payload = match mode {
+        CommMode::UpdatedOnly => payload
+            .iter()
+            .map(|(_, w)| program.wire_payload_bytes(w))
+            .sum(),
+        CommMode::AllShared => 0,
+    };
+    message::message_bytes_sized(mode, entries, entries * program.wire_bytes(), uo_payload)
 }
 
 /// Mutably borrows two distinct devices.

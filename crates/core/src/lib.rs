@@ -26,6 +26,7 @@ pub mod bsp;
 pub mod config;
 pub mod device;
 pub mod engine;
+pub mod multi;
 pub mod program;
 pub mod report;
 pub mod resilience;
@@ -35,10 +36,17 @@ pub mod trace;
 pub use bsp::EngineOutcome;
 pub use config::{ExecModel, RunConfig, Variant};
 pub use engine::{run_engine, ExecutionModel};
+pub use multi::{
+    lanes_of, BatchedProgram, LaneState, LaneWire, Lanes, MsBfs, MsBfsState, MultiSourceProgram,
+    LANE_WIDTH, MS_UNREACHED,
+};
 pub use program::{InitCtx, Style, VertexProgram};
 pub use report::{ExecutionReport, RoundSummary};
 pub use resilience::ResilienceStats;
-pub use runtime::{PartitionArg, PreparedPartition, RunError, RunOutput, Runner, Runtime};
+pub use runtime::{
+    Backend, LaneOutput, LaneSummary, MultiRunOutput, MultiRunner, PartitionArg, PreparedPartition,
+    RunError, RunOutput, Runner, Runtime,
+};
 pub use trace::{
     CollectingSink, EngineKind, FaultEvent, JsonLinesSink, NoopSink, RoundRecord, TraceDirection,
     TraceSink,

@@ -195,6 +195,83 @@ pub trait VertexProgram: Sync {
         true
     }
 
+    /// Hybrid styles only: the value a bottom-up scan reads from an
+    /// in-neighbor's state. Defaults to [`Self::edge_msg`] — correct for
+    /// scalar programs, whose push gate is stateless. The K-lane adapter
+    /// overrides it to emit from every settled live lane (a neighbor's
+    /// per-round push mask is stale by the time a bottom-up scan reads it).
+    fn pull_msg(&self, state: &Self::State, weight: u32) -> Option<Self::Wire> {
+        self.edge_msg(state, weight)
+    }
+
+    /// Hybrid styles only: when true, a bottom-up scan visits *all*
+    /// in-edges of an unsettled vertex instead of stopping at the first
+    /// producing neighbor. Scalar bfs keeps the early exit (in a
+    /// synchronous round every settled in-neighbor of an unsettled vertex
+    /// carries the current level, so the first hit is also the minimum);
+    /// the K-lane adapter must keep scanning until every lane has seen its
+    /// candidates.
+    fn pull_exhaustive(&self) -> bool {
+        false
+    }
+
+    /// How many vertex-activations this active proxy represents — the unit
+    /// the hybrid direction choice counts. 1 for scalar programs; the
+    /// K-lane adapter returns the popcount of the vertex's pending lane
+    /// mask so the aggregated bit-matrix frontier density drives the
+    /// push/pull decision.
+    fn frontier_weight(&self, state: &Self::State) -> u64 {
+        let _ = state;
+        1
+    }
+
+    /// Concurrent lanes this program advances per round (1 for scalar
+    /// programs). The hybrid direction test compares the aggregated
+    /// frontier weight against `total_vertices * lanes()`.
+    fn lanes(&self) -> u64 {
+        1
+    }
+
+    /// Per-vertex device-state bytes charged by the memory model. Defaults
+    /// to the host size of [`Self::State`]; programs whose host state is
+    /// padded to a fixed maximum width (the K-lane batchers carry
+    /// 64-lane arrays regardless of the batch size) override this with
+    /// what a real device kernel would allocate for the *actual* lane
+    /// count, so simulated footprints scale with K.
+    fn state_bytes(&self) -> u64 {
+        std::mem::size_of::<Self::State>() as u64
+    }
+
+    /// Fixed wire bytes of one all-shared payload entry. Scalar programs
+    /// ship one [`dirgl_comm::VAL_BYTES`] value; the K-lane adapter ships a
+    /// lane-mask word plus one value per live lane.
+    fn wire_bytes(&self) -> u64 {
+        dirgl_comm::VAL_BYTES
+    }
+
+    /// Wire bytes of one *extracted* (updated-only) payload entry. Defaults
+    /// to the fixed [`Self::wire_bytes`]; the K-lane adapter sizes each
+    /// entry by its active-lane popcount so simulated message bytes scale
+    /// with lane activity.
+    fn wire_payload_bytes(&self, w: &Self::Wire) -> u64 {
+        let _ = w;
+        self.wire_bytes()
+    }
+
+    /// True when the program keeps per-state sync bookkeeping that must be
+    /// reset when the engine clears its round-level sync marks (the K-lane
+    /// adapter's per-vertex dirty-lane masks). Gates the per-vertex
+    /// [`Self::on_sync_cleared`] walk so scalar programs pay nothing.
+    fn wants_sync_clear(&self) -> bool {
+        false
+    }
+
+    /// Called on each master whose broadcast mark is being cleared, when
+    /// [`Self::wants_sync_clear`] is true. Default: no-op.
+    fn on_sync_cleared(&self, state: &mut Self::State) {
+        let _ = state;
+    }
+
     /// Whether the program tolerates bulk-asynchronous execution (stale
     /// reads, unaligned rounds). Programs whose invariants need aligned
     /// rounds (betweenness centrality's path counting) return false and the

@@ -92,9 +92,13 @@ impl<P: VertexProgram> DeviceSnapshot<P> {
 
 /// Paper-equivalent bytes a checkpoint of `dev` writes: every proxy label
 /// plus the three tracking bitsets.
-pub(crate) fn checkpoint_bytes<P: VertexProgram>(dev: &DeviceRun<P>, divisor: u64) -> u64 {
+pub(crate) fn checkpoint_bytes<P: VertexProgram>(
+    dev: &DeviceRun<P>,
+    program: &P,
+    divisor: u64,
+) -> u64 {
     let n = dev.lg.num_vertices() as u64;
-    (n * std::mem::size_of::<P::State>() as u64 + 3 * n.div_ceil(8)) * divisor
+    (n * program.state_bytes() + 3 * n.div_ceil(8)) * divisor
 }
 
 /// Simulated time to move `bytes` over a device's PCIe link — the cost of

@@ -35,14 +35,15 @@
 //! execution; results are byte-identical to the equivalent one-shot
 //! `runner(...).execute()` (pinned by `crates/serve` tests).
 
-use dirgl_comm::{NetModel, SimTime, SyncPlan};
+use dirgl_comm::{LaneFrontier, NetModel, SimTime, SyncPlan};
 use dirgl_gpusim::{OomError, Platform};
-use dirgl_graph::csr::Csr;
+use dirgl_graph::csr::{Csr, VertexId};
 use dirgl_partition::{LocalGraph, Partition};
 
 use crate::config::RunConfig;
 use crate::device::DeviceRun;
 use crate::engine::run_engine;
+use crate::multi::{BatchedProgram, MultiSourceProgram, LANE_WIDTH};
 use crate::program::{InitCtx, VertexProgram};
 use crate::report::{ExecutionReport, RoundSummary};
 use crate::trace::{ForkSink, NoopSink, TraceSink};
@@ -84,6 +85,126 @@ pub struct RunOutput {
     pub report: ExecutionReport,
     /// Final output of every global vertex (from its master proxy).
     pub values: Vec<f64>,
+}
+
+/// How a multi-source batch executes (see [`Runner::batch`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// One scalar engine run per source — the baseline every lane of the
+    /// batched backend must reproduce byte for byte.
+    #[default]
+    Scalar,
+    /// K-lane bit-matrix batching: one engine run advances up to
+    /// [`LANE_WIDTH`] sources through [`Lanes`].
+    Lanes,
+}
+
+impl Backend {
+    /// CLI/report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Lanes => "lanes",
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s {
+            "scalar" => Ok(Backend::Scalar),
+            "lanes" => Ok(Backend::Lanes),
+            other => Err(format!(
+                "unknown backend `{other}` (expected `scalar` or `lanes`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deterministic digest of one lane's output vector — computed by the
+/// same fold in both backends, so lane agreement implies summary
+/// agreement bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LaneSummary {
+    /// Output vector length (|V|).
+    pub vertices: u32,
+    /// Sum of all outputs in ascending vertex order.
+    pub sum: f64,
+    /// Smallest output.
+    pub min: f64,
+    /// Largest output.
+    pub max: f64,
+}
+
+impl LaneSummary {
+    fn of(values: &[f64]) -> LaneSummary {
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        LaneSummary {
+            vertices: values.len() as u32,
+            sum,
+            min,
+            max,
+        }
+    }
+}
+
+/// One source's result within a multi-source run.
+#[derive(Clone, Debug)]
+pub struct LaneOutput {
+    /// The source vertex this lane traversed from.
+    pub source: VertexId,
+    /// Final output of every global vertex, exactly as the equivalent
+    /// single-source [`Runner::execute`] would report it.
+    pub values: Vec<f64>,
+    /// Digest of `values`.
+    pub summary: LaneSummary,
+}
+
+/// A completed multi-source run: per-source outputs plus the engine
+/// reports that produced them (one per source under
+/// [`Backend::Scalar`], one per ≤64-lane chunk under
+/// [`Backend::Lanes`]).
+#[derive(Clone, Debug)]
+pub struct MultiRunOutput {
+    /// Engine-level reports in execution order.
+    pub engine_reports: Vec<ExecutionReport>,
+    /// Per-source outputs, in the order the sources were given.
+    pub lanes: Vec<LaneOutput>,
+}
+
+impl MultiRunOutput {
+    /// Packs the vertices whose output satisfies `pred` into a
+    /// [`LaneFrontier`] bit matrix, one lane per source (e.g. the
+    /// reached sets of a traversal batch). Only the first
+    /// [`LANE_WIDTH`] sources fit one frontier word; larger batches
+    /// truncate.
+    pub fn frontier_where(&self, pred: impl Fn(f64) -> bool) -> LaneFrontier {
+        let n = self.lanes.first().map_or(0, |l| l.values.len());
+        let k = self.lanes.len().min(LANE_WIDTH) as u32;
+        let mut f = LaneFrontier::new(n as u32, k.max(1));
+        for (l, lane) in self.lanes.iter().take(LANE_WIDTH).enumerate() {
+            for (v, &val) in lane.values.iter().enumerate() {
+                if pred(val) {
+                    f.set(v as u32, l as u32);
+                }
+            }
+        }
+        f
+    }
 }
 
 /// Executes vertex programs on a simulated multi-GPU platform with a fixed
@@ -224,6 +345,7 @@ pub struct Runner<'a, P: VertexProgram> {
     part: Option<PartitionArg<'a>>,
     aux: Option<&'a [u64]>,
     sink: Option<&'a mut dyn TraceSink>,
+    backend: Backend,
 }
 
 impl<'a, P: VertexProgram> Runner<'a, P> {
@@ -252,6 +374,32 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
         self
     }
 
+    /// Selects the multi-source execution backend (default
+    /// [`Backend::Scalar`]); only consulted by [`Runner::batch`].
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Turns this run into a multi-source batch over `sources` (in the
+    /// given order; the serve layer canonicalizes, the core does not).
+    /// Tracing does not carry over — a batched engine run has no single
+    /// per-source round stream to emit.
+    pub fn batch(self, sources: &[VertexId]) -> MultiRunner<'a, P>
+    where
+        P: MultiSourceProgram,
+    {
+        MultiRunner {
+            rt: self.rt,
+            graph: self.graph,
+            program: self.program,
+            part: self.part,
+            aux: self.aux,
+            backend: self.backend,
+            sources: sources.to_vec(),
+        }
+    }
+
     /// Executes to convergence. Reported time excludes partitioning and
     /// loading, matching §IV-A.
     pub fn execute(self) -> Result<RunOutput, RunError> {
@@ -269,6 +417,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             part,
             aux,
             sink,
+            backend: _,
         } = self;
         if rt.platform.num_devices() == 0 {
             return Err(RunError::NoDevices);
@@ -354,6 +503,140 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
     }
 }
 
+/// A configured multi-source batch, built by [`Runner::batch`].
+///
+/// The partition, sync plan and out-degrees are resolved **once** and
+/// shared by every run the batch performs — one engine run per source
+/// under [`Backend::Scalar`], one per ≤64-lane chunk under
+/// [`Backend::Lanes`] — so both backends traverse the identical
+/// partitioned view and their per-lane values can be compared bit for
+/// bit.
+pub struct MultiRunner<'a, P: VertexProgram> {
+    rt: &'a Runtime,
+    graph: &'a Csr,
+    program: &'a P,
+    part: Option<PartitionArg<'a>>,
+    aux: Option<&'a [u64]>,
+    backend: Backend,
+    sources: Vec<VertexId>,
+}
+
+impl<'a, P> MultiRunner<'a, P>
+where
+    P: MultiSourceProgram,
+{
+    /// Selects the execution backend (default [`Backend::Scalar`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Executes every source to convergence. Panics on an empty source
+    /// list (the serve layer refuses those at admission; a direct caller
+    /// passing none is a bug, not a runtime condition).
+    pub fn execute(self) -> Result<MultiRunOutput, RunError> {
+        assert!(
+            !self.sources.is_empty(),
+            "multi-source batch needs at least one source"
+        );
+        let MultiRunner {
+            rt,
+            graph,
+            program,
+            part,
+            aux,
+            backend,
+            sources,
+        } = self;
+        if rt.platform.num_devices() == 0 {
+            return Err(RunError::NoDevices);
+        }
+
+        // Resolve the partitioned view once, for every run in the batch.
+        // Non-prepared arguments are promoted to a PreparedPartition so
+        // the whole batch shares one plan and one degree vector.
+        let prep_storage;
+        let prep: &PreparedPartition = match part {
+            Some(PartitionArg::Prepared(p)) => p,
+            Some(PartitionArg::Borrowed(p)) => {
+                if graph.num_vertices() == 0 {
+                    return Err(RunError::EmptyGraph);
+                }
+                prep_storage = PreparedPartition::from_partition(graph.clone(), p.clone());
+                &prep_storage
+            }
+            Some(PartitionArg::Owned(p)) => {
+                if graph.num_vertices() == 0 {
+                    return Err(RunError::EmptyGraph);
+                }
+                prep_storage = PreparedPartition::from_partition(graph.clone(), p);
+                &prep_storage
+            }
+            None => {
+                prep_storage = rt.prepare(graph, program.needs_symmetric())?;
+                &prep_storage
+            }
+        };
+
+        let mut engine_reports = Vec::new();
+        let mut lanes: Vec<LaneOutput> = Vec::with_capacity(sources.len());
+        match backend {
+            Backend::Scalar => {
+                for &s in &sources {
+                    let prog = program.for_source(s);
+                    let (out, _) = execute_job(
+                        rt,
+                        &prep.graph,
+                        &prep.part,
+                        &prep.plan,
+                        &prep.out_degrees,
+                        prep.part.locals.clone(),
+                        &prog,
+                        aux,
+                        None,
+                    )?;
+                    lanes.push(LaneOutput {
+                        source: s,
+                        summary: LaneSummary::of(&out.values),
+                        values: out.values,
+                    });
+                    engine_reports.push(out.report);
+                }
+            }
+            Backend::Lanes => {
+                for chunk in sources.chunks(LANE_WIDTH) {
+                    let batched = program.batched(chunk);
+                    let (out, states) = execute_job(
+                        rt,
+                        &prep.graph,
+                        &prep.part,
+                        &prep.plan,
+                        &prep.out_degrees,
+                        prep.part.locals.clone(),
+                        &batched,
+                        aux,
+                        None,
+                    )?;
+                    for (l, &s) in chunk.iter().enumerate() {
+                        let values: Vec<f64> =
+                            states.iter().map(|st| batched.lane_output(l, st)).collect();
+                        lanes.push(LaneOutput {
+                            source: s,
+                            summary: LaneSummary::of(&values),
+                            values,
+                        });
+                    }
+                    engine_reports.push(out.report);
+                }
+            }
+        }
+        Ok(MultiRunOutput {
+            engine_reports,
+            lanes,
+        })
+    }
+}
+
 /// Per-vertex out-degrees of `g`, as the programs' init contexts expect.
 fn compute_out_degrees(g: &Csr) -> Vec<u32> {
     (0..g.num_vertices()).map(|v| g.out_degree(v)).collect()
@@ -380,7 +663,7 @@ fn execute_job<P: VertexProgram>(
     let divisor = config.scale_divisor;
 
     // --- Load check: every device must hold its partition.
-    let state_bytes = std::mem::size_of::<P::State>() as u64;
+    let state_bytes = program.state_bytes();
     let mut memory = Vec::with_capacity(locals.len());
     for lg in &locals {
         let need = DeviceRun::<P>::required_bytes(lg, plan, program, state_bytes, divisor);
@@ -510,6 +793,7 @@ impl Runtime {
             part: None,
             aux: None,
             sink: None,
+            backend: Backend::Scalar,
         }
     }
 
@@ -549,6 +833,7 @@ impl Runtime {
             part: Some(PartitionArg::Prepared(prep)),
             aux: None,
             sink: None,
+            backend: Backend::Scalar,
         }
     }
 

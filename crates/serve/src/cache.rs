@@ -67,7 +67,7 @@ impl ResultCache {
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
+                .map(|(k, _)| k.clone())
             {
                 self.map.remove(&victim);
                 self.evictions += 1;
@@ -108,23 +108,46 @@ mod tests {
     fn outcome() -> Arc<JobOutcome> {
         Arc::new(JobOutcome {
             reports: Vec::new(),
-            values: Vec::new(),
+            per_source: Vec::new(),
         })
     }
 
     #[test]
     fn lru_evicts_the_stalest() {
         let mut c = ResultCache::new(2);
-        c.insert((0, JobSpec::Bfs { source: 1 }), outcome());
-        c.insert((0, JobSpec::Bfs { source: 2 }), outcome());
+        c.insert((0, JobSpec::bfs(1)), outcome());
+        c.insert((0, JobSpec::bfs(2)), outcome());
         // Touch source 1 so source 2 is the LRU victim.
-        assert!(c.get(&(0, JobSpec::Bfs { source: 1 })).is_some());
-        c.insert((0, JobSpec::Bfs { source: 3 }), outcome());
+        assert!(c.get(&(0, JobSpec::bfs(1))).is_some());
+        c.insert((0, JobSpec::bfs(3)), outcome());
         assert_eq!(c.len(), 2);
         assert_eq!(c.evictions(), 1);
-        assert!(c.get(&(0, JobSpec::Bfs { source: 2 })).is_none());
-        assert!(c.get(&(0, JobSpec::Bfs { source: 1 })).is_some());
-        assert!(c.get(&(0, JobSpec::Bfs { source: 3 })).is_some());
+        assert!(c.get(&(0, JobSpec::bfs(2))).is_none());
+        assert!(c.get(&(0, JobSpec::bfs(1))).is_some());
+        assert!(c.get(&(0, JobSpec::bfs(3))).is_some());
+    }
+
+    #[test]
+    fn multi_source_spec_is_its_own_key() {
+        let mut c = ResultCache::new(8);
+        c.insert(
+            (
+                0,
+                JobSpec::Bfs {
+                    sources: vec![1, 2],
+                },
+            ),
+            outcome(),
+        );
+        assert!(c.get(&(0, JobSpec::bfs(1))).is_none());
+        assert!(c
+            .get(&(
+                0,
+                JobSpec::Bfs {
+                    sources: vec![1, 2]
+                }
+            ))
+            .is_some());
     }
 
     #[test]

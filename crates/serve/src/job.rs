@@ -9,17 +9,23 @@ use dirgl_core::{ExecutionReport, RunError};
 /// One analytics query against the resident graph. The spec is the
 /// cache-key payload: two jobs with equal specs (in the same graph epoch)
 /// are the same computation and may be served from the result cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+///
+/// The traversal specs carry a *set* of sources: one spec runs all of them
+/// in a single K-lane batched pass (K ≤ 64 per engine launch), and its
+/// outcome holds one value vector per source, in source order. Sources are
+/// canonicalized (sorted, deduplicated) at admission so `bfs from {3, 7}`
+/// and `bfs from {7, 3, 3}` are the same cache entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum JobSpec {
-    /// Breadth-first search from an arbitrary source.
+    /// Breadth-first search from one or more sources.
     Bfs {
-        /// Root vertex.
-        source: u32,
+        /// Root vertices (canonicalized at admission).
+        sources: Vec<u32>,
     },
-    /// Single-source shortest paths from an arbitrary source.
+    /// Shortest paths from one or more sources.
     Sssp {
-        /// Root vertex.
-        source: u32,
+        /// Root vertices (canonicalized at admission).
+        sources: Vec<u32>,
     },
     /// Residual pagerank (topology-driven pull; no parameters).
     Pagerank,
@@ -30,15 +36,36 @@ pub enum JobSpec {
         /// Core threshold.
         k: u32,
     },
-    /// Single-source betweenness centrality (two-phase: forward on the
-    /// graph, backward on its resident transpose).
+    /// Betweenness centrality from one or more sources (two-phase per
+    /// batch: forward on the graph, backward on its resident transpose).
     Bc {
-        /// Source vertex.
-        source: u32,
+        /// Source vertices (canonicalized at admission).
+        sources: Vec<u32>,
     },
 }
 
 impl JobSpec {
+    /// Single-source bfs spec.
+    pub fn bfs(source: u32) -> JobSpec {
+        JobSpec::Bfs {
+            sources: vec![source],
+        }
+    }
+
+    /// Single-source sssp spec.
+    pub fn sssp(source: u32) -> JobSpec {
+        JobSpec::Sssp {
+            sources: vec![source],
+        }
+    }
+
+    /// Single-source bc spec.
+    pub fn bc(source: u32) -> JobSpec {
+        JobSpec::Bc {
+            sources: vec![source],
+        }
+    }
+
     /// Benchmark-style name (matches the paper's program names).
     pub fn name(&self) -> &'static str {
         match self {
@@ -51,12 +78,35 @@ impl JobSpec {
         }
     }
 
-    /// The source vertex, for specs that traverse from one.
-    pub fn source(&self) -> Option<u32> {
-        match *self {
-            JobSpec::Bfs { source } | JobSpec::Sssp { source } | JobSpec::Bc { source } => {
-                Some(source)
+    /// The source vertices, for specs that traverse from them.
+    pub fn sources(&self) -> Option<&[u32]> {
+        match self {
+            JobSpec::Bfs { sources } | JobSpec::Sssp { sources } | JobSpec::Bc { sources } => {
+                Some(sources)
             }
+            JobSpec::Pagerank | JobSpec::Cc | JobSpec::KCore { .. } => None,
+        }
+    }
+
+    /// Sorts and deduplicates the source set so equal queries hash equal.
+    /// Called on every spec at admission.
+    pub(crate) fn canonicalize(&mut self) {
+        match self {
+            JobSpec::Bfs { sources } | JobSpec::Sssp { sources } | JobSpec::Bc { sources } => {
+                sources.sort_unstable();
+                sources.dedup();
+            }
+            JobSpec::Pagerank | JobSpec::Cc | JobSpec::KCore { .. } => {}
+        }
+    }
+
+    /// A spec for the same kind of job with a different source set
+    /// (`None` for the parameterless/kcore kinds).
+    pub(crate) fn with_sources(&self, sources: Vec<u32>) -> Option<JobSpec> {
+        match self {
+            JobSpec::Bfs { .. } => Some(JobSpec::Bfs { sources }),
+            JobSpec::Sssp { .. } => Some(JobSpec::Sssp { sources }),
+            JobSpec::Bc { .. } => Some(JobSpec::Bc { sources }),
             JobSpec::Pagerank | JobSpec::Cc | JobSpec::KCore { .. } => None,
         }
     }
@@ -85,7 +135,7 @@ pub enum Priority {
 }
 
 /// A submission: the spec plus its scheduling envelope.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct JobRequest {
     /// What to compute.
     pub spec: JobSpec,
@@ -121,16 +171,18 @@ impl JobRequest {
 }
 
 /// A completed job's output: one [`ExecutionReport`] per phase (exactly
-/// one for the single-phase programs; bc has forward + backward) and the
-/// per-global-vertex values. Shared behind `Arc` between the requester and
-/// the result cache, so a cache hit returns the very same bytes the cold
-/// run produced.
+/// one for the single-phase programs; bc has forward + backward) and one
+/// per-global-vertex value vector **per source**, in the spec's canonical
+/// source order (parameterless jobs have exactly one entry). Shared behind
+/// `Arc` between the requester and the result cache, so a cache hit
+/// returns the very same bytes the cold run produced.
 #[derive(Clone, Debug)]
 pub struct JobOutcome {
     /// Per-phase reports, in phase order.
     pub reports: Vec<ExecutionReport>,
-    /// Final per-global-vertex outputs.
-    pub values: Vec<f64>,
+    /// One final value vector per source (canonical source order);
+    /// parameterless jobs have exactly one.
+    pub per_source: Vec<Vec<f64>>,
 }
 
 impl JobOutcome {
@@ -140,6 +192,14 @@ impl JobOutcome {
         self.reports
             .last()
             .expect("job outcome has at least one phase")
+    }
+
+    /// The value vector of a single-source or parameterless job (the first
+    /// source's values otherwise).
+    pub fn values(&self) -> &[f64] {
+        self.per_source
+            .first()
+            .expect("job outcome has at least one value vector")
     }
 }
 
@@ -167,12 +227,15 @@ pub enum SubmitError {
     },
     /// The spec names a source vertex outside the resident graph — the
     /// degenerate-job class a resident server must refuse, not die on.
+    /// Names the first offending id.
     InvalidSource {
         /// Requested source.
         source: u32,
         /// Vertices in the resident graph.
         num_vertices: u32,
     },
+    /// A traversal spec arrived with an empty source set.
+    EmptySources,
     /// The server is shutting down and accepts no new work.
     ShuttingDown,
 }
@@ -193,6 +256,7 @@ impl std::fmt::Display for SubmitError {
                 f,
                 "source vertex {source} out of range (graph has {num_vertices} vertices)"
             ),
+            SubmitError::EmptySources => write!(f, "traversal spec has no sources"),
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }

@@ -21,6 +21,13 @@
 //!   with reject-with-reason), a priority queue, a fixed executor pool
 //!   bounding jobs in flight, and counters ([`ServerStats`]).
 //!
+//! Traversal specs (bfs/sssp/bc) carry a *set* of sources and run them as
+//! lanes of one K-lane batched engine pass (K ≤ 64). At dequeue, a worker
+//! additionally widens its job into a **coalescing window**: queued
+//! single-source jobs of the same kind and epoch merge into one batched
+//! launch, each job keeps its own handle and outcome, and the result cache
+//! is filled per source — later identical singletons hit without running.
+//!
 //! Determinism carries over: each served job is byte-identical to its
 //! serial `runner(...).execute()` equivalent, because the server's
 //! prepared views are built by the exact same path
@@ -41,9 +48,9 @@
 //! )
 //! .unwrap();
 //! let src = server.default_source().unwrap();
-//! let h = server.submit_spec(JobSpec::Bfs { source: src }).unwrap();
+//! let h = server.submit_spec(JobSpec::bfs(src)).unwrap();
 //! let r = h.wait().unwrap();
-//! assert!(!r.outcome.values.is_empty());
+//! assert!(!r.outcome.values().is_empty());
 //! ```
 
 #![warn(missing_docs)]

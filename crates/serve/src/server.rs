@@ -25,8 +25,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use dirgl_apps::{betweenness_centrality_prepared, Bfs, Cc, KCore, PageRank, Sssp};
-use dirgl_core::{PreparedPartition, RunConfig, RunError, RunOutput, Runtime};
+use dirgl_apps::{
+    batched_betweenness_centrality_prepared, betweenness_centrality_prepared, Bfs, Cc, KCore,
+    PageRank, Sssp,
+};
+use dirgl_core::{
+    Backend, ExecutionReport, PreparedPartition, RunConfig, RunError, RunOutput, Runtime,
+    LANE_WIDTH,
+};
 use dirgl_gpusim::Platform;
 use dirgl_graph::Csr;
 
@@ -75,6 +81,7 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     invalidated: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 /// A point-in-time statistics snapshot.
@@ -100,6 +107,9 @@ pub struct ServerStats {
     pub cache_misses: u64,
     /// Cached results dropped by epoch invalidation.
     pub invalidated: u64,
+    /// Jobs served as lanes of a coalesced multi-source engine launch
+    /// (counts every member of a merged batch).
+    pub coalesced: u64,
     /// Cache entries currently resident.
     pub cache_entries: usize,
     /// LRU evictions so far.
@@ -187,21 +197,34 @@ impl Inner {
     /// Executes `spec` against the resident views. Pure with respect to
     /// server state: all shared inputs are immutable, every mutable buffer
     /// is job-local, so any number of these may run concurrently and each
-    /// reproduces its one-shot equivalent byte for byte.
+    /// single-source job reproduces its one-shot equivalent byte for byte.
+    /// Multi-source traversal specs run the K-lane batched backend: one
+    /// engine pass advances every source, and the outcome carries one
+    /// value vector per source.
     fn execute(&self, spec: &JobSpec) -> Result<JobOutcome, RunError> {
+        if let Some(sources) = spec.sources() {
+            if sources.len() > 1 {
+                return self
+                    .execute_lanes(spec, sources)
+                    .map(|(reports, per_source)| JobOutcome {
+                        reports,
+                        per_source,
+                    });
+            }
+        }
         let single = |out: RunOutput| JobOutcome {
             reports: vec![out.report],
-            values: out.values,
+            per_source: vec![out.values],
         };
-        match *spec {
-            JobSpec::Bfs { source } => self
+        match spec {
+            JobSpec::Bfs { sources } => self
                 .rt
-                .job(&self.directed, &Bfs::new(source))
+                .job(&self.directed, &Bfs::new(sources[0]))
                 .execute()
                 .map(single),
-            JobSpec::Sssp { source } => self
+            JobSpec::Sssp { sources } => self
                 .rt
-                .job(&self.directed, &Sssp::new(source))
+                .job(&self.directed, &Sssp::new(sources[0]))
                 .execute()
                 .map(single),
             JobSpec::Pagerank => self
@@ -212,26 +235,76 @@ impl Inner {
             JobSpec::Cc => self.rt.job(&self.symmetric, &Cc).execute().map(single),
             JobSpec::KCore { k } => self
                 .rt
-                .job(&self.symmetric, &KCore::new(k))
+                .job(&self.symmetric, &KCore::new(*k))
                 .execute()
                 .map(single),
-            JobSpec::Bc { source } => {
-                betweenness_centrality_prepared(&self.rt, &self.directed, &self.transpose, source)
-                    .map(|bc| JobOutcome {
-                        reports: vec![bc.forward, bc.backward],
-                        values: bc.scores,
-                    })
+            JobSpec::Bc { sources } => betweenness_centrality_prepared(
+                &self.rt,
+                &self.directed,
+                &self.transpose,
+                sources[0],
+            )
+            .map(|bc| JobOutcome {
+                reports: vec![bc.forward, bc.backward],
+                per_source: vec![bc.scores],
+            }),
+        }
+    }
+
+    /// Runs a traversal spec's kind from every source in `sources` with
+    /// the K-lane backend. Returns the shared phase reports and one value
+    /// vector per source, in `sources` order.
+    fn execute_lanes(
+        &self,
+        spec: &JobSpec,
+        sources: &[u32],
+    ) -> Result<(Vec<ExecutionReport>, Vec<Vec<f64>>), RunError> {
+        match spec {
+            JobSpec::Bfs { .. } => self
+                .rt
+                .job(&self.directed, &Bfs::new(sources[0]))
+                .backend(Backend::Lanes)
+                .batch(sources)
+                .execute()
+                .map(|out| {
+                    let vals = out.lanes.into_iter().map(|l| l.values).collect();
+                    (out.engine_reports, vals)
+                }),
+            JobSpec::Sssp { .. } => self
+                .rt
+                .job(&self.directed, &Sssp::new(sources[0]))
+                .backend(Backend::Lanes)
+                .batch(sources)
+                .execute()
+                .map(|out| {
+                    let vals = out.lanes.into_iter().map(|l| l.values).collect();
+                    (out.engine_reports, vals)
+                }),
+            JobSpec::Bc { .. } => batched_betweenness_centrality_prepared(
+                &self.rt,
+                &self.directed,
+                &self.transpose,
+                sources,
+            )
+            .map(|outs| {
+                let reports = vec![outs[0].forward.clone(), outs[0].backward.clone()];
+                (reports, outs.into_iter().map(|b| b.scores).collect())
+            }),
+            JobSpec::Pagerank | JobSpec::Cc | JobSpec::KCore { .. } => {
+                unreachable!("only traversal specs carry sources")
             }
         }
     }
 
-    /// The executor loop: pop the highest-priority job, serve it from the
-    /// cache or execute it, fulfill its handle. Exits on shutdown after
-    /// the queue has been drained (drained jobs complete with
+    /// The executor loop: pop the highest-priority job, widen it into a
+    /// coalescing window (same-kind single-source traversal jobs at the
+    /// same epoch merge into one K-lane engine launch, up to the lane
+    /// width), serve the batch, fulfill every handle. Exits on shutdown
+    /// after the queue has been drained (drained jobs complete with
     /// [`JobError::ShutDown`]).
     fn worker_loop(self: &Arc<Inner>) {
         loop {
-            let job = {
+            let batch = {
                 let mut s = self.sched.lock().unwrap();
                 loop {
                     if s.shutdown {
@@ -245,21 +318,143 @@ impl Inner {
                     }
                     if !s.paused {
                         if let Some(j) = s.queue.pop() {
-                            s.in_flight += 1;
-                            break j;
+                            let batch = Self::coalesce_window(&mut s.queue, j);
+                            s.in_flight += batch.len();
+                            break batch;
                         }
                     }
                     s = self.work.wait(s).unwrap();
                 }
             };
 
-            let result = self.serve_one(&job);
-            job.cell.fulfill(result);
+            let n = batch.len();
+            if n == 1 {
+                let job = &batch[0];
+                let result = self.serve_one(job);
+                job.cell.fulfill(result);
+            } else {
+                self.serve_coalesced(batch);
+            }
 
             let mut s = self.sched.lock().unwrap();
-            s.in_flight -= 1;
+            s.in_flight -= n;
             if s.in_flight == 0 && s.queue.is_empty() {
                 self.idle.notify_all();
+            }
+        }
+    }
+
+    /// The coalescing window: starting from dequeued job `first`, absorbs
+    /// every queued job of the same traversal kind with exactly one source
+    /// and the same epoch, up to [`LANE_WIDTH`] lanes total. Multi-source
+    /// specs and parameterless kinds pass through untouched; everything
+    /// not absorbed goes back on the heap.
+    fn coalesce_window(queue: &mut BinaryHeap<Queued>, first: Queued) -> Vec<Queued> {
+        let coalescible = |q: &Queued| q.spec.sources().is_some_and(|ss| ss.len() == 1);
+        if !coalescible(&first) || queue.is_empty() {
+            return vec![first];
+        }
+        let mut batch = vec![first];
+        let mut rest = Vec::new();
+        for q in std::mem::take(queue).into_sorted_vec().into_iter().rev() {
+            let take = batch.len() < LANE_WIDTH
+                && q.epoch == batch[0].epoch
+                && q.spec.name() == batch[0].spec.name()
+                && coalescible(&q);
+            if take {
+                batch.push(q);
+            } else {
+                rest.push(q);
+            }
+        }
+        queue.extend(rest);
+        batch
+    }
+
+    /// Serves a coalesced window: per-job deadline and cache checks still
+    /// apply individually, then the surviving singletons run as lanes of
+    /// one batched engine launch. Each job gets its own outcome, and the
+    /// cache is filled per source under the canonical singleton spec, so
+    /// later single-source queries hit.
+    fn serve_coalesced(&self, jobs: Vec<Queued>) {
+        let epoch = jobs[0].epoch;
+        let mut run = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if let Some(dl) = job.deadline {
+                if Instant::now() > dl {
+                    self.c.expired.fetch_add(1, Ordering::Relaxed);
+                    job.cell.fulfill(Err(JobError::DeadlineExpired));
+                    continue;
+                }
+            }
+            if self.cache_enabled {
+                let key: CacheKey = (epoch, job.spec.clone());
+                if let Some(outcome) = self.cache.lock().unwrap().get(&key) {
+                    self.c.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    job.cell.fulfill(Ok(JobResult {
+                        outcome,
+                        from_cache: true,
+                        epoch,
+                    }));
+                    continue;
+                }
+            }
+            self.c.cache_misses.fetch_add(1, Ordering::Relaxed);
+            run.push(job);
+        }
+        if run.is_empty() {
+            return;
+        }
+
+        // Distinct sources become lanes; duplicate submissions share one.
+        let mut sources: Vec<u32> = run
+            .iter()
+            .map(|q| q.spec.sources().expect("coalesced jobs have sources")[0])
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+
+        match self.execute_lanes(&run[0].spec, &sources) {
+            Ok((reports, per_source)) => {
+                if run.len() > 1 {
+                    self.c
+                        .coalesced
+                        .fetch_add(run.len() as u64, Ordering::Relaxed);
+                }
+                // One singleton outcome per source, shared between the
+                // cache, this batch's duplicates, and future hits.
+                let outcomes: Vec<Arc<JobOutcome>> = per_source
+                    .into_iter()
+                    .map(|values| {
+                        Arc::new(JobOutcome {
+                            reports: reports.clone(),
+                            per_source: vec![values],
+                        })
+                    })
+                    .collect();
+                if self.cache_enabled {
+                    let mut cache = self.cache.lock().unwrap();
+                    for (i, &src) in sources.iter().enumerate() {
+                        let spec = run[0].spec.with_sources(vec![src]).expect("traversal spec");
+                        cache.insert((epoch, spec), Arc::clone(&outcomes[i]));
+                    }
+                }
+                for job in run {
+                    let src = job.spec.sources().expect("traversal spec")[0];
+                    let i = sources.binary_search(&src).expect("source is a lane");
+                    self.c.completed.fetch_add(1, Ordering::Relaxed);
+                    job.cell.fulfill(Ok(JobResult {
+                        outcome: Arc::clone(&outcomes[i]),
+                        from_cache: false,
+                        epoch,
+                    }));
+                }
+            }
+            Err(e) => {
+                for job in run {
+                    self.c.failed.fetch_add(1, Ordering::Relaxed);
+                    job.cell.fulfill(Err(JobError::Run(e.clone())));
+                }
             }
         }
     }
@@ -274,7 +469,7 @@ impl Inner {
                 return Err(JobError::DeadlineExpired);
             }
         }
-        let key: CacheKey = (job.epoch, job.spec);
+        let key: CacheKey = (job.epoch, job.spec.clone());
         if self.cache_enabled {
             if let Some(outcome) = self.cache.lock().unwrap().get(&key) {
                 self.c.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -362,19 +557,28 @@ impl JobServer {
         Ok(JobServer { inner, workers })
     }
 
-    /// Submits one job. Admission control happens here: an out-of-range
-    /// source or a full queue is refused with the reason; a cached result
-    /// completes immediately without queueing. Accepted jobs return a
-    /// [`JobHandle`] to wait on.
+    /// Submits one job. Admission control happens here: the source set is
+    /// canonicalized (sorted, deduplicated); an empty source set, an
+    /// out-of-range source (the error names the offending id) or a full
+    /// queue is refused with the reason; a cached result completes
+    /// immediately without queueing. Accepted jobs return a [`JobHandle`]
+    /// to wait on.
     pub fn submit(&self, req: JobRequest) -> Result<JobHandle, SubmitError> {
         let inner = &self.inner;
         inner.c.submitted.fetch_add(1, Ordering::Relaxed);
 
+        let mut spec = req.spec;
+        spec.canonicalize();
+
         // Degenerate jobs are refused at the door — the resident process
         // must never die (or even spin) on one.
-        if let Some(source) = req.spec.source() {
-            let n = inner.view_for(&req.spec).num_vertices();
-            if source >= n {
+        if let Some(sources) = spec.sources() {
+            if sources.is_empty() {
+                inner.c.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::EmptySources);
+            }
+            let n = inner.view_for(&spec).num_vertices();
+            if let Some(&source) = sources.iter().find(|&&s| s >= n) {
                 inner.c.rejected_invalid.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::InvalidSource {
                     source,
@@ -387,7 +591,7 @@ impl JobServer {
 
         // Cache fast path: a repeated query never occupies a queue slot.
         if inner.cache_enabled {
-            if let Some(outcome) = inner.cache.lock().unwrap().get(&(epoch, req.spec)) {
+            if let Some(outcome) = inner.cache.lock().unwrap().get(&(epoch, spec.clone())) {
                 inner.c.cache_hits.fetch_add(1, Ordering::Relaxed);
                 inner.c.accepted.fetch_add(1, Ordering::Relaxed);
                 return Ok(JobHandle {
@@ -419,7 +623,7 @@ impl JobServer {
             priority: req.priority,
             seq,
             deadline,
-            spec: req.spec,
+            spec,
             epoch,
             cell: Arc::clone(&cell),
         });
@@ -512,6 +716,7 @@ impl JobServer {
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             invalidated: c.invalidated.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
             cache_entries,
             cache_evictions,
             queued,

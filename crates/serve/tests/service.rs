@@ -1,12 +1,14 @@
 //! End-to-end contracts of the resident job-server.
 //!
 //! The load-bearing one: any number of concurrent jobs against one
-//! resident prepared partition produce **byte-identical** reports and
-//! values to the serial one-shot `runner(...).execute()` path, on both
-//! the synchronous (Var1/BSP) and asynchronous (Var4/BASP) engines. Plus
-//! the service semantics: cache hits return the cold run's exact bytes,
-//! admission control rejects with a reason, deadlines expire, priorities
-//! order the queue, and epoch bumps invalidate cached results.
+//! resident prepared partition produce **byte-identical** values to the
+//! serial one-shot `runner(...).execute()` path, on both the synchronous
+//! (Var1/BSP) and asynchronous (Var4/BASP) engines — including when the
+//! server coalesces queued single-source traversals into one K-lane
+//! batched launch. Plus the service semantics: cache hits return the cold
+//! run's exact bytes, admission control canonicalizes and rejects with a
+//! reason, deadlines expire, priorities order the queue, and epoch bumps
+//! invalidate cached results.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,10 +39,17 @@ fn fingerprint(report: &ExecutionReport, values: &[f64]) -> (String, Vec<u64>) {
     )
 }
 
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
 /// The acceptance matrix: 16 concurrent mixed jobs (bfs from 4 sources ×2
 /// submissions, sssp from 2 sources ×2, pagerank ×2, cc ×2) against one
-/// resident partition, each byte-identical to its serial one-shot
-/// equivalent — on both engines.
+/// resident partition, each value-identical to its serial one-shot
+/// equivalent — on both engines. (Traversal jobs may coalesce into a
+/// K-lane launch depending on queue timing, which changes their *report*
+/// but never their values; the parameterless kinds never coalesce, so
+/// their reports stay byte-identical too.)
 #[test]
 fn sixteen_concurrent_jobs_match_serial_one_shots_on_both_engines() {
     let g = graph();
@@ -59,17 +68,11 @@ fn sixteen_concurrent_jobs_match_serial_one_shots_on_both_engines() {
             let mut v = Vec::new();
             for &s in &sources {
                 let out = rt.runner(&g, &Bfs::new(s)).execute().unwrap();
-                v.push((
-                    JobSpec::Bfs { source: s },
-                    fingerprint(&out.report, &out.values),
-                ));
+                v.push((JobSpec::bfs(s), fingerprint(&out.report, &out.values)));
             }
             for &s in &sources[..2] {
                 let out = rt.runner(&g, &Sssp::new(s)).execute().unwrap();
-                v.push((
-                    JobSpec::Sssp { source: s },
-                    fingerprint(&out.report, &out.values),
-                ));
+                v.push((JobSpec::sssp(s), fingerprint(&out.report, &out.values)));
             }
             let out = rt.runner(&g, &PageRank::new()).execute().unwrap();
             v.push((JobSpec::Pagerank, fingerprint(&out.report, &out.values)));
@@ -84,32 +87,43 @@ fn sixteen_concurrent_jobs_match_serial_one_shots_on_both_engines() {
         let jobs: Vec<JobSpec> = serial
             .iter()
             .chain(serial.iter())
-            .map(|(spec, _)| *spec)
+            .map(|(spec, _)| spec.clone())
             .collect();
         assert_eq!(jobs.len(), 16);
         let results: Vec<_> = std::thread::scope(|sc| {
             let srv = &srv;
             let handles: Vec<_> = jobs
                 .iter()
-                .map(|&spec| sc.spawn(move || srv.submit_spec(spec).unwrap().wait().unwrap()))
+                .map(|spec| {
+                    let spec = spec.clone();
+                    sc.spawn(move || srv.submit_spec(spec).unwrap().wait().unwrap())
+                })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
 
         for (spec, result) in jobs.iter().zip(&results) {
-            let want = &serial.iter().find(|(s, _)| s == spec).unwrap().1;
-            let got = fingerprint(result.outcome.report(), &result.outcome.values);
+            let (want_report, want_bits) = &serial.iter().find(|(s, _)| s == spec).unwrap().1;
             assert_eq!(
-                &got,
-                want,
+                &bits(result.outcome.values()),
+                want_bits,
                 "{} served on {} diverged from its serial one-shot",
                 spec.name(),
                 variant.label()
             );
+            if spec.sources().is_none() {
+                assert_eq!(
+                    &format!("{:?}", result.outcome.report()),
+                    want_report,
+                    "{} on {}: non-coalescible reports must stay byte-identical",
+                    spec.name(),
+                    variant.label()
+                );
+            }
         }
 
-        // Every duplicate was either coalesced through the cache or
-        // executed — both are correct; the counters must account for all.
+        // Every duplicate was coalesced, served through the cache, or
+        // executed — all are correct; the counters must account for all.
         let stats = srv.stats();
         assert_eq!(stats.submitted, 16);
         assert_eq!(stats.accepted, 16);
@@ -118,6 +132,122 @@ fn sixteen_concurrent_jobs_match_serial_one_shots_on_both_engines() {
         assert_eq!(stats.failed, 0);
         assert_eq!(stats.rejected_saturated + stats.rejected_invalid, 0);
     }
+}
+
+/// The coalescing window end to end: 16 queued single-source bfs jobs
+/// merge into ONE 16-lane engine launch whose per-job values are
+/// byte-identical to 16 serial one-shots, and the per-source cache fill
+/// makes every later singleton resubmission hit.
+#[test]
+fn coalesced_sixteen_job_batch_matches_serial_and_fills_cache_per_source() {
+    let g = graph();
+    let n = g.num_vertices();
+    let sources: Vec<u32> = (0..16)
+        .map(|k| (g.max_out_degree_vertex() + k * (n / 17 + 1)) % n)
+        .collect();
+
+    // Serial scalar one-shots (fresh partition per call) are the oracle.
+    let rt = Runtime::new(Platform::bridges(4), config(Variant::var4()));
+    let serial: Vec<Vec<u64>> = sources
+        .iter()
+        .map(|&s| bits(&rt.runner(&g, &Bfs::new(s)).execute().unwrap().values))
+        .collect();
+
+    // One paused worker: all 16 land in the queue, then resume opens a
+    // single coalescing window over the whole batch.
+    let srv = server(
+        Variant::var4(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 32,
+            cache_capacity: 64,
+            start_paused: true,
+        },
+    );
+    let handles: Vec<_> = sources
+        .iter()
+        .map(|&s| srv.submit_spec(JobSpec::bfs(s)).unwrap())
+        .collect();
+    srv.resume();
+    let results: Vec<_> = handles.iter().map(|h| h.wait().unwrap()).collect();
+    srv.drain();
+
+    let first_report = format!("{:?}", results[0].outcome.report());
+    for ((r, want), &s) in results.iter().zip(&serial).zip(&sources) {
+        assert!(!r.from_cache);
+        assert_eq!(
+            &bits(r.outcome.values()),
+            want,
+            "source {s}: coalesced lane diverged from its serial one-shot"
+        );
+        assert_eq!(
+            format!("{:?}", r.outcome.report()),
+            first_report,
+            "source {s}: every lane shares the one batched engine report"
+        );
+    }
+
+    let stats = srv.stats();
+    assert_eq!(stats.coalesced, 16, "all 16 jobs rode one batched launch");
+    assert_eq!(stats.completed, 16);
+    assert_eq!(stats.cache_misses, 16);
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_entries, 16, "one entry per source");
+
+    // Later singletons hit the per-source fills — same Arc, no execution.
+    for (h, &s) in results.iter().zip(&sources) {
+        let hit = srv.submit_spec(JobSpec::bfs(s)).unwrap().wait().unwrap();
+        assert!(hit.from_cache, "source {s} must be served from the cache");
+        assert!(
+            Arc::ptr_eq(&h.outcome, &hit.outcome),
+            "source {s}: hit must share the batch's allocation"
+        );
+    }
+    assert_eq!(srv.stats().cache_hits, 16);
+    assert_eq!(srv.stats().completed, 16, "no further executions");
+}
+
+/// A multi-source spec submitted directly: admission canonicalizes
+/// (sorts + dedups) the source set, the outcome carries one value vector
+/// per source matching the serial scalar runs, and a permuted
+/// resubmission is the same cache key.
+#[test]
+fn multi_source_spec_canonicalizes_and_matches_scalar_runs() {
+    let g = graph();
+    let n = g.num_vertices();
+    let s: Vec<u32> = (0..3)
+        .map(|k| (g.max_out_degree_vertex() + k * (n / 4 + 1)) % n)
+        .collect();
+    let rt = Runtime::new(Platform::bridges(4), config(Variant::var1()));
+
+    let srv = server(Variant::var1(), ServeConfig::default());
+    let spec = JobSpec::Sssp {
+        sources: vec![s[2], s[0], s[1], s[0]], // unsorted, with a duplicate
+    };
+    let r = srv.submit_spec(spec).unwrap().wait().unwrap();
+    assert_eq!(r.outcome.per_source.len(), 3, "duplicates collapse");
+    let mut canon = s.clone();
+    canon.sort_unstable();
+    for (vals, &src) in r.outcome.per_source.iter().zip(&canon) {
+        let want = rt.runner(&g, &Sssp::new(src)).execute().unwrap().values;
+        assert_eq!(
+            bits(vals),
+            bits(&want),
+            "source {src}: lane diverged from its scalar run"
+        );
+    }
+    srv.drain();
+
+    // Already-sorted resubmission is the same canonical key: cache hit.
+    let hit = srv
+        .submit_spec(JobSpec::Sssp {
+            sources: canon.clone(),
+        })
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(hit.from_cache);
+    assert!(Arc::ptr_eq(&r.outcome, &hit.outcome));
 }
 
 /// bc (two-phase, forward + transpose backward) served from the resident
@@ -130,18 +260,14 @@ fn served_bc_matches_one_shot_driver() {
     let want = betweenness_centrality(&rt, &g, src).unwrap();
 
     let srv = server(Variant::var4(), ServeConfig::default());
-    let r = srv
-        .submit_spec(JobSpec::Bc { source: src })
-        .unwrap()
-        .wait()
-        .unwrap();
+    let r = srv.submit_spec(JobSpec::bc(src)).unwrap().wait().unwrap();
     assert_eq!(
         r.outcome.reports.len(),
         2,
         "bc has forward + backward phases"
     );
     assert_eq!(
-        fingerprint(&r.outcome.reports[0], &r.outcome.values),
+        fingerprint(&r.outcome.reports[0], r.outcome.values()),
         fingerprint(&want.forward, &want.scores)
     );
     assert_eq!(
@@ -155,9 +281,9 @@ fn served_bc_matches_one_shot_driver() {
 #[test]
 fn cache_hit_is_bit_identical_to_the_cold_run() {
     let srv = server(Variant::var4(), ServeConfig::default());
-    let spec = JobSpec::Bfs { source: 3 };
+    let spec = JobSpec::bfs(3);
 
-    let cold = srv.submit_spec(spec).unwrap().wait().unwrap();
+    let cold = srv.submit_spec(spec.clone()).unwrap().wait().unwrap();
     assert!(!cold.from_cache);
     srv.drain();
 
@@ -168,8 +294,8 @@ fn cache_hit_is_bit_identical_to_the_cold_run() {
         "hit must share the cold run's allocation"
     );
     assert_eq!(
-        fingerprint(cold.outcome.report(), &cold.outcome.values),
-        fingerprint(hit.outcome.report(), &hit.outcome.values)
+        fingerprint(cold.outcome.report(), cold.outcome.values()),
+        fingerprint(hit.outcome.report(), hit.outcome.values())
     );
 
     let stats = srv.stats();
@@ -192,9 +318,9 @@ fn saturation_rejects_with_reason() {
             start_paused: true,
         },
     );
-    let h1 = srv.submit_spec(JobSpec::Bfs { source: 1 }).unwrap();
-    let h2 = srv.submit_spec(JobSpec::Bfs { source: 2 }).unwrap();
-    let refused = srv.submit_spec(JobSpec::Bfs { source: 3 });
+    let h1 = srv.submit_spec(JobSpec::bfs(1)).unwrap();
+    let h2 = srv.submit_spec(JobSpec::bfs(2)).unwrap();
+    let refused = srv.submit_spec(JobSpec::bfs(3));
     assert_eq!(
         refused.unwrap_err(),
         SubmitError::Saturated {
@@ -213,13 +339,14 @@ fn saturation_rejects_with_reason() {
     assert_eq!(srv.stats().completed, 2);
 }
 
-/// An out-of-range source is refused at the door — the resident server
-/// must never crash (or queue useless work) for a degenerate job.
+/// An out-of-range source is refused at the door — naming the offending
+/// id even when it hides inside a multi-source set — because the resident
+/// server must never crash (or queue useless work) for a degenerate job.
 #[test]
 fn invalid_source_is_refused_at_admission() {
     let srv = server(Variant::var1(), ServeConfig::default());
     let n = srv.directed_view().num_vertices();
-    let refused = srv.submit_spec(JobSpec::Sssp { source: n + 7 });
+    let refused = srv.submit_spec(JobSpec::sssp(n + 7));
     assert_eq!(
         refused.unwrap_err(),
         SubmitError::InvalidSource {
@@ -227,7 +354,22 @@ fn invalid_source_is_refused_at_admission() {
             num_vertices: n
         }
     );
-    assert_eq!(srv.stats().rejected_invalid, 1);
+    // In a batch, the error names the offending id, not the whole set.
+    let refused = srv.submit_spec(JobSpec::Bfs {
+        sources: vec![0, n + 3, 1],
+    });
+    assert_eq!(
+        refused.unwrap_err(),
+        SubmitError::InvalidSource {
+            source: n + 3,
+            num_vertices: n
+        }
+    );
+    let refused = srv.submit_spec(JobSpec::Bfs {
+        sources: Vec::new(),
+    });
+    assert_eq!(refused.unwrap_err(), SubmitError::EmptySources);
+    assert_eq!(srv.stats().rejected_invalid, 3);
     assert_eq!(srv.stats().accepted, 0);
 }
 
@@ -245,7 +387,7 @@ fn deadline_expires_while_queued() {
         },
     );
     let h = srv
-        .submit(JobRequest::new(JobSpec::Bfs { source: 1 }).deadline(Duration::from_millis(1)))
+        .submit(JobRequest::new(JobSpec::bfs(1)).deadline(Duration::from_millis(1)))
         .unwrap();
     std::thread::sleep(Duration::from_millis(20));
     srv.resume();
@@ -257,7 +399,8 @@ fn deadline_expires_while_queued() {
 
 /// With one executor, a high-priority job submitted after a low-priority
 /// one still runs first (observed through completion: when the low job
-/// finishes, the high one is already done).
+/// finishes, the high one is already done). Different kinds, so the
+/// coalescing window cannot merge them into one launch.
 #[test]
 fn high_priority_overtakes_low_in_the_queue() {
     let srv = server(
@@ -270,10 +413,10 @@ fn high_priority_overtakes_low_in_the_queue() {
         },
     );
     let low = srv
-        .submit(JobRequest::new(JobSpec::Bfs { source: 1 }).priority(Priority::Low))
+        .submit(JobRequest::new(JobSpec::sssp(1)).priority(Priority::Low))
         .unwrap();
     let high = srv
-        .submit(JobRequest::new(JobSpec::Bfs { source: 2 }).priority(Priority::High))
+        .submit(JobRequest::new(JobSpec::bfs(2)).priority(Priority::High))
         .unwrap();
     srv.resume();
     low.wait().unwrap();
@@ -289,7 +432,7 @@ fn high_priority_overtakes_low_in_the_queue() {
 fn epoch_bump_invalidates_cached_results() {
     let srv = server(Variant::var4(), ServeConfig::default());
     let spec = JobSpec::Pagerank;
-    let first = srv.submit_spec(spec).unwrap().wait().unwrap();
+    let first = srv.submit_spec(spec.clone()).unwrap().wait().unwrap();
     assert_eq!(first.epoch, 0);
     srv.drain();
 

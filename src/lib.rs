@@ -16,7 +16,8 @@
 //!   virtual-time transport, seeded fault injection and a retry/ack
 //!   reliable-delivery layer.
 //! * [`core`] — the D-IrGL-equivalent engine: BSP and BASP drivers, the
-//!   Var1–Var4 optimization variants, execution reports.
+//!   Var1–Var4 optimization variants, execution reports, and the K-lane
+//!   multi-source batching layer (up to 64 sources per engine pass).
 //! * [`apps`] — bfs, cc, kcore, pagerank and sssp, plus sequential
 //!   reference implementations.
 //! * [`serve`] — the resident analytics job-server: load a dataset once,
@@ -55,9 +56,10 @@ pub mod prelude {
     };
     pub use dirgl_comm::{CommMode, FaultCounters, FaultPlan, RetryConfig, SimTime};
     pub use dirgl_core::{
-        run_engine, CollectingSink, ExecModel, ExecutionModel, ExecutionReport, FaultEvent,
-        JsonLinesSink, NoopSink, PartitionArg, PreparedPartition, ResilienceStats, RoundRecord,
-        RunConfig, RunError, Runner, Runtime, TraceSink, Variant,
+        run_engine, Backend, BatchedProgram, CollectingSink, ExecModel, ExecutionModel,
+        ExecutionReport, FaultEvent, JsonLinesSink, Lanes, MsBfs, MultiRunOutput,
+        MultiSourceProgram, NoopSink, PartitionArg, PreparedPartition, ResilienceStats,
+        RoundRecord, RunConfig, RunError, Runner, Runtime, TraceSink, Variant, LANE_WIDTH,
     };
     pub use dirgl_gpusim::{Balancer, ClusterSpec, GpuSpec, Platform};
     pub use dirgl_graph::{

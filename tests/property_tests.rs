@@ -175,6 +175,75 @@ proptest! {
         prop_assert!(err <= 1 + (ns >> 50), "{ns} -> {}", t2.0);
     }
 
+    /// Each lane of a K-batched run is byte-identical to the corresponding
+    /// scalar single-source run: values, source labeling and summary, for
+    /// bfs and sssp, K ∈ {1, 3, 64}, across the four paper policies and
+    /// both engines (`Backend::Scalar` runs the K serial one-source jobs;
+    /// `Backend::Lanes` packs them into one bit-matrix-frontier pass).
+    #[test]
+    fn batched_lanes_match_scalar_runs(
+        seed in 0u64..1_000,
+        policy in prop::sample::select(vec![
+            Policy::Oec, Policy::Iec, Policy::Hvc, Policy::Cvc,
+        ]),
+        sync in any::<bool>(),
+        k in prop::sample::select(vec![1u32, 3, 64]),
+        use_sssp in any::<bool>(),
+        devices in 2u32..6,
+    ) {
+        let g = randomize_weights(
+            &RmatConfig::new(7, 8).seed(seed).generate(),
+            60,
+            seed,
+        );
+        let n = g.num_vertices();
+        let mut sources: Vec<u32> = (0..k)
+            .map(|i| (g.max_out_degree_vertex() + i * (n / (k + 1) + 1)) % n)
+            .collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let variant = if sync { Variant::var3() } else { Variant::var4() };
+        let rt = Runtime::new(Platform::bridges(devices), RunConfig::new(policy, variant));
+
+        fn check<P: MultiSourceProgram>(
+            rt: &Runtime,
+            g: &Csr,
+            base: &P,
+            sources: &[u32],
+        ) -> Result<(), TestCaseError>
+        where
+            P::Wire: Default,
+        {
+            let lanes = rt
+                .runner(g, base)
+                .backend(Backend::Lanes)
+                .batch(sources)
+                .execute()
+                .unwrap();
+            let scalar = rt.runner(g, base).batch(sources).execute().unwrap();
+            prop_assert_eq!(lanes.lanes.len(), sources.len());
+            prop_assert_eq!(scalar.lanes.len(), sources.len());
+            for (l, s) in lanes.lanes.iter().zip(&scalar.lanes) {
+                prop_assert_eq!(l.source, s.source);
+                prop_assert_eq!(&l.summary, &s.summary);
+                for (v, (a, b)) in l.values.iter().zip(&s.values).enumerate() {
+                    prop_assert!(
+                        a.to_bits() == b.to_bits(),
+                        "source {} vertex {v}: lanes {a} vs scalar {b}",
+                        l.source
+                    );
+                }
+            }
+            Ok(())
+        }
+
+        if use_sssp {
+            check(&rt, &g, &Sssp::new(sources[0]), &sources)?;
+        } else {
+            check(&rt, &g, &Bfs::new(sources[0]), &sources)?;
+        }
+    }
+
     /// The CVC grid always factorizes correctly and its invariants hold on
     /// random graphs.
     #[test]
