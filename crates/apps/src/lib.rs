@@ -27,7 +27,7 @@ pub mod sssp;
 
 pub use bc::{
     batched_betweenness_centrality_prepared, betweenness_centrality,
-    betweenness_centrality_prepared, BcOutput,
+    betweenness_centrality_prepared, BcBackward, BcForward, BcOutput,
 };
 pub use bfs::Bfs;
 pub use cc::Cc;

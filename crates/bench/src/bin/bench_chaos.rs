@@ -1,0 +1,367 @@
+//! Availability benchmark for the resident job-server under seeded chaos:
+//! what fraction of an accepted mixed job stream the service still answers
+//! — and at what latency — while links drop/duplicate/delay messages,
+//! devices crash and straggle, memory pressure forces lane-width
+//! degradation, deadlines churn and the queue saturates.
+//!
+//! One scenario matrix on twitter50/CVC/Var3 (BSP, checkpoints every 2
+//! rounds when faults are armed), 4 devices:
+//!
+//! * `baseline` — no faults, the mixed 13-job stream.
+//! * `link_chaos` — 5% drop + 2% duplicate + 1% delayed links.
+//! * `crash_rejoin` / `crash_dead` — device 1 crashes at round 2 (with and
+//!   without rejoin) under 5% drop, plus a 4× straggler window on device 2.
+//! * `memory_pressure` — device capacities tightened (via the server's own
+//!   footprint oracle) so wide batches must walk the degradation ladder.
+//! * `deadline_churn` — half the stream queued behind a paused server with
+//!   already-hopeless deadlines, the rest fresh.
+//! * `saturation` — a 2-slot queue against a 12-job burst.
+//!
+//! Every scenario records availability = (completed + cache hits) /
+//! accepted, the retry/degradation/shed counters, and p50/p99
+//! client-observed latencies of the jobs that did complete. Counters must
+//! reconcile (`accepted = completed + cache_hits + failed + expired +
+//! rejected_gov + shut_down`) or the binary aborts.
+//!
+//! Writes `BENCH_chaos.json` (schema documented in EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release --bin bench_chaos -- [--scale N] [--seed N] [--out PATH]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use dirgl_bench::cli::{or_exit, write_output, ArgStream, CliError};
+use dirgl_bench::LoadedDataset;
+use dirgl_comm::FaultPlan;
+use dirgl_core::{RunConfig, Variant};
+use dirgl_gpusim::Platform;
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+use dirgl_serve::{JobRequest, JobServer, JobSpec, ServeConfig, ServerStats};
+
+const DEVICES: u32 = 4;
+const USAGE: &str = "usage: bench_chaos [--scale N] [--seed N] [--out PATH]";
+
+struct Opts {
+    extra_scale: u64,
+    seed: u64,
+    out_path: String,
+}
+
+fn try_parse(mut it: ArgStream) -> Result<Opts, CliError> {
+    let mut o = Opts {
+        extra_scale: 1,
+        seed: 7,
+        out_path: "BENCH_chaos.json".to_string(),
+    };
+    while let Some(a) = it.next_arg() {
+        match a.as_str() {
+            "--scale" => o.extra_scale = it.parsed("--scale", "a positive integer")?,
+            "--seed" => o.seed = it.parsed("--seed", "a fault seed")?,
+            "--out" => o.out_path = it.value("--out")?,
+            other => return Err(CliError::unknown_arg(other)),
+        }
+    }
+    Ok(o)
+}
+
+/// The mixed stream: two wide batches, singleton traversals (coalescible),
+/// and the parameterless kinds. 13 distinct jobs.
+fn stream(server: &JobServer) -> Vec<JobSpec> {
+    let n = server.directed_view().num_vertices();
+    let spread = |k: u32, of: u32| (k * n) / of;
+    let mut jobs = vec![
+        JobSpec::Bfs {
+            sources: (0..16).map(|k| spread(k, 16)).collect(),
+        },
+        JobSpec::Sssp {
+            sources: (0..16).map(|k| spread(k, 16)).collect(),
+        },
+        JobSpec::Pagerank,
+        JobSpec::Cc,
+        JobSpec::KCore { k: 4 },
+    ];
+    for k in 0..4 {
+        jobs.push(JobSpec::bfs(spread(k, 4) + 1));
+    }
+    for k in 0..4 {
+        jobs.push(JobSpec::sssp(spread(k, 4) + 1));
+    }
+    jobs
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Submits every request from its own client thread, waits for all, and
+/// returns (wall seconds, sorted latencies of *successful* jobs, refused
+/// submissions).
+fn run_stream(server: &JobServer, reqs: Vec<JobRequest>) -> (f64, Vec<f64>, u64) {
+    let t0 = Instant::now();
+    let outcomes: Vec<Option<f64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = reqs
+            .into_iter()
+            .map(|req| {
+                s.spawn(move || {
+                    let t = Instant::now();
+                    match server.submit(req) {
+                        Ok(h) => h.wait().ok().map(|_| t.elapsed().as_secs_f64()),
+                        Err(_) => None,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut lats: Vec<f64> = outcomes.iter().filter_map(|o| *o).collect();
+    let refused = outcomes.iter().filter(|o| o.is_none()).count() as u64;
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (wall, lats, refused)
+}
+
+/// Aborts if the server's books do not balance.
+fn reconcile(label: &str, s: &ServerStats) {
+    assert_eq!(
+        s.submitted,
+        s.accepted + s.rejected_saturated + s.rejected_invalid,
+        "{label}: submission counters do not reconcile: {s:?}"
+    );
+    assert_eq!(
+        s.accepted,
+        s.completed + s.cache_hits + s.failed + s.expired + s.rejected_gov + s.shut_down,
+        "{label}: terminal counters do not reconcile: {s:?}"
+    );
+}
+
+fn row(label: &str, wall: f64, lats: &[f64], s: &ServerStats) -> String {
+    let served = s.completed + s.cache_hits;
+    let availability = served as f64 / s.accepted.max(1) as f64;
+    println!(
+        "{label:>16}: availability {:.3} ({served}/{} accepted) | retries {} degraded {} \
+         shed {} rejected {} expired {} | p50 {:.1}ms p99 {:.1}ms",
+        availability,
+        s.accepted,
+        s.retries,
+        s.degraded,
+        s.shed,
+        s.rejected_gov + s.rejected_saturated,
+        s.expired,
+        percentile(lats, 0.50) * 1e3,
+        percentile(lats, 0.99) * 1e3,
+    );
+    format!(
+        "    {{\"scenario\": \"{label}\", \"wall_s\": {wall:.6}, \
+         \"accepted\": {}, \"completed\": {}, \"cache_hits\": {}, \"failed\": {}, \
+         \"expired\": {}, \"rejected_gov\": {}, \"rejected_saturated\": {}, \
+         \"shed\": {}, \"retries\": {}, \"degraded\": {}, \"shut_down\": {}, \
+         \"availability\": {availability:.6}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+        s.accepted,
+        s.completed,
+        s.cache_hits,
+        s.failed,
+        s.expired,
+        s.rejected_gov,
+        s.rejected_saturated,
+        s.shed,
+        s.retries,
+        s.degraded,
+        s.shut_down,
+        percentile(lats, 0.50) * 1e3,
+        percentile(lats, 0.99) * 1e3,
+    )
+}
+
+fn load(g: &dirgl_graph::Csr, platform: Platform, cfg: RunConfig, serve: ServeConfig) -> JobServer {
+    JobServer::load(g, platform, cfg, serve).expect("server load failed")
+}
+
+fn main() {
+    let Opts {
+        extra_scale,
+        seed,
+        out_path,
+    } = or_exit(try_parse(ArgStream::from_env()), USAGE);
+
+    let ld = LoadedDataset::load(DatasetId::Twitter50, extra_scale);
+    let g = &ld.ds.graph;
+    let base_cfg = || RunConfig::new(Policy::Cvc, Variant::var3()).scale(ld.ds.divisor);
+    let faulty_cfg = |plan: FaultPlan| base_cfg().with_faults(plan).with_checkpoints(2);
+    let link_plan = || {
+        FaultPlan::seeded(seed)
+            .with_drop(0.05)
+            .with_duplicate(0.02)
+            .with_delay(0.01, 0.005)
+    };
+    println!(
+        "bench_chaos: twitter50 (|V|={} |E|={}), CVC/Var3 @ {DEVICES} devices, seed {seed}\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let mut rows = Vec::new();
+
+    // baseline / link_chaos / crash_rejoin / crash_dead: full stream.
+    let storms: [(&str, Option<FaultPlan>); 4] = [
+        ("baseline", None),
+        ("link_chaos", Some(link_plan())),
+        (
+            "crash_rejoin",
+            Some(
+                link_plan()
+                    .with_crash(1, 2, true)
+                    .with_straggler(2, 1, 3, 4.0),
+            ),
+        ),
+        (
+            "crash_dead",
+            Some(
+                link_plan()
+                    .with_crash(1, 2, false)
+                    .with_straggler(2, 1, 3, 4.0),
+            ),
+        ),
+    ];
+    for (label, plan) in storms {
+        let cfg = match plan {
+            Some(p) => faulty_cfg(p),
+            None => base_cfg(),
+        };
+        let server = load(g, Platform::bridges(DEVICES), cfg, ServeConfig::default());
+        let reqs = stream(&server).into_iter().map(JobRequest::new).collect();
+        let (wall, lats, _) = run_stream(&server, reqs);
+        let stats = server.stats();
+        reconcile(label, &stats);
+        rows.push(row(label, wall, &lats, &stats));
+        server.shutdown();
+    }
+
+    // memory_pressure: tighten capacities between the 4-wide and 16-wide
+    // footprints of the wide sssp batch, so it must degrade to fit.
+    {
+        let probe = load(
+            g,
+            Platform::bridges(DEVICES),
+            base_cfg(),
+            ServeConfig::default(),
+        );
+        let wide = JobSpec::Sssp {
+            sources: (0..16).map(|k| (k * g.num_vertices()) / 16).collect(),
+        };
+        let f16 = *probe.predict_footprint(&wide, 16).iter().max().unwrap();
+        let f4 = *probe.predict_footprint(&wide, 4).iter().max().unwrap();
+        probe.shutdown();
+        let mut platform = Platform::bridges(DEVICES);
+        for gpu in &mut platform.gpus {
+            gpu.memory_bytes = (f4 + f16) / 2;
+        }
+        let server = load(g, platform, faulty_cfg(link_plan()), ServeConfig::default());
+        let reqs = stream(&server).into_iter().map(JobRequest::new).collect();
+        let (wall, lats, _) = run_stream(&server, reqs);
+        let stats = server.stats();
+        reconcile("memory_pressure", &stats);
+        assert!(stats.degraded >= 1, "pressure scenario must degrade");
+        rows.push(row("memory_pressure", wall, &lats, &stats));
+        server.shutdown();
+    }
+
+    // deadline_churn: stale half queued behind a paused server with 1ms
+    // deadlines, fresh half without; resume and drain.
+    {
+        let server = load(
+            g,
+            Platform::bridges(DEVICES),
+            faulty_cfg(link_plan()),
+            ServeConfig {
+                workers: 1,
+                start_paused: true,
+                ..ServeConfig::default()
+            },
+        );
+        let jobs = stream(&server);
+        let (stale, fresh) = jobs.split_at(jobs.len() / 2);
+        let t0 = Instant::now();
+        let stale_handles: Vec<_> = stale
+            .iter()
+            .map(|j| {
+                server
+                    .submit(JobRequest::new(j.clone()).deadline(Duration::from_millis(1)))
+                    .expect("queue fits the stream")
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        let reqs = fresh.iter().cloned().map(JobRequest::new).collect();
+        server.resume();
+        let (_, lats, _) = run_stream(&server, reqs);
+        for h in &stale_handles {
+            let _ = h.wait();
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        server.drain();
+        let stats = server.stats();
+        reconcile("deadline_churn", &stats);
+        assert!(stats.expired >= 1, "stale deadlines must expire");
+        rows.push(row("deadline_churn", wall, &lats, &stats));
+        server.shutdown();
+    }
+
+    // saturation: a 2-slot queue against a 12-job burst while paused.
+    {
+        let server = load(
+            g,
+            Platform::bridges(DEVICES),
+            faulty_cfg(link_plan()),
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 2,
+                cache_capacity: 0,
+                start_paused: true,
+                ..ServeConfig::default()
+            },
+        );
+        let reqs: Vec<JobRequest> = (1..=12)
+            .map(|k| JobRequest::new(JobSpec::KCore { k }))
+            .collect();
+        let t0 = Instant::now();
+        let handles: Vec<_> = reqs.into_iter().map(|r| server.submit(r)).collect();
+        server.resume();
+        let mut lats = Vec::new();
+        for h in handles.into_iter().flatten() {
+            if h.wait().is_ok() {
+                lats.push(t0.elapsed().as_secs_f64());
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        server.drain();
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let stats = server.stats();
+        reconcile("saturation", &stats);
+        assert!(stats.rejected_saturated >= 1, "the burst must overflow");
+        rows.push(row("saturation", wall, &lats, &stats));
+        server.shutdown();
+    }
+
+    let json = format!(
+        "{{\n  \"dataset\": \"twitter50\",\n  \"policy\": \"cvc\",\n  \"variant\": \"Var3\",\n  \
+         \"devices\": {DEVICES},\n  \"extra_scale\": {extra_scale},\n  \"seed\": {seed},\n  \
+         \"stream\": \"bfs x16-wide + sssp x16-wide + pagerank + cc + kcore + 4 bfs + 4 sssp \
+         singletons (13 jobs)\",\n  \
+         \"scenarios\": [\n{}\n  ],\n  \
+         \"note\": \"Seeded chaos against the resident JobServer: link faults \
+         (drop/duplicate/delay), a device crash at round 2 (rejoin and dead modes) plus a 4x \
+         straggler window, memory pressure via capacities tightened between the 4- and 16-wide \
+         footprints of the widest batch (forcing the admission governor down the lane-width \
+         ladder), deadline churn and queue saturation. availability = (completed + cache_hits) / \
+         accepted; latencies are client-observed submit-to-result over successful jobs only. \
+         Counters are asserted to reconcile in every scenario.\"\n}}\n",
+        rows.join(",\n")
+    );
+    or_exit(write_output(&out_path, &json), USAGE);
+    println!("\nwrote {out_path}");
+}

@@ -131,12 +131,13 @@ fn main() {
             queue_capacity: 256,
             cache_capacity: 128,
             start_paused: false,
+            ..ServeConfig::default()
         };
         let t_load = Instant::now();
         let server = JobServer::load(
             g,
             Platform::bridges(gpus),
-            RunConfig::var4(Policy::Cvc),
+            RunConfig::var4(Policy::Cvc).scale(ld.ds.divisor),
             serve_cfg,
         )
         .expect("load failed");

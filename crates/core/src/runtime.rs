@@ -66,6 +66,17 @@ pub enum RunError {
     EmptyGraph,
 }
 
+impl RunError {
+    /// True when retrying the same job with a *smaller working set* could
+    /// succeed. OOM is the only such failure: a K-lane batch that does not
+    /// fit can be split into narrower launches (or run scalar). A platform
+    /// with no devices or an empty graph stays broken no matter how the
+    /// job is shaped, so those are terminal.
+    pub fn is_retriable(&self) -> bool {
+        matches!(self, RunError::Oom { .. })
+    }
+}
+
 impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -397,6 +408,7 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             aux: self.aux,
             backend: self.backend,
             sources: sources.to_vec(),
+            lane_width: LANE_WIDTH,
         }
     }
 
@@ -519,6 +531,7 @@ pub struct MultiRunner<'a, P: VertexProgram> {
     aux: Option<&'a [u64]>,
     backend: Backend,
     sources: Vec<VertexId>,
+    lane_width: usize,
 }
 
 impl<'a, P> MultiRunner<'a, P>
@@ -528,6 +541,18 @@ where
     /// Selects the execution backend (default [`Backend::Scalar`]).
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Caps the lanes per engine launch under [`Backend::Lanes`]
+    /// (clamped to `1..=`[`LANE_WIDTH`], default [`LANE_WIDTH`]).
+    /// Narrower launches trade scan amortization for a smaller per-device
+    /// working set — the serve layer's degradation ladder splits a K=64
+    /// batch into 2×32 / 4×16 / … launches until the footprint fits.
+    /// Per-lane values are unaffected: every chunking of the same source
+    /// list produces bit-identical lane outputs.
+    pub fn lane_width(mut self, width: usize) -> Self {
+        self.lane_width = width.clamp(1, LANE_WIDTH);
         self
     }
 
@@ -547,6 +572,7 @@ where
             aux,
             backend,
             sources,
+            lane_width,
         } = self;
         if rt.platform.num_devices() == 0 {
             return Err(RunError::NoDevices);
@@ -604,7 +630,7 @@ where
                 }
             }
             Backend::Lanes => {
-                for chunk in sources.chunks(LANE_WIDTH) {
+                for chunk in sources.chunks(lane_width) {
                     let batched = program.batched(chunk);
                     let (out, states) = execute_job(
                         rt,
@@ -815,6 +841,33 @@ impl Runtime {
             self.platform.num_devices(),
             self.config.seed,
         )
+    }
+
+    /// Predicts the per-device memory footprint of running `program`
+    /// against `prep`, **by the same formula the load check charges**
+    /// ([`crate::device::DeviceRun::required_bytes`], including the
+    /// K-scaled `state_bytes` of batched programs): `footprint(...)[d]`
+    /// equals what a run would record in
+    /// [`ExecutionReport::memory_per_device`] for device `d`, and the run
+    /// OOMs iff some `footprint(...)[d]` exceeds device `d`'s capacity.
+    /// This is the admission governor's oracle: prediction and engine
+    /// admission cannot disagree because they are one computation.
+    pub fn footprint<P: VertexProgram>(&self, prep: &PreparedPartition, program: &P) -> Vec<u64> {
+        let state_bytes = program.state_bytes();
+        let mut out = vec![0u64; self.platform.num_devices() as usize];
+        for lg in &prep.part.locals {
+            let need = DeviceRun::<P>::required_bytes(
+                lg,
+                &prep.plan,
+                program,
+                state_bytes,
+                self.config.scale_divisor,
+            );
+            if let Some(slot) = out.get_mut(lg.device as usize) {
+                *slot = need;
+            }
+        }
+        out
     }
 
     /// Starts building one job of `program` against a resident prepared

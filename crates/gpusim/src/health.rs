@@ -98,6 +98,17 @@ impl HealthTracker {
     pub fn all_healthy(&self) -> bool {
         self.status.iter().all(|&s| s == DeviceHealth::Healthy)
     }
+
+    /// Number of devices tracked (alive or not).
+    pub fn num_devices(&self) -> u32 {
+        self.status.len() as u32
+    }
+
+    /// Per-device health snapshot (index = device id) — what an
+    /// operator-facing status endpoint reports alongside residual memory.
+    pub fn statuses(&self) -> &[DeviceHealth] {
+        &self.status
+    }
 }
 
 #[cfg(test)]
@@ -124,7 +135,9 @@ mod tests {
         h.mark_dead(2);
         assert!(!h.is_alive(2));
         assert_eq!(h.alive_count(), 3);
+        assert_eq!(h.num_devices(), 4);
         assert_eq!(h.alive_flags(), vec![true, true, false, true]);
+        assert_eq!(h.statuses()[2], DeviceHealth::Dead);
         // Dead devices can't straggle.
         h.set_straggler(2, 2.0);
         assert_eq!(h.health(2), DeviceHealth::Dead);

@@ -83,6 +83,13 @@ impl MemoryTracker {
     pub fn capacity(&self) -> u64 {
         self.capacity
     }
+
+    /// Bytes still allocatable right now (`capacity − in_use`) — the
+    /// residual an admission controller checks a predicted footprint
+    /// against before launching work on this device.
+    pub fn residual(&self) -> u64 {
+        self.capacity.saturating_sub(self.in_use)
+    }
 }
 
 #[cfg(test)]
@@ -95,8 +102,10 @@ mod tests {
         m.alloc(60).unwrap();
         m.alloc(30).unwrap();
         assert_eq!(m.in_use(), 90);
+        assert_eq!(m.residual(), 10);
         m.free(50);
         assert_eq!(m.in_use(), 40);
+        assert_eq!(m.residual(), 60);
         assert_eq!(m.peak(), 90);
         m.alloc(20).unwrap();
         assert_eq!(m.peak(), 90);

@@ -4,7 +4,9 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use dirgl_core::{ExecutionReport, RunError};
+use dirgl_core::{ExecutionReport, ResilienceStats, RunError};
+
+use crate::governor::RejectReason;
 
 /// One analytics query against the resident graph. The spec is the
 /// cache-key payload: two jobs with equal specs (in the same graph epoch)
@@ -212,6 +214,30 @@ pub struct JobResult {
     pub from_cache: bool,
     /// Graph epoch the result belongs to.
     pub epoch: u64,
+    /// How this job was kept alive: attempts, lane-width degradation and
+    /// the engine-level fault/recovery counters. All default (zero
+    /// attempts) for cache-served results.
+    pub resilience: JobResilience,
+}
+
+/// Per-job resilience record: what the admission governor and the retry
+/// ladder did to keep this job alive, plus the engine-level recovery
+/// counters aggregated across every phase and attempt.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobResilience {
+    /// Engine launches performed (1 for a clean first-try run; 0 when the
+    /// result came from the cache).
+    pub attempts: u32,
+    /// Lane width the job asked for (sources per launch; 1 = scalar).
+    pub requested_width: usize,
+    /// Lane width the job actually ran at after admission and retries.
+    pub granted_width: usize,
+    /// True when `granted_width < requested_width` (the degradation
+    /// ladder narrowed the job to fit memory or health pressure).
+    pub degraded: bool,
+    /// Engine-level fault and recovery counters (link retries, crashes,
+    /// rollbacks, re-homed masters), summed over all phases and attempts.
+    pub engine: ResilienceStats,
 }
 
 /// Why a submission was refused at the door (admission control). The job
@@ -267,9 +293,20 @@ impl std::error::Error for SubmitError {}
 /// Why an *accepted* job did not produce a result.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobError {
-    /// The engine refused the run (OOM, degenerate input).
-    Run(RunError),
-    /// The job's deadline passed while it was still queued.
+    /// The engine refused the run on every attempt. Carries the *last*
+    /// attempt's full [`RunError`] (device, predicted vs available bytes
+    /// for OOM) and how many launches were tried before giving up.
+    Run {
+        /// The final attempt's failure, structure intact.
+        error: RunError,
+        /// Engine launches performed before surrendering.
+        attempts: u32,
+    },
+    /// The admission governor refused to launch the job at any lane width
+    /// (memory pressure or dead devices); the engine was never invoked.
+    Rejected(RejectReason),
+    /// The job's deadline passed while it was queued, mid-retry-backoff,
+    /// or before a retry could launch.
     DeadlineExpired,
     /// The server shut down before the job ran.
     ShutDown,
@@ -278,7 +315,10 @@ pub enum JobError {
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            JobError::Run(e) => write!(f, "run failed: {e}"),
+            JobError::Run { error, attempts } => {
+                write!(f, "run failed after {attempts} attempt(s): {error}")
+            }
+            JobError::Rejected(r) => write!(f, "rejected by admission governor: {r}"),
             JobError::DeadlineExpired => write!(f, "deadline expired before execution"),
             JobError::ShutDown => write!(f, "server shut down before the job ran"),
         }

@@ -20,6 +20,14 @@
 //! * [`JobServer`] — admission control (source validation, bounded queue
 //!   with reject-with-reason), a priority queue, a fixed executor pool
 //!   bounding jobs in flight, and counters ([`ServerStats`]).
+//! * the resilience layer ([`mod@crate::governor`] + per-job recovery) —
+//!   before launch, the admission governor predicts the job's per-device
+//!   memory footprint with the engine's own formula, checks it against
+//!   health-shrunk residual capacity and walks the lane-width degradation
+//!   ladder (64 → 32 → … → scalar) until it fits, shedding Low-priority
+//!   work under pressure; retriable engine failures retry with capped
+//!   exponential backoff and width halving, deadlines are enforced across
+//!   retries, and every result carries its [`JobResilience`] record.
 //!
 //! Traversal specs (bfs/sssp/bc) carry a *set* of sources and run them as
 //! lanes of one K-lane batched engine pass (K ≤ 64). At dequeue, a worker
@@ -56,10 +64,14 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod governor;
 mod job;
 mod server;
 
+pub use dirgl_gpusim::DeviceHealth;
+pub use governor::{DeviceStatus, RejectReason};
 pub use job::{
-    JobError, JobHandle, JobOutcome, JobRequest, JobResult, JobSpec, Priority, SubmitError,
+    JobError, JobHandle, JobOutcome, JobRequest, JobResilience, JobResult, JobSpec, Priority,
+    SubmitError,
 };
-pub use server::{JobServer, ServeConfig, ServerStats};
+pub use server::{JobServer, ServeConfig, ServerStats, ServerStatus};

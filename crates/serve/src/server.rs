@@ -25,20 +25,24 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use std::time::Duration;
+
 use dirgl_apps::{
-    batched_betweenness_centrality_prepared, betweenness_centrality_prepared, Bfs, Cc, KCore,
-    PageRank, Sssp,
+    batched_betweenness_centrality_prepared, betweenness_centrality_prepared, BcBackward,
+    BcForward, Bfs, Cc, KCore, PageRank, Sssp,
 };
 use dirgl_core::{
-    Backend, ExecutionReport, PreparedPartition, RunConfig, RunError, RunOutput, Runtime,
-    LANE_WIDTH,
+    Backend, ExecutionReport, Lanes, MultiSourceProgram, PreparedPartition, ResilienceStats,
+    RunConfig, RunError, RunOutput, Runtime, LANE_WIDTH,
 };
 use dirgl_gpusim::Platform;
 use dirgl_graph::Csr;
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::governor::{ladder_widths, Denial, DeviceStatus, Governor, RejectReason};
 use crate::job::{
-    JobCell, JobError, JobHandle, JobOutcome, JobRequest, JobResult, JobSpec, Priority, SubmitError,
+    JobCell, JobError, JobHandle, JobOutcome, JobRequest, JobResilience, JobResult, JobSpec,
+    Priority, SubmitError,
 };
 
 /// Server sizing and policy knobs.
@@ -55,6 +59,22 @@ pub struct ServeConfig {
     /// applies) but nothing runs until [`JobServer::resume`]. Tests use
     /// this to make saturation and deadline behavior deterministic.
     pub start_paused: bool,
+    /// Run every launch through the admission governor (predict the
+    /// per-device footprint, degrade the lane width until it fits, shed
+    /// Low-priority work under pressure, reject what cannot fit at all).
+    /// Disabled, jobs launch at their requested width and the engine's
+    /// own load check is the only guard.
+    pub governor: bool,
+    /// Effective-capacity multiplier the governor applies to a straggling
+    /// device, in `(0, 1]` — pressure steers wide batches away from slow
+    /// devices before they inflate the barrier.
+    pub straggler_capacity_factor: f64,
+    /// Retries after a retriable engine failure (OOM); each retry halves
+    /// the lane width. `0` disables retrying.
+    pub max_retries: u32,
+    /// Base retry pause; attempt `i` (0-based) backs off `2^i ×` this,
+    /// truncated at the job's deadline.
+    pub retry_backoff: Duration,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +84,10 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             cache_capacity: 128,
             start_paused: false,
+            governor: true,
+            straggler_capacity_factor: 0.9,
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(1),
         }
     }
 }
@@ -82,6 +106,11 @@ struct Counters {
     cache_misses: AtomicU64,
     invalidated: AtomicU64,
     coalesced: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
+    shed: AtomicU64,
+    rejected_gov: AtomicU64,
+    shut_down: AtomicU64,
 }
 
 /// A point-in-time statistics snapshot.
@@ -110,6 +139,20 @@ pub struct ServerStats {
     /// Jobs served as lanes of a coalesced multi-source engine launch
     /// (counts every member of a merged batch).
     pub coalesced: u64,
+    /// Engine relaunches after a retriable failure (each halves the lane
+    /// width).
+    pub retries: u64,
+    /// Jobs that completed at a lane width below the one they requested
+    /// (admission degradation or retry narrowing).
+    pub degraded: u64,
+    /// Low-priority jobs the governor shed under memory pressure (a
+    /// subset of [`ServerStats::rejected_gov`]).
+    pub shed: u64,
+    /// Jobs the admission governor refused to launch (no rung of the
+    /// degradation ladder fit, all devices dead, or shed).
+    pub rejected_gov: u64,
+    /// Queued jobs failed because the server shut down first.
+    pub shut_down: u64,
     /// Cache entries currently resident.
     pub cache_entries: usize,
     /// LRU evictions so far.
@@ -172,6 +215,13 @@ struct Inner {
     transpose: Arc<PreparedPartition>,
     queue_capacity: usize,
     cache_enabled: bool,
+    /// Memory/health-aware admission (see [`crate::governor`]).
+    gov: Governor,
+    /// Device the server's fault plan crashes (observed from job reports
+    /// to keep the governor's health picture current).
+    crash_device: Option<u32>,
+    max_retries: u32,
+    retry_backoff: Duration,
     sched: Mutex<Sched>,
     /// Signaled when work arrives, pause state flips, or shutdown begins.
     work: Condvar,
@@ -194,18 +244,19 @@ impl Inner {
         }
     }
 
-    /// Executes `spec` against the resident views. Pure with respect to
-    /// server state: all shared inputs are immutable, every mutable buffer
-    /// is job-local, so any number of these may run concurrently and each
-    /// single-source job reproduces its one-shot equivalent byte for byte.
-    /// Multi-source traversal specs run the K-lane batched backend: one
-    /// engine pass advances every source, and the outcome carries one
-    /// value vector per source.
-    fn execute(&self, spec: &JobSpec) -> Result<JobOutcome, RunError> {
+    /// Executes `spec` against the resident views at lane width `width`.
+    /// Pure with respect to server state: all shared inputs are immutable,
+    /// every mutable buffer is job-local, so any number of these may run
+    /// concurrently and each single-source job reproduces its one-shot
+    /// equivalent byte for byte. Multi-source traversal specs run the
+    /// K-lane batched backend in `width`-lane chunks (`width == 1` runs
+    /// each source through the scalar backend — the ladder's last rung);
+    /// every width produces bit-identical per-source values.
+    fn execute_at(&self, spec: &JobSpec, width: usize) -> Result<JobOutcome, RunError> {
         if let Some(sources) = spec.sources() {
             if sources.len() > 1 {
                 return self
-                    .execute_lanes(spec, sources)
+                    .execute_lanes(spec, sources, width)
                     .map(|(reports, per_source)| JobOutcome {
                         reports,
                         per_source,
@@ -252,19 +303,28 @@ impl Inner {
     }
 
     /// Runs a traversal spec's kind from every source in `sources` with
-    /// the K-lane backend. Returns the shared phase reports and one value
+    /// the K-lane backend in `width`-lane chunks (scalar backend when
+    /// `width == 1`). Returns the per-launch phase reports and one value
     /// vector per source, in `sources` order.
     fn execute_lanes(
         &self,
         spec: &JobSpec,
         sources: &[u32],
+        width: usize,
     ) -> Result<(Vec<ExecutionReport>, Vec<Vec<f64>>), RunError> {
+        let width = width.clamp(1, LANE_WIDTH);
+        let backend = if width > 1 {
+            Backend::Lanes
+        } else {
+            Backend::Scalar
+        };
         match spec {
             JobSpec::Bfs { .. } => self
                 .rt
                 .job(&self.directed, &Bfs::new(sources[0]))
-                .backend(Backend::Lanes)
+                .backend(backend)
                 .batch(sources)
+                .lane_width(width)
                 .execute()
                 .map(|out| {
                     let vals = out.lanes.into_iter().map(|l| l.values).collect();
@@ -273,25 +333,222 @@ impl Inner {
             JobSpec::Sssp { .. } => self
                 .rt
                 .job(&self.directed, &Sssp::new(sources[0]))
-                .backend(Backend::Lanes)
+                .backend(backend)
                 .batch(sources)
+                .lane_width(width)
                 .execute()
                 .map(|out| {
                     let vals = out.lanes.into_iter().map(|l| l.values).collect();
                     (out.engine_reports, vals)
                 }),
-            JobSpec::Bc { .. } => batched_betweenness_centrality_prepared(
-                &self.rt,
-                &self.directed,
-                &self.transpose,
-                sources,
-            )
-            .map(|outs| {
+            JobSpec::Bc { .. } if width > 1 => {
+                let mut outs = Vec::with_capacity(sources.len());
+                for chunk in sources.chunks(width) {
+                    outs.extend(batched_betweenness_centrality_prepared(
+                        &self.rt,
+                        &self.directed,
+                        &self.transpose,
+                        chunk,
+                    )?);
+                }
                 let reports = vec![outs[0].forward.clone(), outs[0].backward.clone()];
-                (reports, outs.into_iter().map(|b| b.scores).collect())
-            }),
+                Ok((reports, outs.into_iter().map(|b| b.scores).collect()))
+            }
+            JobSpec::Bc { .. } => {
+                // Scalar rung: one two-phase driver run per source.
+                let mut outs = Vec::with_capacity(sources.len());
+                for &src in sources {
+                    outs.push(betweenness_centrality_prepared(
+                        &self.rt,
+                        &self.directed,
+                        &self.transpose,
+                        src,
+                    )?);
+                }
+                let reports = vec![outs[0].forward.clone(), outs[0].backward.clone()];
+                Ok((reports, outs.into_iter().map(|b| b.scores).collect()))
+            }
             JobSpec::Pagerank | JobSpec::Cc | JobSpec::KCore { .. } => {
                 unreachable!("only traversal specs carry sources")
+            }
+        }
+    }
+
+    /// Predicts `spec`'s per-device footprint at lane width `width` with
+    /// the engine's own `required_bytes` formula
+    /// ([`dirgl_core::Runtime::footprint`]), instantiating exactly the
+    /// program [`Inner::execute_at`] would launch — batched adapter for
+    /// `width ≥ 2`, the scalar program for the scalar rung — so
+    /// prediction and the engine's load check cannot disagree. Chunked
+    /// runs execute sequentially and a full-width chunk's footprint
+    /// dominates its narrower tail, so the first chunk is the maximum.
+    fn predict(&self, spec: &JobSpec, width: usize) -> Vec<u64> {
+        match spec {
+            JobSpec::Bfs { sources } => {
+                let k = width.clamp(1, LANE_WIDTH).min(sources.len());
+                if k > 1 {
+                    let prog = Bfs::new(sources[0]).batched(&sources[..k]);
+                    self.rt.footprint(&self.directed, &prog)
+                } else {
+                    self.rt.footprint(&self.directed, &Bfs::new(sources[0]))
+                }
+            }
+            JobSpec::Sssp { sources } => {
+                let k = width.clamp(1, LANE_WIDTH).min(sources.len());
+                if k > 1 {
+                    let prog = Sssp::new(sources[0]).batched(&sources[..k]);
+                    self.rt.footprint(&self.directed, &prog)
+                } else {
+                    self.rt.footprint(&self.directed, &Sssp::new(sources[0]))
+                }
+            }
+            JobSpec::Pagerank => self.rt.footprint(&self.directed, &PageRank::new()),
+            JobSpec::Cc => self.rt.footprint(&self.symmetric, &Cc),
+            JobSpec::KCore { k } => self.rt.footprint(&self.symmetric, &KCore::new(*k)),
+            JobSpec::Bc { sources } => {
+                // Two sequential phases on two views: the job's footprint
+                // on a device is the larger phase's.
+                let k = width.clamp(1, LANE_WIDTH).min(sources.len());
+                let fwd = BcForward { source: sources[0] };
+                let (f, b) = if k > 1 {
+                    let bwd: Vec<BcBackward> = (0..k).map(|_| BcBackward::new(0)).collect();
+                    (
+                        self.rt
+                            .footprint(&self.directed, &Lanes::new(&fwd, &sources[..k])),
+                        self.rt
+                            .footprint(&self.transpose, &Lanes::from_programs(bwd)),
+                    )
+                } else {
+                    (
+                        self.rt.footprint(&self.directed, &fwd),
+                        self.rt.footprint(&self.transpose, &BcBackward::new(0)),
+                    )
+                };
+                f.iter().zip(&b).map(|(&x, &y)| x.max(y)).collect()
+            }
+        }
+    }
+
+    /// The full serve path for one (possibly coalesced) launch: governor
+    /// admission over the degradation ladder, execution at the granted
+    /// width, and on retriable failure a capped exponential-backoff retry
+    /// loop that halves the width per attempt — all under `deadline`
+    /// (checked before every launch and across every backoff pause).
+    /// Returns the outcome plus the job's resilience record; the caller
+    /// owns counter bookkeeping.
+    fn execute_governed(
+        &self,
+        spec: &JobSpec,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> Result<(JobOutcome, JobResilience), JobError> {
+        let requested = spec.sources().map(|s| s.len().min(LANE_WIDTH)).unwrap_or(1);
+        let ladder: Vec<(usize, Vec<u64>)> = ladder_widths(requested)
+            .into_iter()
+            .map(|w| (w, self.predict(spec, w)))
+            .collect();
+        // Transient denials (the job fits an idle server but in-flight
+        // reservations crowd it out) wait for a release and ask again;
+        // only terminal denials surface as rejections. The wait cannot
+        // wedge: `Busy` implies another worker holds a reservation it
+        // will release when its launch finishes.
+        let grant = loop {
+            match self.gov.decide(priority, &ladder) {
+                Ok(g) => break g,
+                Err(Denial::Reject(r)) => return Err(JobError::Rejected(r)),
+                Err(Denial::Busy) => {
+                    let pause = self.retry_backoff.max(Duration::from_micros(200));
+                    if let Some(dl) = deadline {
+                        let now = Instant::now();
+                        if now + pause >= dl {
+                            std::thread::sleep(dl.saturating_duration_since(now));
+                            return Err(JobError::DeadlineExpired);
+                        }
+                    }
+                    std::thread::sleep(pause);
+                }
+            }
+        };
+
+        let mut width = grant.width;
+        let mut attempts: u32 = 0;
+        let outcome = loop {
+            if deadline.is_some_and(|dl| Instant::now() > dl) {
+                self.gov.release(&grant.reserved);
+                return Err(JobError::DeadlineExpired);
+            }
+            attempts += 1;
+            match self.execute_at(spec, width) {
+                Ok(outcome) => break outcome,
+                Err(e) => {
+                    if e.is_retriable() && width > 1 && attempts <= self.max_retries {
+                        // Narrow and back off; a pause that would cross
+                        // the deadline expires the job instead (exactly
+                        // once, at the deadline).
+                        width = (width / 2).max(1);
+                        let pause = self
+                            .retry_backoff
+                            .saturating_mul(1u32 << (attempts - 1).min(16));
+                        if let Some(dl) = deadline {
+                            let now = Instant::now();
+                            if now + pause >= dl {
+                                std::thread::sleep(dl.saturating_duration_since(now));
+                                self.gov.release(&grant.reserved);
+                                return Err(JobError::DeadlineExpired);
+                            }
+                        }
+                        std::thread::sleep(pause);
+                        self.c.retries.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    self.gov.release(&grant.reserved);
+                    return Err(JobError::Run { error: e, attempts });
+                }
+            }
+        };
+        self.gov.release(&grant.reserved);
+
+        let mut engine = ResilienceStats::default();
+        for r in &outcome.reports {
+            fold_resilience(&mut engine, &r.resilience);
+        }
+        // Keep the health picture current: a crash that never rejoined
+        // leaves its device dead for subsequent admissions.
+        self.gov.observe(self.crash_device, &engine);
+
+        let resilience = JobResilience {
+            attempts,
+            requested_width: requested,
+            granted_width: width,
+            degraded: width < requested,
+            engine,
+        };
+        if resilience.degraded {
+            self.c.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((outcome, resilience))
+    }
+
+    /// One-stop failure bookkeeping — every terminal [`JobError`] a
+    /// worker produces is counted here, exactly once, so the counters
+    /// reconcile (`accepted = completed + cache_hits + failed + expired +
+    /// rejected_gov + shut_down`).
+    fn count_error(&self, e: &JobError) {
+        match e {
+            JobError::Run { .. } => {
+                self.c.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            JobError::Rejected(r) => {
+                self.c.rejected_gov.fetch_add(1, Ordering::Relaxed);
+                if matches!(r, RejectReason::Shed { .. }) {
+                    self.c.shed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            JobError::DeadlineExpired => {
+                self.c.expired.fetch_add(1, Ordering::Relaxed);
+            }
+            JobError::ShutDown => {
+                self.c.shut_down.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -311,6 +568,7 @@ impl Inner {
                         // Fail whatever is still queued, exactly once
                         // across workers (whoever holds the lock first).
                         while let Some(q) = s.queue.pop() {
+                            self.c.shut_down.fetch_add(1, Ordering::Relaxed);
                             q.cell.fulfill(Err(JobError::ShutDown));
                         }
                         self.idle.notify_all();
@@ -373,9 +631,16 @@ impl Inner {
 
     /// Serves a coalesced window: per-job deadline and cache checks still
     /// apply individually, then the surviving singletons run as lanes of
-    /// one batched engine launch. Each job gets its own outcome, and the
-    /// cache is filled per source under the canonical singleton spec, so
-    /// later single-source queries hit.
+    /// one governed batched engine launch at the batch's highest member
+    /// priority. Each job gets its own outcome (sharing the batch's
+    /// resilience record), and the cache is filled per source under the
+    /// canonical singleton spec, so later single-source queries hit.
+    ///
+    /// Member deadlines are enforced before the launch only: the batch
+    /// retries without a deadline, so a member whose deadline passes
+    /// mid-run still receives its (late) result rather than poisoning the
+    /// shared launch. Jobs that need hard mid-run expiry should not
+    /// coalesce (multi-source specs never do).
     fn serve_coalesced(&self, jobs: Vec<Queued>) {
         let epoch = jobs[0].epoch;
         let mut run = Vec::with_capacity(jobs.len());
@@ -395,6 +660,7 @@ impl Inner {
                         outcome,
                         from_cache: true,
                         epoch,
+                        resilience: JobResilience::default(),
                     }));
                     continue;
                 }
@@ -414,8 +680,18 @@ impl Inner {
         sources.sort_unstable();
         sources.dedup();
 
-        match self.execute_lanes(&run[0].spec, &sources) {
-            Ok((reports, per_source)) => {
+        let batch_spec = run[0]
+            .spec
+            .with_sources(sources.clone())
+            .expect("coalesced jobs are traversal specs");
+        let priority = run
+            .iter()
+            .map(|q| q.priority)
+            .max()
+            .expect("batch is non-empty");
+
+        match self.execute_governed(&batch_spec, priority, None) {
+            Ok((outcome, resilience)) => {
                 if run.len() > 1 {
                     self.c
                         .coalesced
@@ -423,11 +699,12 @@ impl Inner {
                 }
                 // One singleton outcome per source, shared between the
                 // cache, this batch's duplicates, and future hits.
-                let outcomes: Vec<Arc<JobOutcome>> = per_source
+                let outcomes: Vec<Arc<JobOutcome>> = outcome
+                    .per_source
                     .into_iter()
                     .map(|values| {
                         Arc::new(JobOutcome {
-                            reports: reports.clone(),
+                            reports: outcome.reports.clone(),
                             per_source: vec![values],
                         })
                     })
@@ -447,13 +724,14 @@ impl Inner {
                         outcome: Arc::clone(&outcomes[i]),
                         from_cache: false,
                         epoch,
+                        resilience: resilience.clone(),
                     }));
                 }
             }
             Err(e) => {
                 for job in run {
-                    self.c.failed.fetch_add(1, Ordering::Relaxed);
-                    job.cell.fulfill(Err(JobError::Run(e.clone())));
+                    self.count_error(&e);
+                    job.cell.fulfill(Err(e.clone()));
                 }
             }
         }
@@ -461,7 +739,7 @@ impl Inner {
 
     /// Serves one dequeued job: deadline check, cache re-check (an
     /// identical job may have completed while this one queued), then
-    /// execution + cache fill.
+    /// governed execution + cache fill.
     fn serve_one(&self, job: &Queued) -> Result<JobResult, JobError> {
         if let Some(dl) = job.deadline {
             if Instant::now() > dl {
@@ -477,12 +755,13 @@ impl Inner {
                     outcome,
                     from_cache: true,
                     epoch: job.epoch,
+                    resilience: JobResilience::default(),
                 });
             }
         }
         self.c.cache_misses.fetch_add(1, Ordering::Relaxed);
-        match self.execute(&job.spec) {
-            Ok(outcome) => {
+        match self.execute_governed(&job.spec, job.priority, job.deadline) {
+            Ok((outcome, resilience)) => {
                 let outcome = Arc::new(outcome);
                 if self.cache_enabled {
                     self.cache.lock().unwrap().insert(key, Arc::clone(&outcome));
@@ -492,14 +771,44 @@ impl Inner {
                     outcome,
                     from_cache: false,
                     epoch: job.epoch,
+                    resilience,
                 })
             }
             Err(e) => {
-                self.c.failed.fetch_add(1, Ordering::Relaxed);
-                Err(JobError::Run(e))
+                self.count_error(&e);
+                Err(e)
             }
         }
     }
+}
+
+/// Field-wise fold of one phase's engine resilience counters into a
+/// job-level total.
+fn fold_resilience(total: &mut ResilienceStats, r: &ResilienceStats) {
+    total.faults.merge(&r.faults);
+    total.crashes += r.crashes;
+    total.checkpoints_taken += r.checkpoints_taken;
+    total.checkpoint_bytes += r.checkpoint_bytes;
+    total.rollbacks += r.rollbacks;
+    total.rounds_replayed += r.rounds_replayed;
+    total.rejoins += r.rejoins;
+    total.masters_reassigned += r.masters_reassigned;
+    total.recovery_time += r.recovery_time;
+}
+
+/// The operator-facing snapshot [`JobServer::status`] returns: the
+/// admission governor's per-device view (health, reserved and residual
+/// bytes) plus queue occupancy and the counter set.
+#[derive(Clone, Debug)]
+pub struct ServerStatus {
+    /// One row per device, as the governor admits against it right now.
+    pub devices: Vec<DeviceStatus>,
+    /// Jobs waiting in the queue.
+    pub queued: usize,
+    /// Jobs executing right now.
+    pub in_flight: usize,
+    /// The full counter snapshot.
+    pub stats: ServerStats,
 }
 
 /// A long-lived analytics server over one resident dataset. See the
@@ -525,6 +834,16 @@ impl JobServer {
         let directed = Arc::new(rt.prepare(graph, false)?);
         let symmetric = Arc::new(rt.prepare(graph, true)?);
         let transpose = Arc::new(rt.prepare(&graph.transpose(), false)?);
+        let capacities: Vec<u64> = rt.platform.gpus.iter().map(|g| g.memory_bytes).collect();
+        let faults = rt.config.faults.as_ref();
+        let straggler = faults.and_then(|f| f.straggler.map(|s| (s.device, s.factor)));
+        let crash_device = faults.and_then(|f| f.crash.map(|c| c.device));
+        let gov = Governor::new(
+            capacities,
+            serve.governor,
+            serve.straggler_capacity_factor,
+            straggler,
+        );
         let inner = Arc::new(Inner {
             rt,
             directed,
@@ -532,6 +851,10 @@ impl JobServer {
             transpose,
             queue_capacity: serve.queue_capacity,
             cache_enabled: serve.cache_capacity > 0,
+            gov,
+            crash_device,
+            max_retries: serve.max_retries,
+            retry_backoff: serve.retry_backoff,
             sched: Mutex::new(Sched {
                 queue: BinaryHeap::new(),
                 in_flight: 0,
@@ -599,6 +922,7 @@ impl JobServer {
                         outcome,
                         from_cache: true,
                         epoch,
+                        resilience: JobResilience::default(),
                     })),
                 });
             }
@@ -717,11 +1041,40 @@ impl JobServer {
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
             invalidated: c.invalidated.load(Ordering::Relaxed),
             coalesced: c.coalesced.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            rejected_gov: c.rejected_gov.load(Ordering::Relaxed),
+            shut_down: c.shut_down.load(Ordering::Relaxed),
             cache_entries,
             cache_evictions,
             queued,
             in_flight,
             epoch: inner.epoch.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Predicts `spec`'s per-device footprint in bytes at lane width
+    /// `width` — the exact bytes the engine's load check will charge
+    /// (the admission governor's oracle; see
+    /// [`dirgl_core::Runtime::footprint`]). The spec is canonicalized
+    /// first, mirroring submission.
+    pub fn predict_footprint(&self, spec: &JobSpec, width: usize) -> Vec<u64> {
+        let mut spec = spec.clone();
+        spec.canonicalize();
+        self.inner.predict(&spec, width.clamp(1, LANE_WIDTH))
+    }
+
+    /// Operator snapshot: per-device health and residual memory as the
+    /// admission governor currently sees them, queue occupancy, and the
+    /// full counter set.
+    pub fn status(&self) -> ServerStatus {
+        let stats = self.stats();
+        ServerStatus {
+            devices: self.inner.gov.device_status(),
+            queued: stats.queued,
+            in_flight: stats.in_flight,
+            stats,
         }
     }
 

@@ -162,6 +162,7 @@ fn coalesced_sixteen_job_batch_matches_serial_and_fills_cache_per_source() {
             queue_capacity: 32,
             cache_capacity: 64,
             start_paused: true,
+            ..ServeConfig::default()
         },
     );
     let handles: Vec<_> = sources
@@ -316,6 +317,7 @@ fn saturation_rejects_with_reason() {
             queue_capacity: 2,
             cache_capacity: 16,
             start_paused: true,
+            ..ServeConfig::default()
         },
     );
     let h1 = srv.submit_spec(JobSpec::bfs(1)).unwrap();
@@ -384,6 +386,7 @@ fn deadline_expires_while_queued() {
             queue_capacity: 8,
             cache_capacity: 16,
             start_paused: true,
+            ..ServeConfig::default()
         },
     );
     let h = srv
@@ -410,6 +413,7 @@ fn high_priority_overtakes_low_in_the_queue() {
             queue_capacity: 8,
             cache_capacity: 0, // no cache: both jobs must truly execute
             start_paused: true,
+            ..ServeConfig::default()
         },
     );
     let low = srv
@@ -458,6 +462,7 @@ fn shutdown_fails_queued_jobs() {
             queue_capacity: 8,
             cache_capacity: 16,
             start_paused: true,
+            ..ServeConfig::default()
         },
     );
     let h = srv.submit_spec(JobSpec::Cc).unwrap();
