@@ -44,6 +44,12 @@ impl VertexProgram for Bfs {
         "bfs"
     }
 
+    fn permutation_safe(&self) -> bool {
+        // Exact, order-independent integer reduction: a permuted
+        // kernel layout produces bit-identical values.
+        true
+    }
+
     fn style(&self) -> Style {
         Style::PushDataDriven
     }

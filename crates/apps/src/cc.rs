@@ -26,6 +26,12 @@ impl VertexProgram for Cc {
         "cc"
     }
 
+    fn permutation_safe(&self) -> bool {
+        // Exact, order-independent integer reduction: a permuted
+        // kernel layout produces bit-identical values.
+        true
+    }
+
     fn style(&self) -> Style {
         Style::PushDataDriven
     }

@@ -94,12 +94,16 @@ impl VertexProgram for PageRank {
     }
 
     fn accumulate(&self, state: &mut PrState, msg: f32) -> bool {
-        if msg != 0.0 {
-            state.acc += msg;
-            true
-        } else {
-            false
-        }
+        // Unconditional add: a zero message adds +0.0, which is a bitwise
+        // no-op because `acc` is a sum of non-negative contributions and
+        // never -0.0 — exactly the `inert_contribution` contract, so the
+        // pull body can fold contributions branch-free.
+        state.acc += msg;
+        msg != 0.0
+    }
+
+    fn inert_contribution(&self) -> Option<f32> {
+        Some(0.0)
     }
 
     fn absorb(&self, state: &mut PrState) -> bool {

@@ -1,0 +1,226 @@
+//! Per-layout kernel benchmark: runs bfs / cc / sssp / pagerank on
+//! twitter50 (IEC, Var3, 16 devices) under every kernel layout —
+//! insertion order, forced degree-sorted, forced segmented, and the
+//! `Auto` skew heuristic — and writes the host wall-clock × simulated
+//! time matrix to `BENCH_kernels.json`.
+//!
+//! Every permuted run is checked against the insertion-order baseline:
+//! integer programs (bfs, cc, sssp) must be bit-identical, pagerank must
+//! stay within float-reassociation tolerance when a layout is forced and
+//! bit-identical under `Auto` (which leaves float programs on insertion
+//! order; see `dirgl_core::layout`). The binary asserts the whole
+//! `values_ok` column.
+//!
+//! ```sh
+//! cargo run --release --bin bench_kernels -- [--scale N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use dirgl_bench::cli::{or_exit, write_output, ArgStream, CliError};
+use dirgl_bench::{BenchId, LoadedDataset, KCORE_K};
+use dirgl_core::{LayoutChoice, LayoutKind, RunConfig, RunOutput, Runtime, Variant};
+use dirgl_gpusim::Platform;
+use dirgl_graph::DatasetId;
+use dirgl_partition::Policy;
+
+const DEVICES: u32 = 16;
+const BENCHES: [BenchId; 4] = [BenchId::Bfs, BenchId::Cc, BenchId::Sssp, BenchId::Pagerank];
+
+/// Max relative error allowed between a forced-layout pagerank run and
+/// the insertion baseline. The permutation only reassociates the f32
+/// residual sums, so the drift is tiny; 1e-3 is orders of magnitude
+/// above anything observed while still catching real divergence.
+const FLOAT_TOL: f64 = 1e-3;
+
+const USAGE: &str = "usage: bench_kernels [--scale N] [--out PATH]";
+
+struct Opts {
+    extra_scale: u64,
+    out_path: String,
+}
+
+fn try_parse(mut it: ArgStream) -> Result<Opts, CliError> {
+    let mut o = Opts {
+        extra_scale: 1,
+        out_path: "BENCH_kernels.json".to_string(),
+    };
+    while let Some(a) = it.next_arg() {
+        match a.as_str() {
+            "--scale" => o.extra_scale = it.parsed("--scale", "a positive integer")?,
+            "--out" => o.out_path = it.value("--out")?,
+            other => return Err(CliError::unknown_arg(other)),
+        }
+    }
+    Ok(o)
+}
+
+/// The benchmarked layout column order: baseline first, then the two
+/// forced kinds, then the heuristic.
+const CHOICES: [(LayoutChoice, &str); 4] = [
+    (LayoutChoice::Insertion, "insertion"),
+    (
+        LayoutChoice::Force(LayoutKind::DegreeSorted),
+        "degree_sorted",
+    ),
+    (LayoutChoice::Force(LayoutKind::Segmented), "segmented"),
+    (LayoutChoice::Auto, "auto"),
+];
+
+fn run_bench(
+    bench: BenchId,
+    ld: &LoadedDataset,
+    rt: &Runtime,
+    prep: &dirgl_core::PreparedPartition,
+) -> RunOutput {
+    use dirgl_apps::{Bfs, Cc, PageRank, Sssp};
+    let g = prep.graph();
+    match bench {
+        BenchId::Bfs => rt
+            .runner(g, &Bfs::from_max_out_degree(&ld.ds.graph))
+            .partition(prep)
+            .execute(),
+        BenchId::Cc => rt.runner(g, &Cc).partition(prep).execute(),
+        BenchId::Sssp => rt
+            .runner(g, &Sssp::from_max_out_degree(&ld.ds.graph))
+            .partition(prep)
+            .execute(),
+        BenchId::Pagerank => rt.runner(g, &PageRank::new()).partition(prep).execute(),
+        BenchId::Kcore => rt
+            .runner(g, &dirgl_apps::KCore::new(KCORE_K))
+            .partition(prep)
+            .execute(),
+    }
+    .unwrap()
+}
+
+/// Compares a permuted run's values against the insertion baseline.
+/// Returns `(ok, max_rel_err)`.
+fn values_check(base: &[f64], got: &[f64], float_app: bool, forced: bool) -> (bool, f64) {
+    if !float_app || !forced {
+        let same = base.len() == got.len()
+            && base
+                .iter()
+                .zip(got)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        return (same, 0.0);
+    }
+    let mut max_rel = 0.0f64;
+    for (a, b) in base.iter().zip(got) {
+        let denom = a.abs().max(1e-12);
+        max_rel = max_rel.max((a - b).abs() / denom);
+    }
+    (base.len() == got.len() && max_rel <= FLOAT_TOL, max_rel)
+}
+
+fn main() {
+    let Opts {
+        extra_scale,
+        out_path,
+    } = or_exit(try_parse(ArgStream::from_env()), USAGE);
+
+    let ld = LoadedDataset::load(DatasetId::Twitter50, extra_scale);
+    let platform = Platform::bridges(DEVICES);
+    let mut cfg = RunConfig::new(Policy::Iec, Variant::var3());
+    cfg.scale_divisor = ld.ds.divisor;
+    let rt = Runtime::new(platform, cfg);
+
+    // One base partition per graph view; each layout column clones it and
+    // permutes, so every column runs on the identical partition.
+    let base_directed = rt.prepare(&ld.ds.graph, false).unwrap();
+    let base_sym = rt.prepare(&ld.ds.graph, true).unwrap();
+
+    // Auto-selection census over the directed view: how many devices the
+    // skew heuristic escalates, and the skew range it saw.
+    let auto = base_directed.clone().with_layout(LayoutChoice::Auto);
+    let (mut n_ins, mut n_deg, mut n_seg) = (DEVICES, 0u32, 0u32);
+    let (mut skew_min, mut skew_max) = (f64::INFINITY, 0.0f64);
+    if let Some(lp) = auto.layout_plan() {
+        n_ins = 0;
+        for l in &lp.layouts {
+            skew_min = skew_min.min(l.skew);
+            skew_max = skew_max.max(l.skew);
+            match l.kind {
+                LayoutKind::Insertion => n_ins += 1,
+                LayoutKind::DegreeSorted => n_deg += 1,
+                LayoutKind::Segmented => n_seg += 1,
+            }
+        }
+    }
+
+    println!("bench_kernels: twitter50/IEC/Var3 @ {DEVICES} devices, per-layout matrix");
+    println!(
+        "auto selection: {n_ins} insertion / {n_deg} degree_sorted / {n_seg} segmented, \
+         skew {skew_min:.1}..{skew_max:.1}\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    for bench in BENCHES {
+        let base = if bench.symmetric() {
+            &base_sym
+        } else {
+            &base_directed
+        };
+        let mut baseline: Option<RunOutput> = None;
+        for (choice, name) in CHOICES {
+            let prep = base.clone().with_layout(choice);
+            // Untimed warm-up, then the timed pass: first contact pays
+            // page-fault and allocator costs that are not the kernel's.
+            run_bench(bench, &ld, &rt, &prep);
+            let t0 = Instant::now();
+            let out = run_bench(bench, &ld, &rt, &prep);
+            let wall = t0.elapsed().as_secs_f64();
+
+            let float_app = bench == BenchId::Pagerank;
+            let forced = matches!(choice, LayoutChoice::Force(_));
+            let (ok, max_rel) = match &baseline {
+                None => (true, 0.0), // the insertion column is the baseline
+                Some(b) => values_check(&b.values, &out.values, float_app, forced),
+            };
+            all_ok &= ok;
+            let permuted = prep.layout_plan().is_some() && (forced || !float_app);
+            println!(
+                "{:>8} {name:>13}: wall {wall:.3}s, sim {:.2}s, rounds {}, \
+                 permuted {permuted}, values_ok {ok}",
+                bench.name(),
+                out.report.total_time.as_secs_f64(),
+                out.report.rounds,
+            );
+            rows.push(format!(
+                "    {{\"bench\": \"{}\", \"layout\": \"{name}\", \"wall_s\": {wall:.6}, \
+                 \"sim_s\": {:.6}, \"rounds\": {}, \"permuted\": {permuted}, \
+                 \"values_ok\": {ok}, \"max_rel_err\": {max_rel:.3e}}}",
+                bench.name(),
+                out.report.total_time.as_secs_f64(),
+                out.report.rounds,
+            ));
+            if baseline.is_none() {
+                baseline = Some(out);
+            }
+        }
+    }
+
+    assert!(
+        all_ok,
+        "a permuted run diverged from its insertion-order baseline"
+    );
+
+    let json = format!(
+        "{{\n  \"dataset\": \"twitter50\",\n  \"policy\": \"iec\",\n  \"variant\": \"Var3\",\n  \
+         \"devices\": {DEVICES},\n  \"extra_scale\": {extra_scale},\n  \
+         \"values_ok\": {all_ok},\n  \
+         \"auto_kinds\": {{\"insertion\": {n_ins}, \"degree_sorted\": {n_deg}, \
+         \"segmented\": {n_seg}}},\n  \
+         \"skew_min\": {skew_min:.4},\n  \"skew_max\": {skew_max:.4},\n  \
+         \"per\": [\n{}\n  ],\n  \
+         \"note\": \"Host wall-clock and simulated time for each app under each kernel layout \
+         (insertion baseline, forced degree-sorted, forced segmented, Auto skew heuristic) on \
+         one shared partition. values_ok pins integer apps bit-identical to the insertion \
+         baseline and pagerank within float-reassociation tolerance under forced layouts \
+         (bit-identical under Auto, which keeps float programs on insertion order).\"\n}}\n",
+        rows.join(",\n")
+    );
+    or_exit(write_output(&out_path, &json), USAGE);
+    println!("\nwrote {out_path}");
+}

@@ -61,6 +61,17 @@ impl DenseBitset {
         self.words.iter_mut().for_each(|w| *w = 0);
     }
 
+    /// Sets every bit — a word fill rather than `len` single-bit writes.
+    /// The tail word is masked so no position past `len` is ever set;
+    /// iteration and popcount invariants rely on that.
+    pub fn set_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = u64::MAX);
+        let tail = self.len % 64;
+        if tail != 0 {
+            *self.words.last_mut().unwrap() = (1u64 << tail) - 1;
+        }
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> u32 {
         self.words.iter().map(|w| w.count_ones()).sum()
@@ -356,6 +367,18 @@ mod tests {
         }
         let got: Vec<u32> = b.iter_set().collect();
         assert_eq!(got, set);
+    }
+
+    #[test]
+    fn set_all_fills_exactly_len_bits() {
+        for len in [0u32, 1, 63, 64, 65, 130] {
+            let mut b = DenseBitset::new(len);
+            b.set_all();
+            assert_eq!(b.count_ones(), len, "len {len}");
+            let got: Vec<u32> = b.iter_set().collect();
+            let want: Vec<u32> = (0..len).collect();
+            assert_eq!(got, want, "len {len}");
+        }
     }
 
     #[test]

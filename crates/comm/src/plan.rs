@@ -86,6 +86,37 @@ impl ExtractIndex {
         let below = self.all.words()[w] & ((1u64 << (lv % 64)) - 1);
         self.rank[w] + below.count_ones()
     }
+
+    /// Word-batched extraction: calls `f(lv, entry)` for every local
+    /// vertex set in both `frontier` and the participant membership, in
+    /// ascending order. Equivalent to `frontier.intersect_iter(members)`
+    /// followed by [`ExtractIndex::entry_of`] per hit, but the per-word
+    /// rank and the full-link membership word are loaded once per 64
+    /// positions instead of once per hit.
+    pub fn for_each_entry(&self, frontier: &DenseBitset, mut f: impl FnMut(u32, u32)) {
+        assert_eq!(frontier.len(), self.members.len());
+        let all_words = self.all.words();
+        for (wi, (&fw, &mw)) in frontier
+            .words()
+            .iter()
+            .zip(self.members.words())
+            .enumerate()
+        {
+            let mut hits = fw & mw;
+            if hits == 0 {
+                continue;
+            }
+            let base = wi as u32 * 64;
+            let all_word = all_words[wi];
+            let rank = self.rank[wi];
+            while hits != 0 {
+                let bit = hits.trailing_zeros();
+                hits &= hits - 1;
+                let entry = rank + (all_word & ((1u64 << bit) - 1)).count_ones();
+                f(base + bit, entry);
+            }
+        }
+    }
 }
 
 /// Precomputed participant sets for one (program, partition) pairing.
@@ -334,6 +365,41 @@ mod tests {
             }
         }
         assert!(indexed_links > 0, "builder links must be ascending");
+    }
+
+    #[test]
+    fn for_each_entry_matches_per_bit_extraction() {
+        let part = Partition::build(&graph(), Policy::Hvc, 8, 0);
+        let plan = SyncPlan::build(&part, true, true);
+        let mut checked = 0;
+        for holder in 0..8 {
+            for owner in 0..8 {
+                let Some(idx) = plan.reduce_index(holder, owner) else {
+                    continue;
+                };
+                let len = idx.members().len();
+                // A frontier hitting a scattered subset of the members
+                // plus positions outside the membership.
+                let mut frontier = DenseBitset::new(len);
+                for (k, lv) in idx.members().iter_set().enumerate() {
+                    if k % 3 != 1 {
+                        frontier.set(lv);
+                    }
+                }
+                for lv in (0..len).step_by(17) {
+                    frontier.set(lv);
+                }
+                let want: Vec<(u32, u32)> = frontier
+                    .intersect_iter(idx.members())
+                    .map(|lv| (lv, idx.entry_of(lv)))
+                    .collect();
+                let mut got = Vec::new();
+                idx.for_each_entry(&frontier, |lv, e| got.push((lv, e)));
+                assert_eq!(got, want);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
     }
 
     #[test]

@@ -372,6 +372,7 @@ pub fn run_basp<P: VertexProgram>(
     let use_index = !config.legacy_hotpath;
     for d in devices.iter_mut() {
         d.scratch.pooling = use_index;
+        d.scratch.vector_kernels = use_index;
     }
 
     let mut heap: BinaryHeap<Event<P>> = BinaryHeap::new();

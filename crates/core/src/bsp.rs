@@ -251,6 +251,7 @@ pub fn run_bsp<P: VertexProgram>(
     let use_index = !config.legacy_hotpath;
     for d in devices.iter_mut() {
         d.scratch.pooling = use_index;
+        d.scratch.vector_kernels = use_index;
     }
 
     let mut clocks = vec![SimTime::ZERO; p];
@@ -298,7 +299,6 @@ pub fn run_bsp<P: VertexProgram>(
     let mut sends: Vec<SendDesc> = Vec::new();
     let mut payloads: Payloads<P::Wire> = Vec::new();
     let mut round_failures: Vec<SimTime> = Vec::new();
-
     loop {
         round_failures.clear();
         // --- Scheduled checkpoint (skipped when a rollback just restored

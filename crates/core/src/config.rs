@@ -6,6 +6,8 @@ use dirgl_comm::{CommMode, FaultPlan, RetryConfig};
 use dirgl_gpusim::Balancer;
 use dirgl_partition::Policy;
 
+use crate::layout::LayoutChoice;
+
 /// Execution model (§III-B).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExecModel {
@@ -135,6 +137,11 @@ pub struct RunConfig {
     /// traces (pinned by tests); the flag exists so `bench_hotpath` can
     /// measure before/after in one binary.
     pub legacy_hotpath: bool,
+    /// Per-device kernel layout selection applied at
+    /// [`crate::Runtime::prepare`] time (see [`crate::layout`]). The
+    /// default [`LayoutChoice::Insertion`] builds no layout state at all;
+    /// non-prepared execution paths ignore this knob entirely.
+    pub layout: LayoutChoice,
 }
 
 impl RunConfig {
@@ -157,6 +164,7 @@ impl RunConfig {
             retry: RetryConfig::default(),
             checkpoint_every_rounds: 0,
             legacy_hotpath: false,
+            layout: LayoutChoice::Insertion,
         }
     }
 
@@ -187,6 +195,12 @@ impl RunConfig {
     /// Reverts to the pre-optimization host hot path (builder style).
     pub fn with_legacy_hotpath(mut self, legacy: bool) -> RunConfig {
         self.legacy_hotpath = legacy;
+        self
+    }
+
+    /// Sets the kernel-layout selection (builder style).
+    pub fn with_layout(mut self, layout: LayoutChoice) -> RunConfig {
+        self.layout = layout;
         self
     }
 }

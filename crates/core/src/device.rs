@@ -27,6 +27,29 @@ pub struct RoundScratch<W> {
     /// pre-optimization allocation behavior, kept reachable for
     /// before/after benchmarking ([`crate::RunConfig::legacy_hotpath`]).
     pub pooling: bool,
+    /// When false, the compute phases run the legacy scalar bodies
+    /// (per-edge weight probing, worklist materialized into a `Vec`)
+    /// instead of the monomorphized word-at-a-time loops. Both produce
+    /// byte-identical results; the flag exists so
+    /// [`crate::RunConfig::legacy_hotpath`] benchmarks the before/after.
+    pub vector_kernels: bool,
+    /// Frontier snapshot for the vectorized push phase (swapped with the
+    /// live active set, walked word-at-a-time, cleared after use).
+    frontier: DenseBitset,
+    /// Local rows with at least one in-edge, in ascending order: the pull
+    /// phase iterates only these. Derived once per run from the immutable
+    /// local CSR (mirror rows are empty — mirrors are pulled *from*), so
+    /// a checkpoint rollback never needs to reset it.
+    pull_rows: Vec<u32>,
+    /// Whether [`RoundScratch::pull_rows`] has been derived yet (an empty
+    /// list is legitimate on a device with no in-edges).
+    pull_rows_built: bool,
+    /// Cached `(time, total_work)` of the topology-driven pull launch:
+    /// the balancer sees the same static degree sequence every round, and
+    /// [`dirgl_gpusim::KernelModel::launch`] is pure, so one evaluation
+    /// serves the whole run. Only the optimized path uses it — the
+    /// per-round model evaluation is part of the legacy baseline cost.
+    pull_launch: Option<(f64, u64)>,
     /// Active-list staging for the push compute phase.
     pub actives: Vec<u32>,
     /// Probe-count staging for the bottom-up compute phase.
@@ -50,6 +73,11 @@ impl<W> RoundScratch<W> {
         RoundScratch {
             pool: Vec::new(),
             pooling: true,
+            vector_kernels: true,
+            frontier: DenseBitset::new(0),
+            pull_rows: Vec::new(),
+            pull_rows_built: false,
+            pull_launch: None,
             actives: Vec::new(),
             probes: Vec::new(),
             built: Vec::new(),
@@ -191,9 +219,7 @@ impl<P: VertexProgram> DeviceRun<P> {
             }
             Style::PushTopologyDriven => {
                 // Every vertex is processed every round.
-                for lv in 0..self.lg.num_vertices() {
-                    self.active.set(lv);
-                }
+                self.active.set_all();
                 self.compute_push(program, balancer, work_scale)
             }
             Style::PullTopologyDriven => self.compute_pull(program, balancer, work_scale),
@@ -205,6 +231,93 @@ impl<P: VertexProgram> DeviceRun<P> {
     }
 
     fn compute_push(&mut self, program: &P, balancer: Balancer, work_scale: u64) -> f64 {
+        if !self.scratch.vector_kernels {
+            return self.compute_push_legacy(program, balancer, work_scale);
+        }
+        let n = self.lg.num_vertices();
+        if self.scratch.frontier.len() != n {
+            self.scratch.frontier = DenseBitset::new(n);
+        }
+        // Snapshot-and-clear the worklist without materializing a Vec:
+        // `active` swaps with the (empty) scratch frontier, which the body
+        // then walks word-at-a-time. The degree sequence fed to the launch
+        // model is ascending-id, exactly as the legacy Vec's.
+        std::mem::swap(&mut self.active, &mut self.scratch.frontier);
+        let kr = self.kernel.launch(
+            balancer,
+            self.scratch
+                .frontier
+                .iter_set()
+                .map(|lv| self.lg.csr.out_degree(lv)),
+            work_scale,
+        );
+        self.work_items += kr.work.total_work;
+        // Monomorphize on the weighted-ness of the traversal so the
+        // unweighted loop (every program but sssp) never touches the
+        // weight array. Unweighted programs ignore the weight argument,
+        // so passing 0 is value-identical to the legacy per-edge probe.
+        if program.uses_weights() && self.lg.csr.is_weighted() {
+            self.push_body::<true>(program);
+        } else {
+            self.push_body::<false>(program);
+        }
+        self.scratch.frontier.clear_all();
+        kr.time
+    }
+
+    fn push_body<const WEIGHTED: bool>(&mut self, program: &P) {
+        let DeviceRun {
+            lg,
+            state,
+            updated,
+            bcast_dirty,
+            scratch,
+            ..
+        } = self;
+        let frontier = &scratch.frontier;
+        for (wi, &word) in frontier.words().iter().enumerate() {
+            let mut w = word;
+            let base = wi as u32 * 64;
+            while w != 0 {
+                let lv = base + w.trailing_zeros();
+                w &= w - 1;
+                let before = state[lv as usize];
+                let mut src = before;
+                let push = program.begin_push(&mut src);
+                state[lv as usize] = src;
+                // begin_push may flip canonical state (kcore's death):
+                // masters must rebroadcast it.
+                if src != before && lg.is_master(lv) {
+                    bcast_dirty.set(lv);
+                }
+                if !push {
+                    continue;
+                }
+                let (targets, weights) = lg.csr.edge_window(lv);
+                if WEIGHTED {
+                    for (&t, &ew) in targets.iter().zip(weights) {
+                        if let Some(m) = program.edge_msg(&src, ew) {
+                            if program.accumulate(&mut state[t as usize], m) {
+                                updated.set(t);
+                            }
+                        }
+                    }
+                } else if let Some(m) = program.edge_msg(&src, 0) {
+                    // The message is loop-invariant for an unweighted
+                    // traversal (edge_msg is deterministic in (src, weight)
+                    // within a compute phase), so hoist it out of the edge
+                    // loop.
+                    for &t in targets {
+                        if program.accumulate(&mut state[t as usize], m) {
+                            updated.set(t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn compute_push_legacy(&mut self, program: &P, balancer: Balancer, work_scale: u64) -> f64 {
         let mut actives = std::mem::take(&mut self.scratch.actives);
         actives.clear();
         actives.extend(self.active.iter_set());
@@ -251,14 +364,114 @@ impl<P: VertexProgram> DeviceRun<P> {
 
     fn compute_pull(&mut self, program: &P, balancer: Balancer, work_scale: u64) -> f64 {
         let n = self.lg.num_vertices();
-        let kr = self.kernel.launch(
-            balancer,
-            (0..n).map(|lv| self.lg.in_csr.out_degree(lv)),
-            work_scale,
-        );
-        self.work_items += kr.work.total_work;
+        let (time, total_work) = match self.scratch.pull_launch {
+            Some(cached) if self.scratch.vector_kernels => cached,
+            _ => {
+                let kr = self.kernel.launch(
+                    balancer,
+                    (0..n).map(|lv| self.lg.in_csr.out_degree(lv)),
+                    work_scale,
+                );
+                let fresh = (kr.time, kr.work.total_work);
+                self.scratch.pull_launch = Some(fresh);
+                fresh
+            }
+        };
+        self.work_items += total_work;
+        if !self.scratch.vector_kernels {
+            self.pull_body_legacy(program);
+        } else if program.uses_weights() && self.lg.in_csr.is_weighted() {
+            self.pull_body_weighted(program);
+        } else {
+            self.pull_body_unweighted(program);
+        }
+        time
+    }
+
+    /// Unweighted pull over the precomputed nonempty rows. Three
+    /// value-identical savings over the legacy dense walk: only rows with
+    /// in-edges are visited (mirrors are pulled *from*, so most local
+    /// in-windows are empty), the per-edge weight probe is gone (weight 0
+    /// for an unweighted program), and the write-back is skipped when no
+    /// contribution accumulated (`accumulate` returning false means the
+    /// local copy still equals the stored state).
+    fn pull_body_unweighted(&mut self, program: &P) {
+        let DeviceRun {
+            lg,
+            state,
+            updated,
+            scratch,
+            ..
+        } = self;
+        if !scratch.pull_rows_built {
+            scratch.pull_rows_built = true;
+            scratch.pull_rows = (0..lg.num_vertices())
+                .filter(|&lv| lg.in_csr.out_degree(lv) > 0)
+                .collect();
+        }
+        let inert = program.inert_contribution();
+        for &lv in &scratch.pull_rows {
+            let (targets, _) = lg.in_csr.edge_window(lv);
+            let mut changed = false;
+            // Accumulate into a local copy so reads of other entries are
+            // unaffected within the round.
+            let mut st = state[lv as usize];
+            match inert {
+                // Branch-free fold: accumulating the identity is a
+                // bitwise no-op (see `inert_contribution`), so every
+                // in-edge contributes unconditionally and the per-edge
+                // `Option` test disappears from the loop body.
+                Some(z) => {
+                    for &u in targets {
+                        let c = program
+                            .pull_contribution(&state[u as usize], 0)
+                            .unwrap_or(z);
+                        changed |= program.accumulate(&mut st, c);
+                    }
+                }
+                None => {
+                    for &u in targets {
+                        if let Some(c) = program.pull_contribution(&state[u as usize], 0) {
+                            changed |= program.accumulate(&mut st, c);
+                        }
+                    }
+                }
+            }
+            if changed {
+                state[lv as usize] = st;
+                updated.set(lv);
+            }
+        }
+    }
+
+    fn pull_body_weighted(&mut self, program: &P) {
+        let DeviceRun {
+            lg, state, updated, ..
+        } = self;
+        for lv in 0..lg.num_vertices() {
+            let (targets, weights) = lg.in_csr.edge_window(lv);
+            if targets.is_empty() {
+                continue;
+            }
+            let mut changed = false;
+            // Accumulate into a local copy so reads of other entries are
+            // unaffected within the round.
+            let mut st = state[lv as usize];
+            for (&u, &ew) in targets.iter().zip(weights) {
+                if let Some(c) = program.pull_contribution(&state[u as usize], ew) {
+                    changed |= program.accumulate(&mut st, c);
+                }
+            }
+            state[lv as usize] = st;
+            if changed {
+                updated.set(lv);
+            }
+        }
+    }
+
+    fn pull_body_legacy(&mut self, program: &P) {
         let ws = self.lg.in_csr.weights().unwrap_or(&[]);
-        for lv in 0..n {
+        for lv in 0..self.lg.num_vertices() {
             let lo = self.lg.in_csr.offsets()[lv as usize] as usize;
             let hi = self.lg.in_csr.offsets()[lv as usize + 1] as usize;
             if lo == hi {
@@ -280,7 +493,6 @@ impl<P: VertexProgram> DeviceRun<P> {
                 self.updated.set(lv);
             }
         }
-        kr.time
     }
 
     /// Bottom-up round for hybrid programs (direction-optimizing BFS):
@@ -303,9 +515,70 @@ impl<P: VertexProgram> DeviceRun<P> {
         // programs opt into the exhaustive scan instead: one lane's first
         // hit says nothing about the others, so every in-edge is probed and
         // `accumulate` keeps the per-lane minimum.
-        let exhaustive = program.pull_exhaustive();
         let mut probes = std::mem::take(&mut self.scratch.probes);
         probes.clear();
+        if !self.scratch.vector_kernels {
+            self.bottom_up_body_legacy(program, &mut probes);
+        } else if program.uses_weights() && self.lg.in_csr.is_weighted() {
+            self.bottom_up_body::<true>(program, &mut probes);
+        } else {
+            self.bottom_up_body::<false>(program, &mut probes);
+        }
+        let kr = self
+            .kernel
+            .launch(balancer, probes.iter().copied(), work_scale);
+        self.scratch.probes = probes;
+        self.work_items += kr.work.total_work;
+        let t = SimTime::from_secs_f64(kr.time);
+        self.compute_time += t;
+        self.rounds += 1;
+        t
+    }
+
+    fn bottom_up_body<const WEIGHTED: bool>(&mut self, program: &P, probes: &mut Vec<u32>) {
+        let exhaustive = program.pull_exhaustive();
+        let DeviceRun {
+            lg, state, updated, ..
+        } = self;
+        for lv in 0..lg.num_vertices() {
+            if !program.pull_ready(&state[lv as usize]) {
+                continue;
+            }
+            let (targets, weights) = lg.in_csr.edge_window(lv);
+            let mut st = state[lv as usize];
+            let mut probed = 0u32;
+            if WEIGHTED {
+                for (&u, &ew) in targets.iter().zip(weights) {
+                    probed += 1;
+                    if let Some(m) = program.pull_msg(&state[u as usize], ew) {
+                        if program.accumulate(&mut st, m) {
+                            updated.set(lv);
+                        }
+                        if !exhaustive {
+                            break;
+                        }
+                    }
+                }
+            } else {
+                for &u in targets {
+                    probed += 1;
+                    if let Some(m) = program.pull_msg(&state[u as usize], 0) {
+                        if program.accumulate(&mut st, m) {
+                            updated.set(lv);
+                        }
+                        if !exhaustive {
+                            break;
+                        }
+                    }
+                }
+            }
+            state[lv as usize] = st;
+            probes.push(probed);
+        }
+    }
+
+    fn bottom_up_body_legacy(&mut self, program: &P, probes: &mut Vec<u32>) {
+        let exhaustive = program.pull_exhaustive();
         let ws = self.lg.in_csr.weights().unwrap_or(&[]);
         for lv in 0..self.lg.num_vertices() {
             if !program.pull_ready(&self.state[lv as usize]) {
@@ -331,15 +604,6 @@ impl<P: VertexProgram> DeviceRun<P> {
             self.state[lv as usize] = st;
             probes.push(probed);
         }
-        let kr = self
-            .kernel
-            .launch(balancer, probes.iter().copied(), work_scale);
-        self.scratch.probes = probes;
-        self.work_items += kr.work.total_work;
-        let t = SimTime::from_secs_f64(kr.time);
-        self.compute_time += t;
-        self.rounds += 1;
-        t
     }
 
     /// Global frontier contribution for the hybrid direction decision.
@@ -422,10 +686,13 @@ impl<P: VertexProgram> DeviceRun<P> {
         let mut payload = self.scratch.take_buf();
         match index {
             Some(idx) if mode == CommMode::UpdatedOnly => {
-                for lv in self.updated.intersect_iter(idx.members()) {
-                    let v = program.take_delta(&mut self.state[lv as usize]);
-                    payload.push((idx.entry_of(lv), v));
-                }
+                // Word-batched: the rank word and membership word load once
+                // per 64 local ids instead of once per updated mirror. Same
+                // ascending order, byte-identical payload.
+                let state = &mut self.state;
+                idx.for_each_entry(&self.updated, |lv, e| {
+                    payload.push((e, program.take_delta(&mut state[lv as usize])));
+                });
             }
             _ => {
                 for &e in entries {
@@ -477,25 +744,49 @@ impl<P: VertexProgram> DeviceRun<P> {
         let mut payload = self.scratch.take_buf();
         match index {
             Some(idx) if mode == CommMode::UpdatedOnly => {
-                for lv in self.bcast_dirty.intersect_iter(idx.members()) {
+                let state = &self.state;
+                idx.for_each_entry(&self.bcast_dirty, |lv, e| {
                     let v = if async_take {
-                        program.canonical_async(&self.state[lv as usize])
+                        program.canonical_async(&state[lv as usize])
                     } else {
-                        program.canonical(&self.state[lv as usize])
+                        program.canonical(&state[lv as usize])
                     };
-                    payload.push((idx.entry_of(lv), v));
-                }
+                    payload.push((e, v));
+                });
             }
             _ => {
-                for &e in entries {
-                    let lv = link.master_side[e as usize];
-                    if mode == CommMode::AllShared || self.bcast_dirty.get(lv) {
+                // Fully-dirty fast path: residual-style rounds mark every
+                // master, making the per-entry dirty test pure overhead
+                // (`bcast_dirty` only ever holds masters, so a full count
+                // means every link entry passes). Same payload bytes; the
+                // legacy baseline keeps the per-entry walk.
+                let all_dirty = mode == CommMode::UpdatedOnly
+                    && self.scratch.vector_kernels
+                    && self.bcast_dirty.count_ones() == self.lg.num_masters;
+                if all_dirty {
+                    // Known-length extraction: one reservation, no
+                    // per-entry capacity or dirty test.
+                    let state = &self.state;
+                    payload.extend(entries.iter().map(|&e| {
+                        let st = &state[link.master_side[e as usize] as usize];
                         let v = if async_take {
-                            program.canonical_async(&self.state[lv as usize])
+                            program.canonical_async(st)
                         } else {
-                            program.canonical(&self.state[lv as usize])
+                            program.canonical(st)
                         };
-                        payload.push((e, v));
+                        (e, v)
+                    }));
+                } else {
+                    for &e in entries {
+                        let lv = link.master_side[e as usize];
+                        if mode == CommMode::AllShared || self.bcast_dirty.get(lv) {
+                            let v = if async_take {
+                                program.canonical_async(&self.state[lv as usize])
+                            } else {
+                                program.canonical(&self.state[lv as usize])
+                            };
+                            payload.push((e, v));
+                        }
                     }
                 }
             }

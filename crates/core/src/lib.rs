@@ -9,6 +9,9 @@
 //!   (TWC/ALB × AS/UO × Sync/Async);
 //! * [`bsp`] / [`basp`] — the two execution models of §III-B, dispatched
 //!   through [`engine::run_engine`] by [`engine::ExecutionModel`];
+//! * [`layout`] — cache-conscious per-device kernel layouts
+//!   (degree-sorted / segmented CSR orderings selected by a skew
+//!   heuristic at prepare time);
 //! * [`trace`] — the per-round, per-device observability layer: both
 //!   engines emit [`trace::RoundRecord`]s through a [`trace::TraceSink`]
 //!   (no-op by default, collecting for tests, JSON-lines for benches);
@@ -26,6 +29,7 @@ pub mod bsp;
 pub mod config;
 pub mod device;
 pub mod engine;
+pub mod layout;
 pub mod multi;
 pub mod program;
 pub mod report;
@@ -36,6 +40,7 @@ pub mod trace;
 pub use bsp::EngineOutcome;
 pub use config::{ExecModel, RunConfig, Variant};
 pub use engine::{run_engine, ExecutionModel};
+pub use layout::{LayoutChoice, LayoutKind, LayoutPlan, LocalLayout};
 pub use multi::{
     lanes_of, BatchedProgram, LaneState, LaneWire, Lanes, MsBfs, MsBfsState, MultiSourceProgram,
     LANE_WIDTH, MS_UNREACHED,

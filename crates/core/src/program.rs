@@ -104,6 +104,18 @@ pub trait VertexProgram: Sync {
         false
     }
 
+    /// True when the program's reduction is exact and order-independent
+    /// (integer min / or / saturating counters — bfs, sssp, cc, kcore):
+    /// running on a permuted kernel layout (see [`crate::layout`])
+    /// reorders edge visits and sync payloads, and only such programs
+    /// keep bit-identical values under any permutation. Float-summing
+    /// programs (pagerank, bc) keep the default `false` so
+    /// [`crate::layout::LayoutChoice::Auto`] leaves them on insertion
+    /// order.
+    fn permutation_safe(&self) -> bool {
+        false
+    }
+
     /// Initial state of (every proxy of) global vertex `gv`.
     fn init_state(&self, gv: VertexId, ctx: &InitCtx<'_>) -> Self::State;
 
@@ -119,10 +131,21 @@ pub trait VertexProgram: Sync {
     }
 
     /// The value pushed along an out-edge of weight `weight` (push styles).
+    ///
+    /// Must be a pure function of `(state, weight)` for the duration of
+    /// one compute phase: the engine evaluates it once per active source
+    /// on unweighted traversals and reuses the message along every
+    /// out-edge.
     fn edge_msg(&self, state: &Self::State, weight: u32) -> Option<Self::Wire>;
 
     /// The contribution pulled from in-neighbor state `neighbor` over an
     /// edge of weight `weight` (pull styles).
+    ///
+    /// Must depend only on fields [`VertexProgram::accumulate`] never
+    /// writes: the engine may evaluate every vertex's contribution once
+    /// at the start of the round and gather from that cache while
+    /// accumulating, so a contribution must not observe in-round
+    /// accumulator changes.
     fn pull_contribution(&self, neighbor: &Self::State, weight: u32) -> Option<Self::Wire> {
         let _ = (neighbor, weight);
         None
@@ -131,6 +154,19 @@ pub trait VertexProgram: Sync {
     /// Folds an incoming value into the proxy's accumulator. Returns true
     /// if the accumulator changed (the proxy counts as *updated*).
     fn accumulate(&self, state: &mut Self::State, msg: Self::Wire) -> bool;
+
+    /// The identity element of [`VertexProgram::accumulate`], when the
+    /// program has one: a wire value `z` such that `accumulate(st, z)`
+    /// leaves every reachable state bit-unchanged and returns `false`,
+    /// and such that [`VertexProgram::pull_contribution`] returns `None`
+    /// only where the raw contribution equals `z`. Declaring it lets the
+    /// pull compute body fold `pull_contribution(..).unwrap_or(z)` over
+    /// every in-edge instead of testing each `Option` — a branch-free
+    /// inner loop with bit-identical results. Defaults to `None` (no
+    /// identity; the engine keeps the branchy fold).
+    fn inert_contribution(&self) -> Option<Self::Wire> {
+        None
+    }
 
     /// Master-only: folds the accumulator into canonical state, exactly
     /// once per round, after all local and reduced values are in. Returns

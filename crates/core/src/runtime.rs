@@ -43,6 +43,7 @@ use dirgl_partition::{LocalGraph, Partition};
 use crate::config::RunConfig;
 use crate::device::DeviceRun;
 use crate::engine::run_engine;
+use crate::layout::{LayoutChoice, LayoutPlan};
 use crate::multi::{BatchedProgram, MultiSourceProgram, LANE_WIDTH};
 use crate::program::{InitCtx, VertexProgram};
 use crate::report::{ExecutionReport, RoundSummary};
@@ -242,6 +243,11 @@ pub struct PreparedPartition {
     part: Partition,
     plan: SyncPlan,
     out_degrees: Vec<u32>,
+    /// Cached kernel layouts (see [`crate::layout`]): the permuted
+    /// partition + plan jobs substitute when the program allows it.
+    /// `None` unless [`PreparedPartition::with_layout`] selected a
+    /// non-identity layout.
+    layouts: Option<LayoutPlan>,
 }
 
 impl PreparedPartition {
@@ -277,7 +283,24 @@ impl PreparedPartition {
             part,
             plan,
             out_degrees,
+            layouts: None,
         }
+    }
+
+    /// Selects per-device kernel layouts under `choice` and caches the
+    /// permuted partition + sync plan on the handle (builder style; see
+    /// [`crate::layout`] for the selection heuristic and the determinism
+    /// contract). [`LayoutChoice::Insertion`] — and an `Auto` selection
+    /// where no device crosses the skew thresholds — leaves the handle
+    /// layout-free.
+    pub fn with_layout(mut self, choice: LayoutChoice) -> PreparedPartition {
+        self.layouts = LayoutPlan::build(&self.part, choice);
+        self
+    }
+
+    /// The cached layout plan, if a non-identity one was selected.
+    pub fn layout_plan(&self) -> Option<&LayoutPlan> {
+        self.layouts.as_ref()
     }
 
     /// The resolved graph view jobs run on.
@@ -451,13 +474,28 @@ impl<'a, P: VertexProgram> Runner<'a, P> {
             &[u32],
             Vec<LocalGraph>,
         ) = match part {
-            Some(PartitionArg::Prepared(prep)) => (
-                &prep.graph,
-                &prep.part,
-                &prep.plan,
-                &prep.out_degrees,
-                prep.part.locals.clone(),
-            ),
+            Some(PartitionArg::Prepared(prep)) => {
+                // Jobs run on the permuted view when the handle carries a
+                // layout the program may use (see LayoutPlan::applies_to);
+                // gathered values are keyed by global id through l2g, so
+                // the permutation is invisible in the output.
+                match prep.layouts.as_ref().filter(|lp| lp.applies_to(program)) {
+                    Some(lp) => (
+                        &prep.graph,
+                        &lp.part,
+                        &lp.plan,
+                        &prep.out_degrees[..],
+                        lp.part.locals.clone(),
+                    ),
+                    None => (
+                        &prep.graph,
+                        &prep.part,
+                        &prep.plan,
+                        &prep.out_degrees[..],
+                        prep.part.locals.clone(),
+                    ),
+                }
+            }
             Some(PartitionArg::Borrowed(p)) => {
                 if graph.num_vertices() == 0 {
                     return Err(RunError::EmptyGraph);
@@ -841,6 +879,7 @@ impl Runtime {
             self.platform.num_devices(),
             self.config.seed,
         )
+        .map(|prep| prep.with_layout(self.config.layout))
     }
 
     /// Predicts the per-device memory footprint of running `program`

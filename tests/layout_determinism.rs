@@ -1,0 +1,157 @@
+//! Determinism contracts of the kernel-layout layer (`dirgl_core::layout`),
+//! pinned by proptest across policies, engines and device counts:
+//!
+//! 1. **Integer apps are layout-invariant** — bfs, cc and sssp fold with
+//!    exact order-independent accumulators (`min`), so a degree-sorted or
+//!    segmented permutation (forced or Auto-selected) must produce
+//!    *bit-identical* vertex values to the insertion-order run.
+//! 2. **Float apps under `Auto` never permute** — pagerank's f32 residual
+//!    sums reassociate under a permutation, so `Auto` leaves it on
+//!    insertion order: bit-identical values to the layout-free run.
+//! 3. **Forced float runs are tolerant but deterministic** — forcing a
+//!    layout on pagerank moves values only within float-reassociation
+//!    tolerance of the insertion baseline, and running the same forced
+//!    configuration twice is bit-identical (the permutation is a pure
+//!    function of the partition).
+
+use proptest::prelude::*;
+
+use dirgl::prelude::*;
+use dirgl_core::VertexProgram;
+
+const POLICIES: [Policy; 4] = [Policy::Oec, Policy::Iec, Policy::Hvc, Policy::Cvc];
+
+/// Max relative error allowed between a forced-layout pagerank run and
+/// the insertion baseline (f32 reassociation drift only).
+const FLOAT_TOL: f64 = 1e-3;
+
+/// Runs `app` on `g` under `choice` via a prepared partition (the layout
+/// layer lives on [`PreparedPartition`]) and returns the value bits.
+fn run_with_layout<P: VertexProgram>(
+    g: &Csr,
+    app: &P,
+    policy: Policy,
+    sync: bool,
+    devices: u32,
+    choice: LayoutChoice,
+) -> Vec<u64> {
+    let variant = if sync {
+        Variant::var3()
+    } else {
+        Variant::var4()
+    };
+    let cfg = RunConfig::new(policy, variant)
+        .scale(1024)
+        .with_layout(choice);
+    let rt = Runtime::new(Platform::bridges(devices), cfg);
+    let prep = rt.prepare(g, app.needs_symmetric()).unwrap();
+    let out = rt
+        .runner(prep.graph(), app)
+        .partition(&prep)
+        .execute()
+        .unwrap();
+    out.values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The non-baseline choices every integer app must be invariant under.
+const PERMUTING: [LayoutChoice; 3] = [
+    LayoutChoice::Force(LayoutKind::DegreeSorted),
+    LayoutChoice::Force(LayoutKind::Segmented),
+    LayoutChoice::Auto,
+];
+
+fn assert_integer_invariant<P: VertexProgram>(
+    g: &Csr,
+    app: &P,
+    policy: Policy,
+    sync: bool,
+    devices: u32,
+) -> Result<(), TestCaseError> {
+    let base = run_with_layout(g, app, policy, sync, devices, LayoutChoice::Insertion);
+    for choice in PERMUTING {
+        let got = run_with_layout(g, app, policy, sync, devices, choice);
+        prop_assert_eq!(
+            &base,
+            &got,
+            "values diverged under {:?} ({policy}, sync={sync}, devices={devices})",
+            choice
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Contract 1, bfs: layouts never move integer distances.
+    #[test]
+    fn bfs_values_are_layout_invariant(
+        gseed in 0u64..1_000,
+        policy in prop::sample::select(POLICIES.to_vec()),
+        sync in any::<bool>(),
+        devices in 2u32..6,
+    ) {
+        let g = RmatConfig::new(8, 8).seed(gseed).generate();
+        assert_integer_invariant(&g, &Bfs::from_max_out_degree(&g), policy, sync, devices)?;
+    }
+
+    /// Contract 1, sssp: weighted pull/push folds are still exact mins.
+    #[test]
+    fn sssp_values_are_layout_invariant(
+        gseed in 0u64..1_000,
+        policy in prop::sample::select(POLICIES.to_vec()),
+        sync in any::<bool>(),
+        devices in 2u32..6,
+    ) {
+        let g = RmatConfig::new(8, 8).seed(gseed).generate();
+        assert_integer_invariant(&g, &Sssp::from_max_out_degree(&g), policy, sync, devices)?;
+    }
+
+    /// Contract 1, cc: the symmetrized view permutes per device too.
+    #[test]
+    fn cc_values_are_layout_invariant(
+        gseed in 0u64..1_000,
+        policy in prop::sample::select(POLICIES.to_vec()),
+        sync in any::<bool>(),
+        devices in 2u32..6,
+    ) {
+        let g = RmatConfig::new(8, 8).seed(gseed).generate();
+        assert_integer_invariant(&g, &Cc, policy, sync, devices)?;
+    }
+
+    /// Contracts 2 and 3, pagerank: Auto stays on insertion order
+    /// (bit-identical); forced layouts stay within reassociation
+    /// tolerance and are bit-identical run-to-run.
+    #[test]
+    fn pagerank_layout_contracts(
+        gseed in 0u64..1_000,
+        policy in prop::sample::select(POLICIES.to_vec()),
+        sync in any::<bool>(),
+        devices in 2u32..6,
+    ) {
+        let g = RmatConfig::new(8, 8).seed(gseed).generate();
+        let app = PageRank::new();
+        let base = run_with_layout(&g, &app, policy, sync, devices, LayoutChoice::Insertion);
+
+        let auto = run_with_layout(&g, &app, policy, sync, devices, LayoutChoice::Auto);
+        prop_assert_eq!(&base, &auto, "Auto permuted a float program ({policy}, sync={sync})");
+
+        for kind in [LayoutKind::DegreeSorted, LayoutKind::Segmented] {
+            let choice = LayoutChoice::Force(kind);
+            let a = run_with_layout(&g, &app, policy, sync, devices, choice);
+            let b = run_with_layout(&g, &app, policy, sync, devices, choice);
+            prop_assert_eq!(
+                &a, &b,
+                "forced {:?} run is not deterministic ({policy}, sync={sync})", kind
+            );
+            for (x, y) in base.iter().zip(&a) {
+                let (x, y) = (f64::from_bits(*x), f64::from_bits(*y));
+                let rel = (x - y).abs() / x.abs().max(1e-12);
+                prop_assert!(
+                    rel <= FLOAT_TOL,
+                    "forced {:?} drifted {rel:.3e} ({policy}, sync={sync})", kind
+                );
+            }
+        }
+    }
+}
