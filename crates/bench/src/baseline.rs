@@ -221,7 +221,7 @@ fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
 }
 
 /// The committed baseline files the gate covers.
-pub const BASELINE_FILES: [&str; 7] = [
+pub const BASELINE_FILES: [&str; 8] = [
     "BENCH_hotpath.json",
     "BENCH_kernels.json",
     "BENCH_parallel.json",
@@ -229,6 +229,7 @@ pub const BASELINE_FILES: [&str; 7] = [
     "BENCH_faults.json",
     "BENCH_chaos.json",
     "BENCH_serve.json",
+    "BENCH_scale.json",
 ];
 
 /// Fresh wall-clock speedups may drift this far below the committed
@@ -365,6 +366,42 @@ fn check_invariants(file: &str, j: &Json, who: &str, problems: &mut Vec<String>)
                 }
             }
         }
+        "BENCH_scale.json" => {
+            // Wherever both ingestion paths fit the budget, the runs must
+            // be byte-identical (the key absent at compressed-only steps).
+            require_true(j, "steps[].values_ok", who, problems);
+            // The out-of-core claims: the streamed-compressed path reaches
+            // at least one 2x divisor step deeper than the plain path under
+            // the same host budget, and the web-crawl analogue compresses
+            // at least 2x at the deepest step it reached.
+            require_min(j, "compressed_steps_deeper", 1.0, who, problems);
+            require_min(j, "compression_ratio_deepest", 2.0, who, problems);
+            // The measured ingest high-water mark must grow (weakly) as the
+            // divisor shrinks, i.e. down the steps array — a shrinking peak
+            // means the byte accounting or the sweep order broke. 10% slack
+            // absorbs thread-interleaving wobble at clamped tiny scales.
+            let peaks: Vec<f64> = j
+                .path("steps[].compressed.ingest_peak_bytes")
+                .iter()
+                .filter_map(|v| v.as_f64())
+                .collect();
+            if peaks.is_empty() {
+                problems.push(format!(
+                    "{who}: `steps[].compressed.ingest_peak_bytes` is missing"
+                ));
+            }
+            for (idx, w) in peaks.windows(2).enumerate() {
+                if w[1] < w[0] * 0.9 {
+                    problems.push(format!(
+                        "{who}: compressed ingest peak shrank as the graph grew \
+                         (step {idx}: {} -> step {}: {})",
+                        w[0],
+                        idx + 1,
+                        w[1]
+                    ));
+                }
+            }
+        }
         other => problems.push(format!("unknown baseline file `{other}`")),
     }
 }
@@ -491,6 +528,74 @@ mod tests {
                 .unwrap();
         let p = check_file("BENCH_kernels.json", &good, Some(&bad));
         assert!(p.iter().any(|m| m.contains("fresh")), "{p:?}");
+    }
+
+    fn scale(steps_deeper: u64, ratio: f64, peaks: &[u64], values_ok: bool) -> Json {
+        let steps: Vec<String> = peaks
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // Last step mimics a compressed-only row: no values_ok key.
+                if i + 1 == peaks.len() {
+                    format!(r#"{{"compressed": {{"ingest_peak_bytes": {p}}}}}"#)
+                } else {
+                    format!(
+                        r#"{{"compressed": {{"ingest_peak_bytes": {p}}}, "values_ok": {values_ok}}}"#
+                    )
+                }
+            })
+            .collect();
+        Json::parse(&format!(
+            r#"{{"compressed_steps_deeper": {steps_deeper},
+                 "compression_ratio_deepest": {ratio},
+                 "steps": [{}]}}"#,
+            steps.join(", ")
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn scale_gate() {
+        let good = scale(1, 3.2, &[1_000, 2_100, 4_500], true);
+        assert!(check_file("BENCH_scale.json", &good, Some(&good)).is_empty());
+
+        // No depth advantage over the plain path.
+        let p = check_file(
+            "BENCH_scale.json",
+            &scale(0, 3.2, &[1_000, 2_100], true),
+            None,
+        );
+        assert!(
+            p.iter().any(|m| m.contains("compressed_steps_deeper")),
+            "{p:?}"
+        );
+
+        // Compression collapsed below the 2x web-crawl floor.
+        let p = check_file(
+            "BENCH_scale.json",
+            &scale(1, 1.4, &[1_000, 2_100], true),
+            None,
+        );
+        assert!(
+            p.iter().any(|m| m.contains("compression_ratio_deepest")),
+            "{p:?}"
+        );
+
+        // Ingest peak shrank while the graph grew.
+        let p = check_file(
+            "BENCH_scale.json",
+            &scale(1, 3.2, &[4_500, 2_100], true),
+            None,
+        );
+        assert!(p.iter().any(|m| m.contains("peak shrank")), "{p:?}");
+
+        // A diverged run at a both-paths step.
+        let p = check_file(
+            "BENCH_scale.json",
+            &scale(1, 3.2, &[1_000, 2_100], false),
+            None,
+        );
+        assert!(p.iter().any(|m| m.contains("values_ok")), "{p:?}");
     }
 
     #[test]

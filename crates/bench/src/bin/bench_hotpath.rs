@@ -5,8 +5,10 @@
 //! scratch-buffer pooling), asserting byte-identical `ExecutionReport`s
 //! and vertex values, then writing the numbers to `BENCH_hotpath.json`.
 //!
-//! Heap allocations are counted by a `#[global_allocator]` wrapper, so the
-//! `allocs_*` columns are exact call counts, not estimates.
+//! Heap allocations are counted by the shared
+//! [`TrackingAlloc`](dirgl_bench::alloc::TrackingAlloc) wrapper, so the
+//! `allocs_*` columns are exact call counts (and `peak_rss_bytes` the
+//! exact byte high-water mark), not estimates.
 //!
 //! Each timed pass runs `--reps` times (default 1) and reports the
 //! minimum wall time. Raising reps is the standard noise-robust
@@ -21,11 +23,10 @@
 //!
 //! [`ExtractIndex`]: dirgl_comm::ExtractIndex
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use dirgl_apps::{Bfs, PageRank};
+use dirgl_bench::alloc::{self, TrackingAlloc};
 use dirgl_bench::cli::{or_exit, write_output, ArgStream, CliError};
 use dirgl_bench::{BenchId, LoadedDataset};
 use dirgl_core::{PreparedPartition, RunConfig, RunOutput, Runtime, Variant};
@@ -33,29 +34,8 @@ use dirgl_gpusim::Platform;
 use dirgl_graph::DatasetId;
 use dirgl_partition::Policy;
 
-/// [`System`] with a heap-allocation call counter.
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+static GLOBAL: TrackingAlloc = TrackingAlloc;
 
 const DEVICES: u32 = 16;
 const BENCHES: [BenchId; 2] = [BenchId::Bfs, BenchId::Pagerank];
@@ -136,18 +116,18 @@ fn main() {
         let (mut allocs_legacy, mut allocs_opt) = (0, 0);
         let (mut legacy, mut opt) = (None, None);
         for _ in 0..reps {
-            let a0 = ALLOCS.load(Ordering::Relaxed);
+            let a0 = alloc::alloc_count();
             let t0 = Instant::now();
             let out = run(bench, &ld, &rt_legacy, &prep);
             legacy_s = legacy_s.min(t0.elapsed().as_secs_f64());
-            allocs_legacy = ALLOCS.load(Ordering::Relaxed) - a0;
+            allocs_legacy = alloc::alloc_count() - a0;
             legacy = Some(out);
 
-            let a1 = ALLOCS.load(Ordering::Relaxed);
+            let a1 = alloc::alloc_count();
             let t1 = Instant::now();
             let out = run(bench, &ld, &rt_opt, &prep);
             opt_s = opt_s.min(t1.elapsed().as_secs_f64());
-            allocs_opt = ALLOCS.load(Ordering::Relaxed) - a1;
+            allocs_opt = alloc::alloc_count() - a1;
             opt = Some(out);
         }
         let (legacy, opt) = (legacy.unwrap(), opt.unwrap());
@@ -183,11 +163,13 @@ fn main() {
         "optimized hot path diverged from the legacy path"
     );
     let speedup = wall_legacy / wall_opt;
+    let peak_rss_bytes = alloc::peak_bytes();
     println!("\ntotal: legacy {wall_legacy:.3}s, optimized {wall_opt:.3}s, speedup {speedup:.2}x");
 
     let json = format!(
         "{{\n  \"dataset\": \"twitter50\",\n  \"policy\": \"iec\",\n  \"variant\": \"Var3\",\n  \
          \"devices\": {DEVICES},\n  \"extra_scale\": {extra_scale},\n  \
+         \"peak_rss_bytes\": {peak_rss_bytes},\n  \
          \"wall_legacy_s\": {wall_legacy:.6},\n  \"wall_opt_s\": {wall_opt:.6},\n  \
          \"speedup\": {speedup:.4},\n  \"identical_reports\": {identical},\n  \
          \"per_bench\": [\n{}\n  ],\n  \

@@ -1,0 +1,310 @@
+//! Out-of-core scale sweep: how deep can ingestion go under a fixed host
+//! memory budget, plain vs streamed-compressed?
+//!
+//! Sweeps the uk07 web-crawl analogue from `--max-divisor` down to
+//! `--min-divisor` in 2x steps (smaller divisor = bigger graph). At each
+//! step both ingestion paths build a 4-device CVC partition:
+//!
+//! * **plain** — `DatasetId::load_scaled` (full edge list, raw CSR,
+//!   weight randomization pass) followed by `Partition::build`;
+//! * **compressed** — `DatasetId::load_scaled_compressed` (generator
+//!   edges stream through a `--chunk-edges`-bounded external sort into a
+//!   delta-gap varint [`CompressedCsr`], weights drawn inline) followed
+//!   by the chunked `Partition::build_streamed`.
+//!
+//! The byte high-water mark of each path is measured exactly by the
+//! shared [`TrackingAlloc`] and compared against `--budget-gb`: once a
+//! path's ingest peak exceeds the budget it is retired from deeper
+//! steps (its first over-budget step is still recorded). The sweep ends
+//! when the compressed path is retired or `--min-divisor` is reached.
+//! At every step where both paths fit, bfs runs end-to-end on both
+//! partitions and the reports + vertex values must be byte-identical
+//! (`values_ok` — the same contract `tests/scale_determinism.rs` pins).
+//!
+//! The committed `BENCH_scale.json` is gated by `bench_gate`: the
+//! compressed path must reach at least one 2x step deeper than plain,
+//! compress the web-crawl analogue at least 2x at the deepest step, and
+//! its ingest peak must grow monotonically as the divisor shrinks.
+//!
+//! ```sh
+//! cargo run --release --bin bench_scale -- [--max-divisor N] \
+//!     [--min-divisor N] [--chunk-edges N] [--budget-gb X] [--out PATH]
+//! ```
+//!
+//! [`CompressedCsr`]: dirgl_graph::CompressedCsr
+//! [`TrackingAlloc`]: dirgl_bench::alloc::TrackingAlloc
+
+use std::time::Instant;
+
+use dirgl_apps::Bfs;
+use dirgl_bench::alloc::{self, TrackingAlloc};
+use dirgl_bench::cli::{or_exit, write_output, ArgStream, CliError};
+use dirgl_core::{PreparedPartition, RunConfig, Runtime, Variant};
+use dirgl_gpusim::Platform;
+use dirgl_graph::{Csr, DatasetId};
+use dirgl_partition::{Partition, Policy};
+
+#[global_allocator]
+static GLOBAL: TrackingAlloc = TrackingAlloc;
+
+const DATASET: DatasetId = DatasetId::Uk07;
+const DEVICES: u32 = 4;
+const SEED: u64 = 0x5EED;
+
+const USAGE: &str = "usage: bench_scale [--max-divisor N] [--min-divisor N] \
+                     [--chunk-edges N] [--budget-gb X] [--out PATH]";
+
+struct Opts {
+    max_divisor: u64,
+    min_divisor: u64,
+    chunk_edges: usize,
+    budget_gb: f64,
+    out_path: String,
+}
+
+fn try_parse(mut it: ArgStream) -> Result<Opts, CliError> {
+    let mut o = Opts {
+        max_divisor: 1024,
+        min_divisor: 1,
+        chunk_edges: 1 << 20,
+        budget_gb: 0.1,
+        out_path: "BENCH_scale.json".to_string(),
+    };
+    while let Some(a) = it.next_arg() {
+        match a.as_str() {
+            "--max-divisor" => o.max_divisor = it.parsed("--max-divisor", "a positive integer")?,
+            "--min-divisor" => o.min_divisor = it.parsed("--min-divisor", "a positive integer")?,
+            "--chunk-edges" => o.chunk_edges = it.parsed("--chunk-edges", "a positive integer")?,
+            "--budget-gb" => o.budget_gb = it.parsed("--budget-gb", "a number of gigabytes")?,
+            "--out" => o.out_path = it.value("--out")?,
+            other => return Err(CliError::unknown_arg(other)),
+        }
+    }
+    if o.max_divisor < o.min_divisor || o.min_divisor == 0 {
+        return Err(CliError::new(format!(
+            "--max-divisor {} must be >= --min-divisor {} >= 1",
+            o.max_divisor, o.min_divisor
+        )));
+    }
+    if o.chunk_edges == 0 {
+        return Err(CliError::new("--chunk-edges must be >= 1"));
+    }
+    Ok(o)
+}
+
+/// One ingestion measurement: partition in hand, exact byte high-water
+/// mark of the build, and its wall clock.
+struct Ingest {
+    part: Partition,
+    graph: Option<Csr>,
+    peak_bytes: u64,
+    wall_s: f64,
+    /// (vertices, edges, raw-CSR byte equivalent, compressed bytes) of
+    /// the global graph — reported by the compressed path only.
+    stats: Option<(u32, u64, u64, u64)>,
+}
+
+/// Plain path: full in-memory analogue, then the in-memory partitioner.
+fn ingest_plain(extra: u64) -> Ingest {
+    alloc::reset_peak();
+    let base = alloc::peak_bytes();
+    let t0 = Instant::now();
+    let ds = DATASET.load_scaled(extra);
+    let part = Partition::build(&ds.graph, Policy::Cvc, DEVICES, SEED);
+    Ingest {
+        wall_s: t0.elapsed().as_secs_f64(),
+        peak_bytes: alloc::peak_bytes() - base,
+        graph: Some(ds.graph),
+        part,
+        stats: None,
+    }
+}
+
+/// Compressed path: streamed external-sort ingest into a delta-gap
+/// varint CSR, then the chunked streaming partitioner. Neither the full
+/// edge list nor the global raw CSR is ever resident.
+fn ingest_compressed(extra: u64, chunk_edges: usize) -> Ingest {
+    alloc::reset_peak();
+    let base = alloc::peak_bytes();
+    let t0 = Instant::now();
+    let ds = DATASET.load_scaled_compressed(extra, chunk_edges);
+    let part = Partition::build_streamed(&ds.graph, Policy::Cvc, DEVICES, SEED);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let peak_bytes = alloc::peak_bytes() - base;
+    let (n, m) = (ds.graph.num_vertices(), ds.graph.num_edges());
+    // Raw-CSR byte equivalent (offsets + targets + weights), without
+    // materializing it — mirrors `Csr::bytes`.
+    let per_edge = if ds.graph.is_weighted() { 8 } else { 4 };
+    let raw_bytes = 8 * (n as u64 + 1) + per_edge * m;
+    Ingest {
+        wall_s,
+        peak_bytes,
+        graph: None,
+        part,
+        stats: Some((n, m, raw_bytes, ds.graph.memory_bytes())),
+    }
+}
+
+/// Runs bfs on a prepared partition; returns (debug report, value bits,
+/// wall seconds). The run exists to pin the byte-identity contract and
+/// time the engine, so the scale divisor stays 1 — projecting the
+/// clamped small analogues up to paper-equivalent footprints would only
+/// trip the simulated GPU capacity, not tell us anything about ingest.
+fn run_bfs(prep: &PreparedPartition) -> (String, Vec<u64>, f64) {
+    let mut cfg = RunConfig::new(Policy::Cvc, Variant::var1());
+    cfg.seed = SEED;
+    let rt = Runtime::new(Platform::bridges(DEVICES), cfg);
+    let prog = Bfs::from_max_out_degree(prep.graph());
+    let t0 = Instant::now();
+    let out = rt.job(prep, &prog).execute().unwrap();
+    let wall = t0.elapsed().as_secs_f64();
+    let bits = out.values.iter().map(|v| v.to_bits()).collect();
+    (format!("{:?}", out.report), bits, wall)
+}
+
+fn fmt_mb(bytes: u64) -> String {
+    format!("{:.1}MB", bytes as f64 / 1e6)
+}
+
+fn main() {
+    let Opts {
+        max_divisor,
+        min_divisor,
+        chunk_edges,
+        budget_gb,
+        out_path,
+    } = or_exit(try_parse(ArgStream::from_env()), USAGE);
+    let budget_bytes = (budget_gb * 1e9) as u64;
+
+    println!(
+        "bench_scale: {}/CVC @ {DEVICES} devices, divisors {max_divisor}..{min_divisor}, \
+         budget {budget_gb}GB, chunk {chunk_edges} edges\n",
+        DATASET.name()
+    );
+
+    let mut rows = Vec::new();
+    let mut plain_alive = true;
+    let mut all_values_ok = true;
+    // Deepest (smallest) divisor each path completed within budget.
+    let (mut plain_deepest, mut compressed_deepest) = (None, None);
+    let mut ratio_deepest = 0.0f64;
+
+    let mut divisor = max_divisor;
+    loop {
+        let comp = ingest_compressed(divisor, chunk_edges);
+        let (n, m, raw_bytes, compressed_bytes) = comp.stats.unwrap();
+        let ratio = raw_bytes as f64 / compressed_bytes as f64;
+        let comp_ok = comp.peak_bytes <= budget_bytes;
+        if comp_ok {
+            compressed_deepest = Some(divisor);
+            ratio_deepest = ratio;
+        }
+
+        let plain = if plain_alive {
+            Some(ingest_plain(divisor))
+        } else {
+            None
+        };
+        let plain_ok = plain
+            .as_ref()
+            .map(|p| p.peak_bytes <= budget_bytes)
+            .unwrap_or(false);
+        if plain_ok {
+            plain_deepest = Some(divisor);
+        }
+
+        let mut row = format!(
+            "    {{\"extra_divisor\": {divisor}, \"vertices\": {n}, \"edges\": {m}, \
+             \"raw_bytes\": {raw_bytes}, \"compressed_bytes\": {compressed_bytes}, \
+             \"compression_ratio\": {ratio:.4}, \
+             \"compressed\": {{\"ingest_peak_bytes\": {}, \"build_wall_s\": {:.6}, \
+             \"within_budget\": {comp_ok}}}",
+            comp.peak_bytes, comp.wall_s
+        );
+        print!(
+            "/{divisor:>5}: {n:>8} v {m:>10} e  ratio {ratio:>5.2}x  \
+             compressed {:>8} ({})",
+            fmt_mb(comp.peak_bytes),
+            if comp_ok { "fits" } else { "over budget" }
+        );
+
+        if let Some(p) = &plain {
+            row.push_str(&format!(
+                ", \"plain\": {{\"ingest_peak_bytes\": {}, \"build_wall_s\": {:.6}, \
+                 \"within_budget\": {plain_ok}}}",
+                p.peak_bytes, p.wall_s
+            ));
+            print!(
+                "  plain {:>8} ({})",
+                fmt_mb(p.peak_bytes),
+                if plain_ok { "fits" } else { "over budget" }
+            );
+
+            // Both partitions in hand: bfs end-to-end must be
+            // byte-identical (report and vertex values).
+            let g = p.graph.clone().unwrap();
+            let prep_plain = PreparedPartition::from_partition(g.clone(), p.part.clone());
+            let prep_comp = PreparedPartition::from_partition(g, comp.part.clone());
+            let (ra, va, wall_plain) = run_bfs(&prep_plain);
+            let (rb, vb, wall_comp) = run_bfs(&prep_comp);
+            let values_ok = ra == rb && va == vb;
+            all_values_ok &= values_ok;
+            row.push_str(&format!(
+                ", \"run_plain_s\": {wall_plain:.6}, \"run_compressed_s\": {wall_comp:.6}, \
+                 \"values_ok\": {values_ok}"
+            ));
+            print!("  bfs identical: {values_ok}");
+        }
+        row.push('}');
+        rows.push(row);
+        println!();
+
+        plain_alive = plain_ok;
+        if !comp_ok || divisor <= min_divisor {
+            break;
+        }
+        divisor /= 2;
+    }
+
+    assert!(
+        all_values_ok,
+        "compressed-streamed ingestion diverged from the plain path"
+    );
+
+    // How many 2x steps deeper the compressed path reached. When plain
+    // never fit at all, credit the whole compressed range.
+    let steps_deeper = match (plain_deepest, compressed_deepest) {
+        (Some(p), Some(c)) => (p / c.max(1)).max(1).ilog2() as u64,
+        (None, Some(c)) => (max_divisor / c.max(1)).max(1).ilog2() as u64 + 1,
+        _ => 0,
+    };
+    println!(
+        "\nplain deepest /{}, compressed deepest /{} ({} step(s) deeper), \
+         deepest compression {ratio_deepest:.2}x",
+        plain_deepest.map_or("-".into(), |d: u64| d.to_string()),
+        compressed_deepest.map_or("-".into(), |d: u64| d.to_string()),
+        steps_deeper
+    );
+
+    let json = format!(
+        "{{\n  \"dataset\": \"{}\",\n  \"policy\": \"cvc\",\n  \"devices\": {DEVICES},\n  \
+         \"max_divisor\": {max_divisor},\n  \"min_divisor\": {min_divisor},\n  \
+         \"chunk_edges\": {chunk_edges},\n  \"budget_bytes\": {budget_bytes},\n  \
+         \"plain_deepest_divisor\": {},\n  \"compressed_deepest_divisor\": {},\n  \
+         \"compressed_steps_deeper\": {steps_deeper},\n  \
+         \"compression_ratio_deepest\": {ratio_deepest:.4},\n  \
+         \"steps\": [\n{}\n  ],\n  \
+         \"note\": \"Ingest-to-partition sweep on the uk07 web-crawl analogue, extra divisor \
+         halving from max_divisor (smaller divisor = bigger graph). peak bytes are the exact \
+         allocator high-water mark of each ingestion path (generate + partition into 4 CVC \
+         local graphs); a path is retired once its peak exceeds budget_bytes. values_ok pins \
+         byte-identical bfs reports + vertex values between the plain and streamed-compressed \
+         partitions wherever both fit.\"\n}}\n",
+        DATASET.name(),
+        plain_deepest.map_or("null".into(), |d: u64| d.to_string()),
+        compressed_deepest.map_or("null".into(), |d: u64| d.to_string()),
+        rows.join(",\n")
+    );
+    or_exit(write_output(&out_path, &json), USAGE);
+    println!("wrote {out_path}");
+}

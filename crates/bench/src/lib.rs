@@ -24,6 +24,7 @@
 //! `--trace <path>` to stream per-round, per-device
 //! [`dirgl_core::RoundRecord`]s as JSON lines while the figures run.
 
+pub mod alloc;
 pub mod baseline;
 pub mod cli;
 

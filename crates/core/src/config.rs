@@ -137,6 +137,17 @@ pub struct RunConfig {
     /// traces (pinned by tests); the flag exists so `bench_hotpath` can
     /// measure before/after in one binary.
     pub legacy_hotpath: bool,
+    /// Allow devices whose raw working set exceeds capacity to run
+    /// *spilled*: the adjacency is held in delta-gap varint form
+    /// ([`dirgl_graph::CompressedCsr`]) and decoded row-by-row into scratch
+    /// each round, charging [`dirgl_gpusim::KernelModel::decode_time`] per
+    /// compute phase. Admission stays raw whenever raw fits — spill only
+    /// widens the feasible region, it never changes an admitted raw run.
+    /// Values, reports, and traces are byte-identical either way (the
+    /// decode reproduces the exact CSR windows; pinned by tests). Mutually
+    /// exclusive with `legacy_hotpath`, whose scalar bodies index the raw
+    /// arrays directly.
+    pub spill: bool,
     /// Per-device kernel layout selection applied at
     /// [`crate::Runtime::prepare`] time (see [`crate::layout`]). The
     /// default [`LayoutChoice::Insertion`] builds no layout state at all;
@@ -164,6 +175,7 @@ impl RunConfig {
             retry: RetryConfig::default(),
             checkpoint_every_rounds: 0,
             legacy_hotpath: false,
+            spill: false,
             layout: LayoutChoice::Insertion,
         }
     }
@@ -201,6 +213,13 @@ impl RunConfig {
     /// Sets the kernel-layout selection (builder style).
     pub fn with_layout(mut self, layout: LayoutChoice) -> RunConfig {
         self.layout = layout;
+        self
+    }
+
+    /// Enables compressed-adjacency spill for over-capacity devices
+    /// (builder style).
+    pub fn with_spill(mut self, spill: bool) -> RunConfig {
+        self.spill = spill;
         self
     }
 }

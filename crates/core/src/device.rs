@@ -8,6 +8,7 @@
 
 use dirgl_comm::{message, CommMode, DenseBitset, ExtractIndex, SimTime, SyncPlan};
 use dirgl_gpusim::{Balancer, GpuSpec, KernelModel};
+use dirgl_graph::CompressedCsr;
 use dirgl_partition::{LocalGraph, PairLink};
 
 use crate::program::{InitCtx, Style, VertexProgram};
@@ -106,6 +107,58 @@ impl<W> RoundScratch<W> {
     }
 }
 
+/// Compressed-adjacency residency for a *spilled* device: the edge arrays
+/// live on-device in delta-gap varint form ([`CompressedCsr`]) and each row
+/// is decoded into the scratch vectors right before a kernel body consumes
+/// it. Decoding reproduces the raw window bit-for-bit, so spilled and raw
+/// runs produce byte-identical values and traces — only the memory charge
+/// (compressed size) and the per-round decode time differ.
+pub struct SpillState {
+    /// Compressed out-adjacency (encodes exactly `lg.csr`).
+    out: CompressedCsr,
+    /// Compressed in-adjacency (encodes exactly `lg.in_csr`).
+    inc: CompressedCsr,
+    /// Row-decode target scratch, reused across rows and rounds.
+    targets: Vec<u32>,
+    /// Row-decode weight scratch (left empty for unweighted graphs).
+    weights: Vec<u32>,
+    /// Edges decoded since the last per-phase charge.
+    decoded: u64,
+}
+
+impl SpillState {
+    fn new(lg: &LocalGraph) -> SpillState {
+        SpillState {
+            out: CompressedCsr::from_csr(&lg.csr),
+            inc: CompressedCsr::from_csr(&lg.in_csr),
+            targets: Vec::new(),
+            weights: Vec::new(),
+            decoded: 0,
+        }
+    }
+
+    /// Decodes local vertex `lv`'s out-window into scratch.
+    fn out_window(&mut self, lv: u32) -> (&[u32], &[u32]) {
+        self.decoded += self.out.out_degree(lv) as u64;
+        self.out
+            .decode_row_into(lv, &mut self.targets, &mut self.weights);
+        (&self.targets, &self.weights)
+    }
+
+    /// Decodes local vertex `lv`'s in-window into scratch.
+    fn in_window(&mut self, lv: u32) -> (&[u32], &[u32]) {
+        self.decoded += self.inc.out_degree(lv) as u64;
+        self.inc
+            .decode_row_into(lv, &mut self.targets, &mut self.weights);
+        (&self.targets, &self.weights)
+    }
+
+    /// Drains the decode counter for one compute phase's time charge.
+    fn take_decoded(&mut self) -> u64 {
+        std::mem::take(&mut self.decoded)
+    }
+}
+
 /// One device's live state during a run.
 pub struct DeviceRun<P: VertexProgram> {
     /// Device index.
@@ -140,6 +193,11 @@ pub struct DeviceRun<P: VertexProgram> {
     pub peak_memory: u64,
     /// Reusable host-side round buffers (never checkpointed).
     pub scratch: RoundScratch<P::Wire>,
+    /// `Some` when this device runs with compressed adjacency
+    /// (over-capacity spill); the vectorized bodies then decode each row
+    /// into scratch instead of slicing the raw CSR. Never checkpointed —
+    /// the compressed arrays are immutable and the scratch is transient.
+    pub spill: Option<SpillState>,
 }
 
 impl<P: VertexProgram> DeviceRun<P> {
@@ -173,7 +231,20 @@ impl<P: VertexProgram> DeviceRun<P> {
             work_items: 0,
             peak_memory: 0,
             scratch: RoundScratch::new(),
+            spill: None,
         }
+    }
+
+    /// Switches this device to compressed-adjacency residency (see
+    /// [`SpillState`]). Requires the vectorized bodies: the legacy scalar
+    /// bodies index the raw arrays directly, so `legacy_hotpath` and spill
+    /// are mutually exclusive (enforced at admission).
+    pub fn enable_spill(&mut self) {
+        assert!(
+            self.scratch.vector_kernels,
+            "spill requires the vectorized kernel bodies (legacy_hotpath is incompatible)"
+        );
+        self.spill = Some(SpillState::new(&self.lg));
     }
 
     /// Paper-equivalent bytes this device must allocate to run `program`
@@ -185,17 +256,34 @@ impl<P: VertexProgram> DeviceRun<P> {
         state_bytes: u64,
         divisor: u64,
     ) -> u64 {
+        Self::required_bytes_with(lg, plan, program, state_bytes, divisor, false)
+    }
+
+    /// [`DeviceRun::required_bytes`] under either adjacency representation:
+    /// `spilled` charges the CSR terms at their exact compressed size (the
+    /// footprint a [`SpillState`] device holds) while every other array —
+    /// labels, l2g, bitsets, worklist, comm buffers — stays raw.
+    pub fn required_bytes_with(
+        lg: &LocalGraph,
+        plan: &SyncPlan,
+        program: &P,
+        state_bytes: u64,
+        divisor: u64,
+        spilled: bool,
+    ) -> u64 {
         let style = program.style();
         let n = lg.num_vertices() as u64;
         // Only the arrays the program traverses are loaded: push programs
         // hold the out-CSR, pull programs the in-CSR, hybrid both; weights
         // ship only for weight-reading programs (sssp).
-        let mut raw = lg.device_bytes_for(
-            state_bytes,
-            style != Style::PullTopologyDriven,
-            matches!(style, Style::PullTopologyDriven | Style::HybridPushPull),
-            program.uses_weights(),
-        );
+        let needs_out = style != Style::PullTopologyDriven;
+        let needs_in = matches!(style, Style::PullTopologyDriven | Style::HybridPushPull);
+        let weights = program.uses_weights();
+        let mut raw = if spilled {
+            lg.device_bytes_spilled_for(state_bytes, needs_out, needs_in, weights)
+        } else {
+            lg.device_bytes_for(state_bytes, needs_out, needs_in, weights)
+        };
         raw += 2 * n.div_ceil(8); // active + updated bitsets
         if style != Style::PullTopologyDriven {
             raw += 4 * n; // worklist
@@ -262,7 +350,15 @@ impl<P: VertexProgram> DeviceRun<P> {
             self.push_body::<false>(program);
         }
         self.scratch.frontier.clear_all();
-        kr.time
+        kr.time + self.drain_decode_charge()
+    }
+
+    /// Per-phase decode charge of a spilled device (0 when raw or idle).
+    fn drain_decode_charge(&mut self) -> f64 {
+        match &mut self.spill {
+            Some(sp) => self.kernel.decode_time(sp.take_decoded()),
+            None => 0.0,
+        }
     }
 
     fn push_body<const WEIGHTED: bool>(&mut self, program: &P) {
@@ -272,6 +368,7 @@ impl<P: VertexProgram> DeviceRun<P> {
             updated,
             bcast_dirty,
             scratch,
+            spill,
             ..
         } = self;
         let frontier = &scratch.frontier;
@@ -293,7 +390,10 @@ impl<P: VertexProgram> DeviceRun<P> {
                 if !push {
                     continue;
                 }
-                let (targets, weights) = lg.csr.edge_window(lv);
+                let (targets, weights) = match spill {
+                    Some(sp) => sp.out_window(lv),
+                    None => lg.csr.edge_window(lv),
+                };
                 if WEIGHTED {
                     for (&t, &ew) in targets.iter().zip(weights) {
                         if let Some(m) = program.edge_msg(&src, ew) {
@@ -385,7 +485,7 @@ impl<P: VertexProgram> DeviceRun<P> {
         } else {
             self.pull_body_unweighted(program);
         }
-        time
+        time + self.drain_decode_charge()
     }
 
     /// Unweighted pull over the precomputed nonempty rows. Three
@@ -401,6 +501,7 @@ impl<P: VertexProgram> DeviceRun<P> {
             state,
             updated,
             scratch,
+            spill,
             ..
         } = self;
         if !scratch.pull_rows_built {
@@ -411,7 +512,10 @@ impl<P: VertexProgram> DeviceRun<P> {
         }
         let inert = program.inert_contribution();
         for &lv in &scratch.pull_rows {
-            let (targets, _) = lg.in_csr.edge_window(lv);
+            let (targets, _) = match spill {
+                Some(sp) => sp.in_window(lv),
+                None => lg.in_csr.edge_window(lv),
+            };
             let mut changed = false;
             // Accumulate into a local copy so reads of other entries are
             // unaffected within the round.
@@ -446,10 +550,17 @@ impl<P: VertexProgram> DeviceRun<P> {
 
     fn pull_body_weighted(&mut self, program: &P) {
         let DeviceRun {
-            lg, state, updated, ..
+            lg,
+            state,
+            updated,
+            spill,
+            ..
         } = self;
         for lv in 0..lg.num_vertices() {
-            let (targets, weights) = lg.in_csr.edge_window(lv);
+            let (targets, weights) = match spill {
+                Some(sp) => sp.in_window(lv),
+                None => lg.in_csr.edge_window(lv),
+            };
             if targets.is_empty() {
                 continue;
             }
@@ -529,7 +640,7 @@ impl<P: VertexProgram> DeviceRun<P> {
             .launch(balancer, probes.iter().copied(), work_scale);
         self.scratch.probes = probes;
         self.work_items += kr.work.total_work;
-        let t = SimTime::from_secs_f64(kr.time);
+        let t = SimTime::from_secs_f64(kr.time + self.drain_decode_charge());
         self.compute_time += t;
         self.rounds += 1;
         t
@@ -538,13 +649,20 @@ impl<P: VertexProgram> DeviceRun<P> {
     fn bottom_up_body<const WEIGHTED: bool>(&mut self, program: &P, probes: &mut Vec<u32>) {
         let exhaustive = program.pull_exhaustive();
         let DeviceRun {
-            lg, state, updated, ..
+            lg,
+            state,
+            updated,
+            spill,
+            ..
         } = self;
         for lv in 0..lg.num_vertices() {
             if !program.pull_ready(&state[lv as usize]) {
                 continue;
             }
-            let (targets, weights) = lg.in_csr.edge_window(lv);
+            let (targets, weights) = match spill {
+                Some(sp) => sp.in_window(lv),
+                None => lg.in_csr.edge_window(lv),
+            };
             let mut st = state[lv as usize];
             let mut probed = 0u32;
             if WEIGHTED {

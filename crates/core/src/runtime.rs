@@ -36,7 +36,7 @@
 //! `runner(...).execute()` (pinned by `crates/serve` tests).
 
 use dirgl_comm::{LaneFrontier, NetModel, SimTime, SyncPlan};
-use dirgl_gpusim::{OomError, Platform};
+use dirgl_gpusim::{GraphRepr, OomError, Platform, ReprCost};
 use dirgl_graph::csr::{Csr, VertexId};
 use dirgl_partition::{LocalGraph, Partition};
 
@@ -726,23 +726,46 @@ fn execute_job<P: VertexProgram>(
     let config = &rt.config;
     let divisor = config.scale_divisor;
 
-    // --- Load check: every device must hold its partition.
+    // --- Load check: every device must hold its partition. With
+    // `config.spill`, a device whose raw footprint exceeds capacity is
+    // re-costed at the compressed-adjacency footprint and, when that fits,
+    // runs spilled ([`crate::device::SpillState`]). Raw admission is
+    // unchanged: spill only widens the feasible region.
+    assert!(
+        !(config.spill && config.legacy_hotpath),
+        "spill requires the vectorized kernel bodies; legacy_hotpath is incompatible"
+    );
     let state_bytes = program.state_bytes();
     let mut memory = Vec::with_capacity(locals.len());
+    let mut spilled = Vec::with_capacity(locals.len());
     for lg in &locals {
-        let need = DeviceRun::<P>::required_bytes(lg, plan, program, state_bytes, divisor);
+        let raw =
+            DeviceRun::<P>::required_bytes_with(lg, plan, program, state_bytes, divisor, false);
+        let compressed = if config.spill {
+            DeviceRun::<P>::required_bytes_with(lg, plan, program, state_bytes, divisor, true)
+        } else {
+            raw // spill disabled: the fallback candidate is the raw cost itself
+        };
+        let cost = ReprCost { raw, compressed };
         let capacity = rt.platform.gpus[lg.device as usize].memory_bytes;
-        if need > capacity {
-            return Err(RunError::Oom {
-                device: lg.device,
-                err: OomError {
-                    requested: need,
-                    in_use: 0,
-                    capacity,
-                },
-            });
+        match cost.choose(capacity) {
+            Some(repr) => {
+                spilled.push(repr == GraphRepr::Compressed);
+                memory.push(cost.bytes(repr));
+            }
+            None => {
+                return Err(RunError::Oom {
+                    device: lg.device,
+                    err: OomError {
+                        // The smallest footprint that was refused: raw
+                        // without spill, compressed with it.
+                        requested: raw.min(compressed),
+                        in_use: 0,
+                        capacity,
+                    },
+                });
+            }
         }
-        memory.push(need);
     }
 
     // --- Initialize device state.
@@ -757,6 +780,9 @@ fn execute_job<P: VertexProgram>(
             let spec = rt.platform.gpus[lg.device as usize];
             let mut d = DeviceRun::new(lg, spec, program, &ctx);
             d.peak_memory = memory[d.dev as usize];
+            if spilled[d.dev as usize] {
+                d.enable_spill();
+            }
             d
         })
         .collect();
@@ -892,15 +918,38 @@ impl Runtime {
     /// This is the admission governor's oracle: prediction and engine
     /// admission cannot disagree because they are one computation.
     pub fn footprint<P: VertexProgram>(&self, prep: &PreparedPartition, program: &P) -> Vec<u64> {
+        self.footprint_with(prep, program, false)
+    }
+
+    /// [`Runtime::footprint`] with the adjacency held compressed — the
+    /// spill ladder's oracle: what a device admitted under
+    /// [`RunConfig::spill`] would record when its raw footprint does not
+    /// fit. Same one-computation guarantee: this is the exact compressed
+    /// candidate the load check costs.
+    pub fn footprint_spilled<P: VertexProgram>(
+        &self,
+        prep: &PreparedPartition,
+        program: &P,
+    ) -> Vec<u64> {
+        self.footprint_with(prep, program, true)
+    }
+
+    fn footprint_with<P: VertexProgram>(
+        &self,
+        prep: &PreparedPartition,
+        program: &P,
+        spilled: bool,
+    ) -> Vec<u64> {
         let state_bytes = program.state_bytes();
         let mut out = vec![0u64; self.platform.num_devices() as usize];
         for lg in &prep.part.locals {
-            let need = DeviceRun::<P>::required_bytes(
+            let need = DeviceRun::<P>::required_bytes_with(
                 lg,
                 &prep.plan,
                 program,
                 state_bytes,
                 self.config.scale_divisor,
+                spilled,
             );
             if let Some(slot) = out.get_mut(lg.device as usize) {
                 *slot = need;

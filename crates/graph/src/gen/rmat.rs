@@ -58,13 +58,14 @@ impl RmatConfig {
         self
     }
 
-    /// Generates the edge list.
-    pub fn generate_edges(&self) -> EdgeList {
+    /// Streams the raw (pre-dedup) edge sequence without materializing it —
+    /// the streaming ingest path feeds this straight into an external sort
+    /// ([`crate::stream::EdgeSpill`]). [`RmatConfig::generate_edges`]
+    /// collects the identical sequence, so the two paths cannot diverge.
+    pub fn for_each_raw_edge(&self, f: &mut dyn FnMut(u32, u32)) {
         let n: u32 = 1 << self.scale;
         let m = (n as u64) * self.edge_factor as u64;
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut el = EdgeList::new(n);
-        el.edges.reserve(m as usize);
         for _ in 0..m {
             let (mut lo_r, mut hi_r) = (0u32, n);
             let (mut lo_c, mut hi_c) = (0u32, n);
@@ -93,8 +94,17 @@ impl RmatConfig {
                     hi_c = mid_c;
                 }
             }
-            el.edges.push((lo_r, lo_c));
+            f(lo_r, lo_c);
         }
+    }
+
+    /// Generates the edge list.
+    pub fn generate_edges(&self) -> EdgeList {
+        let n: u32 = 1 << self.scale;
+        let m = (n as u64) * self.edge_factor as u64;
+        let mut el = EdgeList::new(n);
+        el.edges.reserve(m as usize);
+        self.for_each_raw_edge(&mut |u, v| el.edges.push((u, v)));
         if self.dedup {
             el.dedup();
         }

@@ -62,16 +62,33 @@ impl WebCrawlConfig {
         self
     }
 
-    /// Generates the edge list.
-    pub fn generate_edges(&self) -> EdgeList {
+    /// Streams the raw (pre-dedup) edge sequence without materializing it —
+    /// the streaming ingest path feeds this straight into an external sort
+    /// ([`crate::stream::EdgeSpill`]). [`WebCrawlConfig::generate_edges`]
+    /// collects the identical sequence, so the two paths cannot diverge.
+    pub fn for_each_raw_edge(&self, f: &mut dyn FnMut(u32, u32)) {
+        /// Emission wrapper: the fill phase budgets against the number of
+        /// edges emitted so far, which the in-memory path read off
+        /// `el.edges.len()`.
+        struct Emit<'a> {
+            count: u64,
+            f: &'a mut dyn FnMut(u32, u32),
+        }
+        impl Emit<'_> {
+            #[inline]
+            fn push(&mut self, e: (u32, u32)) {
+                self.count += 1;
+                (self.f)(e.0, e.1);
+            }
+        }
+        let mut el = Emit { count: 0, f };
+
         let n = self.num_vertices;
         assert!(
             n as u64 > self.target_diameter as u64 + NUM_HUBS as u64 + 64,
             "graph too small for requested diameter"
         );
         let mut rng = SmallRng::seed_from_u64(self.seed);
-        let mut el = EdgeList::new(n);
-        el.edges.reserve(self.num_edges as usize + n as usize);
 
         let chain_len = self.target_diameter.saturating_sub(3).max(1);
         let core_n = n - chain_len; // pages [core_n, n) form the tail chain
@@ -81,7 +98,7 @@ impl WebCrawlConfig {
         for &h in &hubs {
             for &g in &hubs {
                 if h != g {
-                    el.edges.push((h, g));
+                    el.push((h, g));
                 }
             }
         }
@@ -115,17 +132,17 @@ impl WebCrawlConfig {
             // Directory page links every page of its site; pages link back
             // and chain to the next page (crawl-order locality).
             for i in start + 1..start + size {
-                el.edges.push((index, i));
-                el.edges.push((i, index));
+                el.push((index, i));
+                el.push((i, index));
                 if i + 1 < start + size {
-                    el.edges.push((i, i + 1));
+                    el.push((i, i + 1));
                 }
             }
             // Every index page links a hub so the hub core is reachable
             // from anywhere and vice versa.
             let h = hubs[rng.gen_range(0..NUM_HUBS)];
-            el.edges.push((index, h));
-            el.edges.push((h, index));
+            el.push((index, h));
+            el.push((h, index));
             start += size;
         }
 
@@ -145,20 +162,20 @@ impl WebCrawlConfig {
             if rng.gen::<f64>() < q {
                 let t = rng.gen::<f64>();
                 let z = hub_cum.partition_point(|&c| c < t).min(NUM_HUBS - 1);
-                el.edges.push((i, hubs[z]));
+                el.push((i, hubs[z]));
             }
         }
 
         // --- Long-tail chain: hub 0 -> core_n -> core_n+1 -> ... ---
-        el.edges.push((hubs[0], core_n));
+        el.push((hubs[0], core_n));
         for i in core_n..n - 1 {
-            el.edges.push((i, i + 1));
+            el.push((i, i + 1));
             site_of[i as usize] = core_n;
         }
         site_of[n as usize - 1] = core_n;
 
         // --- Fill the remaining edge budget with locality-biased links. ---
-        let structural = el.edges.len() as u64;
+        let structural = el.count;
         if self.num_edges > structural {
             let fill = self.num_edges - structural;
             // Source selection is skewed: busy pages link more.
@@ -175,7 +192,7 @@ impl WebCrawlConfig {
                     continue;
                 }
                 for _ in 0..d {
-                    if el.edges.len() as u64 >= self.num_edges {
+                    if el.count >= self.num_edges {
                         break 'outer;
                     }
                     let dst = if rng.gen::<f64>() < 0.8 {
@@ -186,10 +203,18 @@ impl WebCrawlConfig {
                     } else {
                         rng.gen_range(NUM_HUBS as u32..core_n)
                     };
-                    el.edges.push((v, dst));
+                    el.push((v, dst));
                 }
             }
         }
+    }
+
+    /// Generates the edge list.
+    pub fn generate_edges(&self) -> EdgeList {
+        let mut el = EdgeList::new(self.num_vertices);
+        el.edges
+            .reserve(self.num_edges as usize + self.num_vertices as usize);
+        self.for_each_raw_edge(&mut |u, v| el.edges.push((u, v)));
         el.dedup();
         el
     }

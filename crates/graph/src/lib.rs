@@ -12,16 +12,20 @@
 //! * [`stats`] — degree distributions and approximate diameter, used to
 //!   validate that generated analogues match the published properties.
 
+pub mod compressed;
 pub mod csr;
 pub mod datasets;
 pub mod gen;
 pub mod io;
 pub mod stats;
+pub mod stream;
 pub mod weights;
 
+pub use compressed::{CompressedCsr, CompressedCsrBuilder, GraphView};
 pub use csr::{Csr, CsrBuilder, EdgeList, VertexId, INVALID_VERTEX};
-pub use datasets::{Dataset, DatasetId, PaperProps, SizeClass};
+pub use datasets::{CompressedDataset, Dataset, DatasetId, PaperProps, SizeClass};
 pub use gen::rmat::RmatConfig;
 pub use gen::social::SocialConfig;
 pub use gen::webcrawl::WebCrawlConfig;
 pub use stats::GraphStats;
+pub use stream::{compress_via_spill, EdgeSource, EdgeSpill, SortedEdges};

@@ -3,15 +3,16 @@
 use rayon::prelude::*;
 
 use dirgl_graph::csr::{Csr, CsrBuilder, VertexId};
+use dirgl_graph::stream::EdgeSource;
 
 use crate::edges::{default_hvc_threshold, EdgeRule};
 use crate::links::PairLink;
 use crate::local::LocalGraph;
-use crate::masters::{assign_masters, in_degrees};
+use crate::masters::{assign_masters, assign_masters_from_degrees, in_degrees};
 use crate::policy::{Grid, Policy};
 
 /// A complete partitioning of a graph across `num_devices` devices.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Partition {
     /// Policy used.
     pub policy: Policy,
@@ -76,24 +77,88 @@ impl Partition {
             .map(|(d, (edges, masters))| build_local(d as u32, edges, masters, owner, weighted))
             .collect();
 
-        // --- Exchange links: align mirror lists with master local ids. ---
-        let mut links: Vec<PairLink> = vec![PairLink::default(); p * p];
-        for holder in 0..p {
-            let lg = &locals[holder];
-            for lv in lg.num_masters..lg.num_vertices() {
-                let ow = lg.master_device[lv as usize] as usize;
-                debug_assert_ne!(ow, holder);
-                let link = &mut links[holder * p + ow];
-                link.mirror_side.push(lv);
-                link.mirror_has_out.push(lg.has_out_edges(lv));
-                link.mirror_has_in.push(lg.has_in_edges(lv));
-                // Global id resolves to a master local id on the owner.
-                let gid = lg.l2g[lv as usize];
-                let m = locals[ow].g2l[&gid];
-                debug_assert!(locals[ow].is_master(m));
-                link.master_side.push(m);
-            }
+        let links = build_links(&locals, p);
+
+        Partition {
+            policy,
+            num_devices,
+            grid,
+            num_global_vertices: n,
+            locals,
+            links,
         }
+    }
+
+    /// Two-pass chunked partition build over any [`EdgeSource`] — the
+    /// out-of-core counterpart of [`Partition::build`], bit-identical to it
+    /// for every supported policy (pinned by tests here and in
+    /// `tests/scale_determinism.rs`).
+    ///
+    /// Pass 1 streams the edges once to accumulate out/in-degree
+    /// histograms, from which
+    /// [`assign_masters_from_degrees`](crate::masters::assign_masters_from_degrees)
+    /// derives the master assignment — the same computation
+    /// [`assign_masters`] performs from the materialized CSR. Pass 2
+    /// streams again, routing each edge through the policy's [`EdgeRule`]
+    /// into a per-device spill file. Each device's edges are then read back
+    /// one device at a time and fed to the same `build_local` the in-memory
+    /// builder uses, so the resulting [`LocalGraph`]s cannot differ.
+    ///
+    /// Peak memory is the degree/owner arrays (`O(|V|)`), one device's edge
+    /// set (`~|E| / p`, which the per-device CSR must hold anyway) and the
+    /// accumulated local graphs — never the full global edge list. The
+    /// traversal-based policies (`MetisLike`, `Xtrapulp`) need the whole
+    /// graph in memory and panic here; partition them via
+    /// [`Partition::build`].
+    pub fn build_streamed(
+        src: &dyn EdgeSource,
+        policy: Policy,
+        num_devices: u32,
+        seed: u64,
+    ) -> Partition {
+        assert!(num_devices >= 1);
+        let n = src.num_vertices();
+        let p = num_devices as usize;
+
+        // --- Pass 1: degree histograms → master assignment. ---
+        let mut out_deg = vec![0u32; n as usize];
+        let mut in_deg = vec![0u32; n as usize];
+        let mut m = 0u64;
+        src.for_each_edge(&mut |u, v, _| {
+            out_deg[u as usize] += 1;
+            in_deg[v as usize] += 1;
+            m += 1;
+        });
+        let ma = assign_masters_from_degrees(policy, &out_deg, &in_deg, num_devices, seed);
+        drop(out_deg);
+        let grid = (policy == Policy::Cvc).then(|| Grid::for_devices(num_devices));
+        let ind = (policy == Policy::Hvc).then_some(in_deg.as_slice());
+        let avg = if n == 0 { 0.0 } else { m as f64 / n as f64 };
+        let rule = EdgeRule::new(policy, &ma.owner, grid, ind, default_hvc_threshold(avg));
+
+        // --- Pass 2: route edges into per-device spill files. ---
+        let mut writers: Vec<DeviceEdgeSpill> =
+            (0..p).map(|d| DeviceEdgeSpill::create(d as u32)).collect();
+        src.for_each_edge(&mut |u, v, w| {
+            writers[rule.device_of(u, v) as usize].push(u, v, w);
+        });
+        drop(in_deg);
+
+        // --- Masters per device, in ascending global id. ---
+        let mut masters_per_dev: Vec<Vec<VertexId>> = vec![Vec::new(); p];
+        for v in 0..n {
+            masters_per_dev[ma.owner[v as usize] as usize].push(v);
+        }
+
+        // --- Local graphs, one device at a time to bound the peak. ---
+        let weighted = src.is_weighted();
+        let mut locals: Vec<LocalGraph> = Vec::with_capacity(p);
+        for (d, (writer, masters)) in writers.drain(..).zip(masters_per_dev).enumerate() {
+            let edges = writer.into_edges();
+            locals.push(build_local(d as u32, edges, masters, &ma.owner, weighted));
+        }
+
+        let links = build_links(&locals, p);
 
         Partition {
             policy,
@@ -167,6 +232,83 @@ impl Partition {
         (0..self.num_devices)
             .filter(|&h| h != owner && !self.link(h, owner).is_empty())
             .collect()
+    }
+}
+
+/// Exchange links: align mirror lists with master local ids. Shared by the
+/// in-memory and chunked builders.
+fn build_links(locals: &[LocalGraph], p: usize) -> Vec<PairLink> {
+    let mut links: Vec<PairLink> = vec![PairLink::default(); p * p];
+    for (holder, lg) in locals.iter().enumerate() {
+        for lv in lg.num_masters..lg.num_vertices() {
+            let ow = lg.master_device[lv as usize] as usize;
+            debug_assert_ne!(ow, holder);
+            let link = &mut links[holder * p + ow];
+            link.mirror_side.push(lv);
+            link.mirror_has_out.push(lg.has_out_edges(lv));
+            link.mirror_has_in.push(lg.has_in_edges(lv));
+            // Global id resolves to a master local id on the owner.
+            let gid = lg.l2g[lv as usize];
+            let m = locals[ow].g2l[&gid];
+            debug_assert!(locals[ow].is_master(m));
+            link.master_side.push(m);
+        }
+    }
+    links
+}
+
+/// One device's routed edges, spilled to a temp file during the chunked
+/// build's second pass so only one device's edge set is ever resident.
+/// Records are 12 bytes (`u`, `v`, `w` as LE u32) in stream order — the
+/// same order the in-memory builder buckets them — so `build_local` sees an
+/// identical sequence.
+struct DeviceEdgeSpill {
+    path: std::path::PathBuf,
+    w: std::io::BufWriter<std::fs::File>,
+    count: usize,
+}
+
+impl DeviceEdgeSpill {
+    fn create(device: u32) -> Self {
+        let path = dirgl_graph::stream::spill_file_path(&format!("dev{device}"));
+        let file = std::fs::File::create(&path).expect("create device edge spill");
+        DeviceEdgeSpill {
+            path,
+            w: std::io::BufWriter::new(file),
+            count: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, u: u32, v: u32, w: u32) {
+        use std::io::Write;
+        let mut rec = [0u8; 12];
+        rec[0..4].copy_from_slice(&u.to_le_bytes());
+        rec[4..8].copy_from_slice(&v.to_le_bytes());
+        rec[8..12].copy_from_slice(&w.to_le_bytes());
+        self.w.write_all(&rec).expect("write device edge spill");
+        self.count += 1;
+    }
+
+    /// Reads the routed edges back and removes the spill file.
+    fn into_edges(mut self) -> Vec<(VertexId, VertexId, u32)> {
+        use std::io::{Read, Write};
+        self.w.flush().expect("flush device edge spill");
+        drop(self.w);
+        let mut edges = Vec::with_capacity(self.count);
+        let file = std::fs::File::open(&self.path).expect("open device edge spill");
+        let mut r = std::io::BufReader::new(file);
+        let mut rec = [0u8; 12];
+        for _ in 0..self.count {
+            r.read_exact(&mut rec).expect("read device edge spill");
+            edges.push((
+                u32::from_le_bytes(rec[0..4].try_into().unwrap()),
+                u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+                u32::from_le_bytes(rec[8..12].try_into().unwrap()),
+            ));
+        }
+        let _ = std::fs::remove_file(&self.path);
+        edges
     }
 }
 
@@ -378,6 +520,49 @@ mod tests {
         let random = Partition::build(&g, Policy::Random, 8, 0).replication_factor();
         // Contiguous blocks exploit crawl locality; random destroys it.
         assert!(iec < random, "iec={iec} random={random}");
+    }
+
+    #[test]
+    fn chunked_builder_is_bit_identical_to_in_memory() {
+        let g = dirgl_graph::weights::randomize_weights(
+            &RmatConfig::new(9, 8).seed(4).generate(),
+            100,
+            3,
+        );
+        let compressed = dirgl_graph::CompressedCsr::from_csr(&g);
+        for policy in [
+            Policy::Oec,
+            Policy::Iec,
+            Policy::Hvc,
+            Policy::Cvc,
+            Policy::Random,
+        ] {
+            for p in [1, 4, 8] {
+                let in_mem = Partition::build(&g, policy, p, 42);
+                // Streamed from the raw CSR...
+                let streamed = Partition::build_streamed(&g, policy, p, 42);
+                assert_eq!(streamed, in_mem, "{policy} p={p} (csr source)");
+                // ...and from the compressed representation.
+                let streamed = Partition::build_streamed(&compressed, policy, p, 42);
+                assert_eq!(streamed, in_mem, "{policy} p={p} (compressed source)");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_builder_matches_on_unweighted_webcrawl() {
+        let g = WebCrawlConfig::new(6_000, 80_000, 300, 300, 18)
+            .seed(11)
+            .generate();
+        let in_mem = Partition::build(&g, Policy::Iec, 4, 7);
+        assert_eq!(Partition::build_streamed(&g, Policy::Iec, 4, 7), in_mem);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialized graph")]
+    fn chunked_builder_rejects_traversal_policies() {
+        let g = RmatConfig::new(6, 4).seed(1).generate();
+        let _ = Partition::build_streamed(&g, Policy::MetisLike, 2, 0);
     }
 
     #[test]

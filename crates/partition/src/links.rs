@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use dirgl_graph::csr::VertexId;
 
 /// Aligned exchange arrays for one (mirror holder, master owner) pair.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PairLink {
     /// Local ids on the mirror-holding device.
     pub mirror_side: Vec<VertexId>,

@@ -184,31 +184,17 @@ pub fn label_propagation(g: &Csr, parts: u32, iterations: u32, epsilon: f64) -> 
 
 /// Assigns masters for `policy` over `num_devices` devices.
 pub fn assign_masters(g: &Csr, policy: Policy, num_devices: u32, seed: u64) -> MasterAssignment {
-    let n = g.num_vertices() as usize;
     match policy {
-        Policy::Oec | Policy::Cvc => {
-            let w: Vec<u32> = (0..n as u32).map(|v| g.out_degree(v)).collect();
-            blocked(&w, num_devices)
-        }
-        Policy::Iec => {
-            let w = in_degrees(g);
-            blocked(&w, num_devices)
-        }
-        Policy::Hvc => {
-            let ind = in_degrees(g);
-            let w: Vec<u32> = (0..n)
-                .map(|v| g.out_degree(v as u32).saturating_add(ind[v]))
-                .collect();
-            blocked(&w, num_devices)
-        }
-        Policy::Random => {
-            let owner = (0..n as u32)
-                .map(|v| (hash_vertex(v, seed) % num_devices as u64) as u32)
-                .collect();
-            MasterAssignment {
-                owner,
-                block_starts: Vec::new(),
-            }
+        // Degree-driven policies share one computation with the chunked
+        // builder's histogram path, so the two builders cannot diverge.
+        Policy::Oec | Policy::Cvc | Policy::Iec | Policy::Hvc | Policy::Random => {
+            let n = g.num_vertices();
+            let out: Vec<u32> = (0..n).map(|v| g.out_degree(v)).collect();
+            let ind = match policy {
+                Policy::Iec | Policy::Hvc => in_degrees(g),
+                _ => Vec::new(),
+            };
+            assign_masters_from_degrees(policy, &out, &ind, num_devices, seed)
         }
         Policy::MetisLike => MasterAssignment {
             owner: bfs_grow(g, num_devices, seed),
@@ -218,6 +204,48 @@ pub fn assign_masters(g: &Csr, policy: Policy, num_devices: u32, seed: u64) -> M
             owner: label_propagation(g, num_devices, 3, 0.1),
             block_starts: Vec::new(),
         },
+    }
+}
+
+/// Degree-histogram master assignment — the subset of [`assign_masters`]
+/// that needs only per-vertex degrees, not the materialized graph. This is
+/// what the chunked partition builder calls after its first streaming pass;
+/// the traversal-based policies (`MetisLike`, `Xtrapulp`) have no
+/// histogram form and panic here.
+///
+/// `in_deg` may be empty for policies that do not consult it
+/// (OEC/CVC/Random).
+pub fn assign_masters_from_degrees(
+    policy: Policy,
+    out_deg: &[u32],
+    in_deg: &[u32],
+    num_devices: u32,
+    seed: u64,
+) -> MasterAssignment {
+    match policy {
+        Policy::Oec | Policy::Cvc => blocked(out_deg, num_devices),
+        Policy::Iec => blocked(in_deg, num_devices),
+        Policy::Hvc => {
+            let w: Vec<u32> = out_deg
+                .iter()
+                .zip(in_deg)
+                .map(|(&o, &i)| o.saturating_add(i))
+                .collect();
+            blocked(&w, num_devices)
+        }
+        Policy::Random => {
+            let owner = (0..out_deg.len() as u32)
+                .map(|v| (hash_vertex(v, seed) % num_devices as u64) as u32)
+                .collect();
+            MasterAssignment {
+                owner,
+                block_starts: Vec::new(),
+            }
+        }
+        Policy::MetisLike | Policy::Xtrapulp => panic!(
+            "{policy} needs the materialized graph (BFS/label propagation); \
+             the degree-histogram path cannot assign it"
+        ),
     }
 }
 

@@ -374,10 +374,32 @@ impl Inner {
         }
     }
 
+    /// One program's per-device footprint, by the representation the
+    /// engine's load check would pick. Without [`RunConfig::spill`] this
+    /// is the raw oracle ([`dirgl_core::Runtime::footprint`]); with it, a
+    /// device whose raw footprint exceeds its *capacity* is charged the
+    /// compressed footprint instead ([`Runtime::footprint_spilled`]) —
+    /// the same raw-first-then-compressed decision the admission makes,
+    /// so prediction and engine charge still cannot disagree.
+    fn fp<P: dirgl_core::VertexProgram>(&self, prep: &PreparedPartition, prog: &P) -> Vec<u64> {
+        let raw = self.rt.footprint(prep, prog);
+        if !self.rt.config.spill {
+            return raw;
+        }
+        let spilled = self.rt.footprint_spilled(prep, prog);
+        raw.iter()
+            .zip(&spilled)
+            .zip(&self.rt.platform.gpus)
+            .map(|((&r, &s), gpu)| if r <= gpu.memory_bytes { r } else { s })
+            .collect()
+    }
+
     /// Predicts `spec`'s per-device footprint at lane width `width` with
     /// the engine's own `required_bytes` formula
-    /// ([`dirgl_core::Runtime::footprint`]), instantiating exactly the
-    /// program [`Inner::execute_at`] would launch — batched adapter for
+    /// ([`dirgl_core::Runtime::footprint`] /
+    /// [`Runtime::footprint_spilled`] per the spill decision — see
+    /// [`Inner::fp`]), instantiating exactly the program
+    /// [`Inner::execute_at`] would launch — batched adapter for
     /// `width ≥ 2`, the scalar program for the scalar rung — so
     /// prediction and the engine's load check cannot disagree. Chunked
     /// runs execute sequentially and a full-width chunk's footprint
@@ -388,23 +410,23 @@ impl Inner {
                 let k = width.clamp(1, LANE_WIDTH).min(sources.len());
                 if k > 1 {
                     let prog = Bfs::new(sources[0]).batched(&sources[..k]);
-                    self.rt.footprint(&self.directed, &prog)
+                    self.fp(&self.directed, &prog)
                 } else {
-                    self.rt.footprint(&self.directed, &Bfs::new(sources[0]))
+                    self.fp(&self.directed, &Bfs::new(sources[0]))
                 }
             }
             JobSpec::Sssp { sources } => {
                 let k = width.clamp(1, LANE_WIDTH).min(sources.len());
                 if k > 1 {
                     let prog = Sssp::new(sources[0]).batched(&sources[..k]);
-                    self.rt.footprint(&self.directed, &prog)
+                    self.fp(&self.directed, &prog)
                 } else {
-                    self.rt.footprint(&self.directed, &Sssp::new(sources[0]))
+                    self.fp(&self.directed, &Sssp::new(sources[0]))
                 }
             }
-            JobSpec::Pagerank => self.rt.footprint(&self.directed, &PageRank::new()),
-            JobSpec::Cc => self.rt.footprint(&self.symmetric, &Cc),
-            JobSpec::KCore { k } => self.rt.footprint(&self.symmetric, &KCore::new(*k)),
+            JobSpec::Pagerank => self.fp(&self.directed, &PageRank::new()),
+            JobSpec::Cc => self.fp(&self.symmetric, &Cc),
+            JobSpec::KCore { k } => self.fp(&self.symmetric, &KCore::new(*k)),
             JobSpec::Bc { sources } => {
                 // Two sequential phases on two views: the job's footprint
                 // on a device is the larger phase's.
@@ -420,8 +442,8 @@ impl Inner {
                     )
                 } else {
                     (
-                        self.rt.footprint(&self.directed, &fwd),
-                        self.rt.footprint(&self.transpose, &BcBackward::new(0)),
+                        self.fp(&self.directed, &fwd),
+                        self.fp(&self.transpose, &BcBackward::new(0)),
                     )
                 };
                 f.iter().zip(&b).map(|(&x, &y)| x.max(y)).collect()
